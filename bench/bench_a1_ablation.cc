@@ -1,0 +1,103 @@
+// A1 — Ablations of the design choices called out in DESIGN.md:
+//   * valence lookahead horizon: evaluations and wall time vs horizon (the
+//     price of the finite-horizon discharge of the infinite-run quantifier);
+//   * exactness criterion: quiescence vs convergence (the convergence mode
+//     runs a second memoized pass at horizon+1);
+//   * layer caching: cold vs warm layer() calls (hash-consing pays off as
+//     soon as a state is revisited, which the valence DAG does constantly).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+void print_table() {
+  Table table({"ablation", "setting", "valence evals", "states interned",
+               "check ok"});
+  // Horizon sweep on the shared-memory model.
+  for (int horizon = 1; horizon <= 4; ++horizon) {
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kSharedMem, 3, 1, *rule);
+    ValenceEngine engine(*model, horizon, Exactness::kQuiescence);
+    const auto bivalent = engine.find_bivalent(model->initial_states());
+    table.add_row({"horizon", cell(static_cast<long long>(horizon)),
+                   cell(static_cast<long long>(engine.evaluations())),
+                   cell(static_cast<long long>(model->num_states())),
+                   cell(bivalent.has_value())});  // check: bivalent found
+  }
+  // Exactness criterion.
+  for (Exactness mode : {Exactness::kQuiescence, Exactness::kConvergence}) {
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kSharedMem, 3, 1, *rule);
+    ValenceEngine engine(*model, 3, mode);
+    int exact = 0;
+    for (StateId x : model->initial_states()) {
+      if (engine.valence(x).exact) ++exact;
+    }
+    table.add_row({"exactness",
+                   mode == Exactness::kQuiescence ? "quiescence"
+                                                  : "convergence",
+                   cell(static_cast<long long>(engine.evaluations())),
+                   cell(static_cast<long long>(model->num_states())),
+                   cell(exact == 8)});
+  }
+  std::fputs(table.to_string("A1: engine ablations (M^rw, n=3)").c_str(),
+             stdout);
+}
+
+void BM_ValenceHorizon(benchmark::State& state) {
+  const int horizon = static_cast<int>(state.range(0));
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = make_model(ModelKind::kSharedMem, 3, 1, *rule);
+    ValenceEngine engine(*model, horizon);
+    benchmark::DoNotOptimize(
+        engine.find_bivalent(model->initial_states()).has_value());
+  }
+}
+BENCHMARK(BM_ValenceHorizon)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ExactnessMode(benchmark::State& state, Exactness mode) {
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = make_model(ModelKind::kSharedMem, 3, 1, *rule);
+    ValenceEngine engine(*model, 3, mode);
+    ValenceInfo last;
+    for (StateId x : model->initial_states()) last = engine.valence(x);
+    benchmark::DoNotOptimize(last.exact);
+  }
+}
+BENCHMARK_CAPTURE(BM_ExactnessMode, quiescence, Exactness::kQuiescence);
+BENCHMARK_CAPTURE(BM_ExactnessMode, convergence, Exactness::kConvergence);
+
+void BM_LayerColdVsWarm(benchmark::State& state, bool warm) {
+  auto rule = never_decide();
+  auto model = make_model(ModelKind::kMsgPass, 4, 1, *rule);
+  const StateId x0 = model->initial_states().front();
+  if (warm) benchmark::DoNotOptimize(model->layer(x0).size());
+  for (auto _ : state) {
+    if (!warm) {
+      auto fresh = make_model(ModelKind::kMsgPass, 4, 1, *rule);
+      benchmark::DoNotOptimize(
+          fresh->layer(fresh->initial_states().front()).size());
+    } else {
+      benchmark::DoNotOptimize(model->layer(x0).size());
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_LayerColdVsWarm, cold, false);
+BENCHMARK_CAPTURE(BM_LayerColdVsWarm, warm, true);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// T2 — Connectivity of Con_0 and of layers (Lemmas 3.6, 5.1(iii), 5.3(iii)).
+// For every model and n: is Con_0 similarity connected (must be yes), its
+// s-diameter (= n, by the Lemma 3.6 chain), is Con_0 valence connected, is
+// a bivalent initial state found, and are the layers of the initial states
+// valence connected. Timings: connectivity checks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "relation/similarity.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+void print_table() {
+  Table table({"model", "n", "Con0 ~s conn", "s-diam", "Con0 ~v conn",
+               "bivalent init", "layer ~v conn"});
+  for (ModelKind kind : {ModelKind::kMobile, ModelKind::kSharedMem,
+                         ModelKind::kMsgPass, ModelKind::kSync}) {
+    const int max_n = (kind == ModelKind::kMsgPass) ? 3 : 4;
+    for (int n = 3; n <= max_n; ++n) {
+      const int t = (kind == ModelKind::kSync) ? n - 2 : 1;
+      auto rule = min_after_round(kind == ModelKind::kSync ? t + 1 : 2);
+      auto model = make_model(kind, n, t, *rule);
+      const auto& con0 = model->initial_states();
+      const bool sim = similarity_connected(*model, con0);
+      const auto diam = s_diameter(*model, con0);
+      ValenceEngine engine(*model, t + 2, default_exactness(kind));
+      const bool val = engine.valence_connected(con0);
+      const bool biv = engine.find_bivalent(con0).has_value();
+      // Layer connectivity at the first bivalent initial state (where it
+      // matters for the Theorem 4.2 construction).
+      bool layer_val = true;
+      if (const auto start = engine.find_bivalent(con0)) {
+        layer_val = engine.valence_connected(model->layer(*start));
+      }
+      table.add_row({model_kind_name(kind), cell(static_cast<long long>(n)),
+                     cell(sim),
+                     diam ? cell(static_cast<long long>(*diam)) : "inf",
+                     cell(val), cell(biv), cell(layer_val)});
+    }
+  }
+  std::fputs(
+      table.to_string("T2: connectivity of Con_0 and of layers").c_str(),
+      stdout);
+}
+
+void BM_Con0SimilarityConnectivity(benchmark::State& state, ModelKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  auto rule = never_decide();
+  auto model = make_model(kind, n, 1, *rule);
+  const auto& con0 = model->initial_states();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity_connected(*model, con0));
+  }
+}
+
+void BM_Con0ValenceConnectivity(benchmark::State& state, ModelKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = make_model(kind, n, 1, *rule);
+    ValenceEngine engine(*model, 3, default_exactness(kind));
+    benchmark::DoNotOptimize(
+        engine.valence_connected(model->initial_states()));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Con0SimilarityConnectivity, mobile, ModelKind::kMobile)
+    ->Arg(3)
+    ->Arg(5);
+BENCHMARK_CAPTURE(BM_Con0SimilarityConnectivity, sharedmem,
+                  ModelKind::kSharedMem)
+    ->Arg(3)
+    ->Arg(5);
+BENCHMARK_CAPTURE(BM_Con0ValenceConnectivity, mobile, ModelKind::kMobile)
+    ->Arg(3);
+BENCHMARK_CAPTURE(BM_Con0ValenceConnectivity, sharedmem,
+                  ModelKind::kSharedMem)
+    ->Arg(3);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

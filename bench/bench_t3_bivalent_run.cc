@@ -1,0 +1,68 @@
+// T3 — Bivalent-run construction (Theorem 4.2 / Corollaries 5.2, 5.4, and
+// the permutation-layering FLP proof). For each 1-resilient model: extend
+// an all-bivalent run to depth D, reporting whether the construction ever
+// gets stuck (it must not — consensus is impossible), plus the number of
+// interned states and valence evaluations, and per-layer timing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "engine/bivalence.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+void print_table() {
+  Table table({"model", "depth", "complete", "states interned",
+               "valence evals"});
+  for (ModelKind kind :
+       {ModelKind::kMobile, ModelKind::kSharedMem, ModelKind::kMsgPass}) {
+    const int max_depth = (kind == ModelKind::kMobile) ? 8 : 5;
+    for (int depth = 2; depth <= max_depth; depth += 2) {
+      auto rule = min_after_round(2);
+      auto model = make_model(kind, 3, 1, *rule);
+      ValenceEngine engine(*model, 3, default_exactness(kind));
+      const BivalentRunResult run = extend_bivalent_run(engine, depth);
+      table.add_row({model_kind_name(kind),
+                     cell(static_cast<long long>(depth)),
+                     run.complete ? "yes" : run.stuck_reason,
+                     cell(static_cast<long long>(model->num_states())),
+                     cell(static_cast<long long>(engine.evaluations()))});
+    }
+  }
+  std::fputs(
+      table.to_string("T3: bivalent-run construction (Theorem 4.2)").c_str(),
+      stdout);
+}
+
+void BM_ExtendBivalentRun(benchmark::State& state, ModelKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = make_model(kind, 3, 1, *rule);
+    ValenceEngine engine(*model, 3, default_exactness(kind));
+    const BivalentRunResult run = extend_bivalent_run(engine, depth);
+    benchmark::DoNotOptimize(run.complete);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+
+BENCHMARK_CAPTURE(BM_ExtendBivalentRun, mobile, ModelKind::kMobile)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK_CAPTURE(BM_ExtendBivalentRun, sharedmem, ModelKind::kSharedMem)
+    ->Arg(3)
+    ->Arg(5);
+BENCHMARK_CAPTURE(BM_ExtendBivalentRun, msgpass, ModelKind::kMsgPass)->Arg(3);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

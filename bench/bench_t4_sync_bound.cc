@@ -1,0 +1,116 @@
+// T4 — The synchronous lower bound (Corollary 6.3) and its tightness.
+// For t = 1..3:
+//   * the Lemma 6.1 bivalent chain built inside S^t has length t-1;
+//   * "decide at round t" breaks agreement somewhere in S^t (lower bound);
+//   * FloodSet and EIG decide in exactly t+1 rounds in the worst case
+//     (tightness), with the value-hiding chain as the forcing adversary;
+//   * the early-deciding variant decides by min(f+2, t+1).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "engine/bivalence.hpp"
+#include "engine/spec.hpp"
+#include "models/synchronous/sync_model.hpp"
+#include "protocols/early_deciding.hpp"
+#include "protocols/eig.hpp"
+#include "protocols/floodset.hpp"
+#include "sim/sync_sim.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+void print_lower_bound_table() {
+  Table table({"t", "n", "bivalent chain len", "round-t rule breaks",
+               "floodset worst rnd", "eig worst rnd"});
+  for (int t = 1; t <= 3; ++t) {
+    const int n = t + 2;
+    // Lemma 6.1 chain.
+    auto rule = min_after_round(t + 1);
+    SyncModel model(n, t, *rule);
+    ValenceEngine engine(model, t + 2);
+    const BivalentRunResult chain = extend_bivalent_run(engine, t - 1);
+    // Lower bound: the "decide at round t" rule violates agreement.
+    auto early_rule = min_after_round(t);
+    SyncModel early(n, t, *early_rule);
+    const SpecReport report = check_consensus_spec(early, t + 1);
+    // Tightness: worst-case decision rounds under the hiding chain.
+    std::vector<Value> inputs(static_cast<std::size_t>(n), 1);
+    inputs[0] = 0;
+    const auto fs = run_sync(*floodset_factory(), n, t, inputs,
+                             hiding_chain(n, t));
+    const auto eg = run_sync(*eig_factory(), n, t, inputs, hiding_chain(n, t));
+    table.add_row({cell(static_cast<long long>(t)),
+                   cell(static_cast<long long>(n)),
+                   cell(static_cast<long long>(chain.run.size()) - 1),
+                   cell(report.agreement.has_value()),
+                   cell(static_cast<long long>(fs.outcome.max_decision_round)),
+                   cell(static_cast<long long>(eg.outcome.max_decision_round))});
+  }
+  std::fputs(
+      table.to_string("T4a: t+1 lower bound and tightness").c_str(), stdout);
+}
+
+void print_early_deciding_table() {
+  // Early-deciding curve: worst decision round over random adversaries with
+  // exactly f crashes, vs the min(f+2, t+1) bound.
+  const int n = 6;
+  const int t = 4;
+  Table table({"f (actual crashes)", "worst decision round", "bound f+2",
+               "bound t+1"});
+  for (int f = 0; f <= t; ++f) {
+    int worst = 0;
+    for (std::uint64_t seed = 0; seed < 400; ++seed) {
+      const CrashPlan plan = random_crashes(n, t, t + 1, seed);
+      if (static_cast<int>(plan.size()) != f) continue;
+      const auto r = run_sync(*early_deciding_factory(), n, t,
+                              {1, 0, 1, 1, 0, 1}, plan);
+      worst = std::max(worst, r.outcome.max_decision_round);
+    }
+    table.add_row({cell(static_cast<long long>(f)),
+                   cell(static_cast<long long>(worst)),
+                   cell(static_cast<long long>(f + 2)),
+                   cell(static_cast<long long>(t + 1))});
+  }
+  std::fputs(
+      table.to_string("T4b: early-deciding rounds vs f (n=6, t=4)").c_str(),
+      stdout);
+}
+
+void BM_Lemma61Chain(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int n = t + 2;
+  auto rule = min_after_round(t + 1);
+  for (auto _ : state) {
+    SyncModel model(n, t, *rule);
+    ValenceEngine engine(model, t + 2);
+    benchmark::DoNotOptimize(extend_bivalent_run(engine, t - 1).complete);
+  }
+}
+BENCHMARK(BM_Lemma61Chain)->Arg(1)->Arg(2);
+
+void BM_FloodSetWorstCase(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int n = t + 2;
+  const auto factory = floodset_factory();
+  std::vector<Value> inputs(static_cast<std::size_t>(n), 1);
+  inputs[0] = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_sync(*factory, n, t, inputs, hiding_chain(n, t))
+            .outcome.max_decision_round);
+  }
+}
+BENCHMARK(BM_FloodSetWorstCase)->Arg(1)->Arg(3)->Arg(5);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_lower_bound_table();
+  lacon::print_early_deciding_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

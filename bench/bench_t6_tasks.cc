@@ -1,0 +1,91 @@
+// T6 — Task-solvability catalog (Theorem 7.2, Corollary 7.3, Theorem 7.7).
+// For each decision problem: is it 1-thick connected (the 1-resilient
+// characterization), n-thick connected, does the diameter condition hold,
+// and what is the known solvability status — the verdict column must match
+// the known column for every row.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "topology/solvability.hpp"
+#include "topology/tasks.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+std::string verdict_str(ThickVerdict v) {
+  switch (v) {
+    case ThickVerdict::kConnected:
+      return "connected";
+    case ThickVerdict::kNotConnected:
+      return "NOT connected";
+    case ThickVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+void print_table() {
+  struct Entry {
+    DecisionProblem problem;
+    const char* known;  // known 1-resilient solvability
+  };
+  std::vector<Entry> catalog;
+  catalog.push_back({consensus_task(3), "unsolvable"});
+  catalog.push_back({trivial_task(3), "solvable"});
+  catalog.push_back({constant_task(3, 0), "solvable"});
+  catalog.push_back({weak_agreement_task(3), "solvable"});
+  catalog.push_back({set_agreement_task(3, 2, 3), "solvable"});
+
+  Table table({"task", "1-thick", "subproblems tried", "diam cond",
+               "known (1-resilient)"});
+  for (const Entry& e : catalog) {
+    const ThickResult r = problem_k_thick_connected(e.problem, 1);
+    const bool diam = diameter_condition_holds(
+        e.problem, 1, diameter_bound(e.problem.n, 1, e.problem.n));
+    table.add_row({e.problem.name, verdict_str(r.verdict),
+                   cell(static_cast<long long>(r.subproblems_tried)),
+                   cell(diam), e.known});
+  }
+  std::fputs(
+      table.to_string("T6: 1-thick connectivity vs known solvability")
+          .c_str(),
+      stdout);
+}
+
+void BM_ConsensusThickConnectivity(benchmark::State& state) {
+  const DecisionProblem p = consensus_task(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem_k_thick_connected(p, 1).verdict);
+  }
+}
+BENCHMARK(BM_ConsensusThickConnectivity)->Arg(2)->Arg(3);
+
+void BM_TrivialTaskThickConnectivity(benchmark::State& state) {
+  const DecisionProblem p = trivial_task(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem_k_thick_connected(p, 1).verdict);
+  }
+}
+BENCHMARK(BM_TrivialTaskThickConnectivity);
+
+void BM_ThickGraphConstruction(benchmark::State& state) {
+  const DecisionProblem p = set_agreement_task(3, 2, 3);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) all.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.output_complex(all).k_thick_connected(3, 1));
+  }
+}
+BENCHMARK(BM_ThickGraphConstruction);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

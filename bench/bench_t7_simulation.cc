@@ -1,0 +1,155 @@
+// T7 — Protocol simulation: the upper-bound protocols at realistic sizes
+// and the randomized/deterministic contrast on the asynchronous simulator.
+//   * FloodSet / EIG / early-deciding decision rounds under no-failure,
+//     random, and hiding-chain adversaries;
+//   * Ben-Or expected phases and deliveries vs n (randomization escapes the
+//     impossibility with probability 1);
+//   * rotating coordinator: decides under fair schedules, wedges under the
+//     starvation scheduler.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "protocols/benor.hpp"
+#include "protocols/coordinator.hpp"
+#include "protocols/early_deciding.hpp"
+#include "protocols/eig.hpp"
+#include "protocols/floodset.hpp"
+#include "sim/async_sim.hpp"
+#include "sim/sync_sim.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+std::vector<Value> mixed_inputs(int n) {
+  std::vector<Value> in(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = i % 2;
+  return in;
+}
+
+void print_sync_table() {
+  Table table({"protocol", "n", "t", "rounds (no fail)", "rounds (chain)",
+               "avg rounds (random)", "msgs (no fail)"});
+  for (const auto& factory :
+       {floodset_factory(), eig_factory(), early_deciding_factory()}) {
+    for (int t : {2, 4}) {
+      const int n = 2 * t;
+      const auto inputs = mixed_inputs(n);
+      const auto clean = run_sync(*factory, n, t, inputs, no_crashes());
+      std::vector<Value> hidden(static_cast<std::size_t>(n), 1);
+      hidden[0] = 0;
+      const auto chain =
+          run_sync(*factory, n, t, hidden, hiding_chain(n, t));
+      double total = 0;
+      int runs = 0;
+      for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const auto r = run_sync(*factory, n, t, inputs,
+                                random_crashes(n, t, t + 1, seed));
+        total += r.outcome.max_decision_round;
+        ++runs;
+      }
+      table.add_row(
+          {factory->name(), cell(static_cast<long long>(n)),
+           cell(static_cast<long long>(t)),
+           cell(static_cast<long long>(clean.outcome.max_decision_round)),
+           cell(static_cast<long long>(chain.outcome.max_decision_round)),
+           cell(total / runs, 2),
+           cell(static_cast<long long>(clean.messages_delivered))});
+    }
+  }
+  std::fputs(table.to_string("T7a: synchronous protocols").c_str(), stdout);
+}
+
+void print_async_table() {
+  Table table({"protocol", "n", "scheduler", "runs decided", "avg deliveries"});
+  const auto benor = benor_factory();
+  for (int n : {4, 6, 8}) {
+    int decided = 0;
+    double deliveries = 0;
+    const int runs = 50;
+    for (std::uint64_t seed = 0; seed < runs; ++seed) {
+      Rng rng(seed);
+      auto sched = random_scheduler(seed + 99);
+      const auto r = run_async(*benor, n, (n - 1) / 2, mixed_inputs(n),
+                               *sched, rng,
+                               std::vector<long>(static_cast<std::size_t>(n), -1),
+                               500000);
+      if (r.all_alive_decided) ++decided;
+      deliveries += static_cast<double>(r.deliveries);
+    }
+    table.add_row({"ben-or", cell(static_cast<long long>(n)), "fair-random",
+                   cell(static_cast<long long>(decided)) + "/" +
+                       std::to_string(runs),
+                   cell(deliveries / runs, 1)});
+  }
+  const auto coord = rotating_coordinator_factory();
+  {
+    Rng rng(5);
+    auto fair = random_scheduler(7);
+    const auto r1 = run_async(*coord, 3, 1, {1, 0, 1}, *fair, rng,
+                              {-1, -1, -1}, 100000);
+    auto starve = starve_sender_scheduler(0, 7);
+    const auto r2 = run_async(*coord, 3, 1, {1, 0, 1}, *starve, rng,
+                              {-1, -1, -1}, 100000);
+    table.add_row({"rot-coordinator", "3", "fair-random",
+                   r1.all_alive_decided ? "3/3 procs" : "0",
+                   cell(static_cast<double>(r1.deliveries), 1)});
+    table.add_row({"rot-coordinator", "3", "starve-coordinator",
+                   r2.stalled ? "wedged (0 decide)" : "decided?!",
+                   cell(static_cast<double>(r2.deliveries), 1)});
+  }
+  std::fputs(table.to_string("T7b: asynchronous protocols").c_str(), stdout);
+}
+
+void BM_FloodSetRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 2 - 1;
+  const auto factory = floodset_factory();
+  const auto inputs = mixed_inputs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_sync(*factory, n, t, inputs, no_crashes()).rounds_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (t + 1));
+}
+BENCHMARK(BM_FloodSetRun)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EigRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = 2;
+  const auto factory = eig_factory();
+  const auto inputs = mixed_inputs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_sync(*factory, n, t, inputs, no_crashes()).rounds_executed);
+  }
+}
+BENCHMARK(BM_EigRun)->Arg(6)->Arg(8);
+
+void BM_BenOrRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto factory = benor_factory();
+  const auto inputs = mixed_inputs(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed);
+    auto sched = random_scheduler(seed++);
+    benchmark::DoNotOptimize(
+        run_async(*factory, n, (n - 1) / 2, inputs, *sched, rng,
+                  std::vector<long>(static_cast<std::size_t>(n), -1), 500000)
+            .deliveries);
+  }
+}
+BENCHMARK(BM_BenOrRun)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_sync_table();
+  lacon::print_async_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

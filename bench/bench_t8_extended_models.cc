@@ -1,0 +1,98 @@
+// T8 — The extended model family (the Corollary 7.3 equivalence remark):
+// layer anatomy and the impossibility construction for the models beyond
+// the paper's four — the synchronic layering over message passing (the
+// "completely analogous proof" of Section 5.1), immediate-snapshot shared
+// memory, and iterated immediate snapshots. The uniform verdict across all
+// of them is the paper's headline: one analysis, many models.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/decision_rule.hpp"
+#include "engine/bivalence.hpp"
+#include "engine/spec.hpp"
+#include "models/iis/iis_model.hpp"
+#include "models/msgpass/msgpass_sync_model.hpp"
+#include "models/snapshot/snapshot_model.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+std::unique_ptr<LayeredModel> build(const std::string& which, int n,
+                                    const DecisionRule& rule) {
+  if (which == "AsyncMP/S^sync") return std::make_unique<MsgPassSyncModel>(n, rule);
+  if (which == "M^snap/IS") return std::make_unique<SnapshotModel>(n, rule);
+  return std::make_unique<IisModel>(n, rule);
+}
+
+void print_table() {
+  Table table({"model", "n", "|S(x)|", "bivalent run depth 4",
+               "violated requirement"});
+  for (const char* which_cstr : {"AsyncMP/S^sync", "M^snap/IS", "IIS"}) {
+    const std::string which = which_cstr;
+    for (int n : {3}) {
+      auto rule = min_after_round(2);
+      auto model = build(which, n, *rule);
+      const std::size_t layer =
+          model->layer(model->initial_states().front()).size();
+
+      auto model2 = build(which, n, *rule);
+      const Exactness mode =
+          which == "IIS" ? Exactness::kQuiescence : Exactness::kConvergence;
+      ValenceEngine engine(*model2, 3, mode);
+      const BivalentRunResult run = extend_bivalent_run(engine, 4);
+
+      auto model3 = build(which, n, *rule);
+      const TrilemmaVerdict v = consensus_trilemma(*model3, 3, 3);
+      const char* what = "none";
+      switch (v.violated) {
+        case TrilemmaVerdict::Violated::kAgreement: what = "agreement"; break;
+        case TrilemmaVerdict::Violated::kValidity: what = "validity"; break;
+        case TrilemmaVerdict::Violated::kDecision: what = "decision"; break;
+        case TrilemmaVerdict::Violated::kNone: break;
+      }
+      table.add_row({which, cell(static_cast<long long>(n)),
+                     cell(static_cast<long long>(layer)),
+                     run.complete ? "complete" : run.stuck_reason, what});
+    }
+  }
+  std::fputs(
+      table.to_string("T8: the extended model family (Corollary 7.3)")
+          .c_str(),
+      stdout);
+}
+
+void BM_ExtendedLayer(benchmark::State& state, const char* which) {
+  auto rule = never_decide();
+  for (auto _ : state) {
+    auto model = build(which, 3, *rule);
+    benchmark::DoNotOptimize(
+        model->layer(model->initial_states().front()).size());
+  }
+}
+BENCHMARK_CAPTURE(BM_ExtendedLayer, msgpass_sync, "AsyncMP/S^sync");
+BENCHMARK_CAPTURE(BM_ExtendedLayer, snapshot, "M^snap/IS");
+BENCHMARK_CAPTURE(BM_ExtendedLayer, iis, "IIS");
+
+void BM_ExtendedBivalentRun(benchmark::State& state, const char* which) {
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = build(which, 3, *rule);
+    ValenceEngine engine(*model, 3, Exactness::kConvergence);
+    benchmark::DoNotOptimize(extend_bivalent_run(engine, 3).complete);
+  }
+}
+BENCHMARK_CAPTURE(BM_ExtendedBivalentRun, msgpass_sync, "AsyncMP/S^sync");
+BENCHMARK_CAPTURE(BM_ExtendedBivalentRun, snapshot, "M^snap/IS");
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

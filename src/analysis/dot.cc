@@ -1,0 +1,84 @@
+#include "analysis/dot.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "relation/similarity.hpp"
+
+namespace lacon {
+namespace {
+
+std::string state_label(LayeredModel& model, StateId x) {
+  std::string label = "s" + std::to_string(x) + "\\nd=[";
+  const GlobalState& s = model.state(x);
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    const Value d = s.decisions[static_cast<std::size_t>(i)];
+    label += (d == kUndecided) ? "-" : std::to_string(d);
+  }
+  label += "]";
+  const ProcessSet failed = model.failed_at(x);
+  if (!failed.empty()) label += "\\nF=" + failed.to_string();
+  return label;
+}
+
+std::string fill_color(ValenceEngine* engine, StateId x) {
+  if (engine == nullptr) return "white";
+  const ValenceInfo v = engine->valence(x);
+  if (v.bivalent()) return "plum";
+  if (v.v0) return "lightblue";
+  if (v.v1) return "lightsalmon";
+  return "white";
+}
+
+void emit_node(std::ostringstream& out, LayeredModel& model, StateId x,
+               ValenceEngine* engine) {
+  out << "  n" << x << " [label=\"" << state_label(model, x)
+      << "\", style=filled, fillcolor=" << fill_color(engine, x) << "];\n";
+}
+
+}  // namespace
+
+std::string similarity_graph_dot(LayeredModel& model,
+                                 const std::vector<StateId>& X,
+                                 ValenceEngine* engine) {
+  std::ostringstream out;
+  out << "graph similarity {\n  node [shape=box, fontsize=10];\n";
+  for (StateId x : X) emit_node(out, model, x, engine);
+  for (std::size_t a = 0; a < X.size(); ++a) {
+    for (std::size_t b = a + 1; b < X.size(); ++b) {
+      const auto witness = similarity_witness(model, X[a], X[b]);
+      if (witness) {
+        out << "  n" << X[a] << " -- n" << X[b] << " [label=\"~" << *witness
+            << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string run_tree_dot(LayeredModel& model, StateId root, int depth,
+                         ValenceEngine* engine) {
+  std::ostringstream out;
+  out << "digraph runs {\n  node [shape=box, fontsize=10];\n";
+  std::unordered_set<StateId> seen = {root};
+  std::vector<StateId> frontier = {root};
+  emit_node(out, model, root, engine);
+  for (int d = 0; d < depth && !frontier.empty(); ++d) {
+    std::vector<StateId> next;
+    for (StateId x : frontier) {
+      for (StateId y : model.layer(x)) {
+        if (seen.insert(y).second) {
+          emit_node(out, model, y, engine);
+          next.push_back(y);
+        }
+        out << "  n" << x << " -> n" << y << ";\n";
+      }
+    }
+    frontier = std::move(next);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace lacon

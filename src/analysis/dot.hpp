@@ -1,0 +1,27 @@
+// Graphviz (DOT) export of the analysis structures: the similarity graph of
+// a state set (with valence coloring) and the layered run tree below a
+// state. Useful for inspecting small instances; see examples/flp_explorer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/valence.hpp"
+
+namespace lacon {
+
+// The graph (X, ~s), one node per state labelled with its id, decisions and
+// failed set. When an engine is given, nodes are colored by valence:
+// bivalent = plum, 0-valent = lightblue, 1-valent = lightsalmon,
+// no valence = white.
+std::string similarity_graph_dot(LayeredModel& model,
+                                 const std::vector<StateId>& X,
+                                 ValenceEngine* engine = nullptr);
+
+// The layered run tree below `root`, to the given depth (deduplicated: a
+// state reached via several actions appears once, with all edges drawn).
+std::string run_tree_dot(LayeredModel& model, StateId root, int depth,
+                         ValenceEngine* engine = nullptr);
+
+}  // namespace lacon

@@ -1,0 +1,65 @@
+// Decision rules: the protocol-specific part of a full-information protocol.
+//
+// A deterministic protocol is, up to bisimulation, a full-information message
+// skeleton plus a function from local views to (optional) decisions. The
+// analysis engine is therefore parameterized by a DecisionRule; the rule
+// catalog below covers the protocol families used by the mechanized lemma
+// checks: rules that never decide (pure structure analysis), rules that
+// genuinely decide (so valence is exact), and "candidate consensus protocols"
+// whose violation of one of the three requirements the engine then exhibits.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "core/view.hpp"
+
+namespace lacon {
+
+class DecisionRule {
+ public:
+  virtual ~DecisionRule() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called after process i completes a local phase, with its new view. A
+  // returned value is written into the (write-once) d_i; callers only invoke
+  // this while d_i = ⊥. Must be a deterministic function of (i, view).
+  virtual std::optional<Value> decide(ProcessId i, ViewId view,
+                                      ViewArena& arena) const = 0;
+};
+
+// Never decides. Used when analyzing connectivity structure independent of
+// any decision behaviour.
+std::unique_ptr<DecisionRule> never_decide();
+
+// After `round` completed phases, decide the minimum input value seen in the
+// view. This is the FloodSet decision rule; with round = t+1 it solves
+// consensus in the t-resilient synchronous model.
+std::unique_ptr<DecisionRule> min_after_round(int round);
+
+// After `round` completed phases, decide one's own input. Satisfies decision
+// and validity but not agreement (unless inputs are unanimous); used to
+// exercise the agreement-violation finder.
+std::unique_ptr<DecisionRule> own_input_after_round(int round);
+
+// Decide v as soon as the view shows *all n* inputs and they all equal v;
+// otherwise after `round` phases decide the minimum known input. A natural
+// "candidate" asynchronous consensus protocol; the engine shows its flaw.
+std::unique_ptr<DecisionRule> unanimity_then_min(int round);
+
+// Decide the majority of known inputs (ties -> 0) after `round` phases.
+std::unique_ptr<DecisionRule> majority_after_round(int round);
+
+// Decide the minimum input only once *all n* inputs are known (and at least
+// `round` phases have completed). Two deciders know the same full input
+// vector, so this rule satisfies agreement (and validity) in every model —
+// at the price of decision, which fails whenever some input stays hidden.
+// The lemma checkers that hypothesize an agreement-satisfying system
+// (Lemmas 3.1 and 3.2) use it in the models where no rule satisfies all
+// three requirements.
+std::unique_ptr<DecisionRule> min_when_all_known(int round);
+
+}  // namespace lacon

@@ -1,0 +1,76 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lacon {
+
+std::vector<std::vector<Value>> all_binary_inputs(int n) {
+  std::vector<std::vector<Value>> out;
+  const std::uint64_t count = 1ULL << n;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t bits = 0; bits < count; ++bits) {
+    std::vector<Value> inputs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      inputs[static_cast<std::size_t>(i)] = static_cast<Value>((bits >> i) & 1);
+    }
+    out.push_back(std::move(inputs));
+  }
+  return out;
+}
+
+LayeredModel::LayeredModel(int n, const DecisionRule& rule,
+                           std::vector<std::vector<Value>> initial_inputs)
+    : n_(n),
+      rule_(&rule),
+      initial_inputs_(std::move(initial_inputs)),
+      views_(n) {
+  assert(n >= 2);
+  if (initial_inputs_.empty()) initial_inputs_ = all_binary_inputs(n);
+#ifndef NDEBUG
+  for (const auto& inputs : initial_inputs_) {
+    assert(static_cast<int>(inputs.size()) == n);
+  }
+#endif
+}
+
+const std::vector<StateId>& LayeredModel::initial_states() {
+  if (initial_built_) return initial_states_;
+  for (const auto& inputs : initial_inputs_) {
+    GlobalState s;
+    s.env = initial_env();
+    s.locals.reserve(static_cast<std::size_t>(n_));
+    for (ProcessId i = 0; i < n_; ++i) {
+      s.locals.push_back(views_.initial(i, inputs[static_cast<std::size_t>(i)]));
+    }
+    // No process has decided initially: d_i = ⊥ in Con_0 by definition.
+    s.decisions.assign(static_cast<std::size_t>(n_), kUndecided);
+    initial_states_.push_back(intern(std::move(s)));
+  }
+  // Input assignments are distinct, so the ids are too; keep them sorted for
+  // deterministic iteration.
+  std::sort(initial_states_.begin(), initial_states_.end());
+  initial_built_ = true;
+  return initial_states_;
+}
+
+const std::vector<StateId>& LayeredModel::layer(StateId x) {
+  auto it = layer_cache_.find(x);
+  if (it != layer_cache_.end()) return it->second;
+  std::vector<StateId> succ = compute_layer(x);
+  std::sort(succ.begin(), succ.end());
+  succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  assert(!succ.empty() && "a successor function never returns an empty set");
+  return layer_cache_.emplace(x, std::move(succ)).first->second;
+}
+
+ProcessSet LayeredModel::failed_at(StateId) const { return {}; }
+
+Value LayeredModel::updated_decision(ProcessId i, Value current,
+                                     ViewId new_view) {
+  if (current != kUndecided) return current;  // d_i is write-once
+  const std::optional<Value> d = rule_->decide(i, new_view, views_);
+  return d.value_or(kUndecided);
+}
+
+}  // namespace lacon

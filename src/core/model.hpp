@@ -1,0 +1,106 @@
+// The LayeredModel interface: a model of computation presented through a
+// layering, exactly in the sense of Section 4 of the paper.
+//
+// A concrete model implements compute_layer(x) = S(x), the set of states
+// reachable from x by one legal environment action of the layering. The
+// analysis engine (valence, connectivity, bivalent-run construction) works
+// against this interface only, which is what makes the paper's
+// model-independent analysis executable: the same engine code derives the
+// mobile-failure impossibility, the FLP-style asynchronous impossibilities
+// and the synchronous t+1 lower bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/decision_rule.hpp"
+#include "core/state.hpp"
+#include "core/types.hpp"
+#include "core/view.hpp"
+#include "util/process_set.hpp"
+
+namespace lacon {
+
+class LayeredModel {
+ public:
+  // `rule` must outlive the model. `initial_inputs` lists the allowed input
+  // assignments (one Value per process); when empty, defaults to all binary
+  // assignments, i.e. the paper's Con_0.
+  LayeredModel(int n, const DecisionRule& rule,
+               std::vector<std::vector<Value>> initial_inputs = {});
+  virtual ~LayeredModel() = default;
+
+  LayeredModel(const LayeredModel&) = delete;
+  LayeredModel& operator=(const LayeredModel&) = delete;
+
+  int n() const noexcept { return n_; }
+  virtual std::string name() const = 0;
+
+  // The maximum number of processes that can be faulty in a run of the
+  // (sub)model: 1 for the 1-resilient asynchronous layerings and for M^mf
+  // (only one process can be silenced forever), t for the synchronous
+  // t-resilient model. Used by the generalized-valence engine of Section 7.
+  virtual int max_faulty() const { return 1; }
+
+  // The initial states (Con_0, or D_0 for a general decision problem).
+  const std::vector<StateId>& initial_states();
+
+  // S(x): the layer of x, deduplicated, in a deterministic order. Cached.
+  const std::vector<StateId>& layer(StateId x);
+
+  // The processes failed at x (faulty in *every* run through x). The three
+  // asynchronous-flavoured models display no finite failure, so their
+  // override is the empty default; the t-resilient synchronous model records
+  // failures in the environment state.
+  virtual ProcessSet failed_at(StateId x) const;
+
+  const GlobalState& state(StateId id) const { return arena_.state(id); }
+  ViewArena& views() noexcept { return views_; }
+  const DecisionRule& rule() const noexcept { return *rule_; }
+
+  std::size_t num_states() const noexcept { return arena_.size(); }
+  std::size_t num_views() const noexcept { return views_.size(); }
+
+  // True if x and y agree modulo j (environment and all local states except
+  // j's are equal). Virtual because a model may attribute parts of the
+  // environment encoding to individual processes: the asynchronous
+  // message-passing model treats the channel *into* process j (j's mailbox)
+  // as part of j's local state, which is what makes the permutation
+  // layering's similarity claims of Section 5.1 come out as the paper
+  // asserts.
+  virtual bool agree_modulo(StateId x, StateId y, ProcessId j) const {
+    return lacon::agree_modulo(state(x), state(y), j);
+  }
+
+ protected:
+  // Computes S(x); implementations should return successors in a
+  // deterministic order and need not deduplicate (the base class does).
+  virtual std::vector<StateId> compute_layer(StateId x) = 0;
+
+  // Environment component of initial states; default: empty (constant env).
+  virtual std::vector<std::int64_t> initial_env() const { return {}; }
+
+  StateId intern(GlobalState s) { return arena_.intern(std::move(s)); }
+
+  // Applies the decision rule to process i after it obtained `new_view`.
+  // Respects the write-once semantics of d_i.
+  Value updated_decision(ProcessId i, Value current, ViewId new_view);
+
+ private:
+  int n_;
+  const DecisionRule* rule_;
+  std::vector<std::vector<Value>> initial_inputs_;
+  ViewArena views_;
+  StateArena arena_;
+  std::vector<StateId> initial_states_;
+  bool initial_built_ = false;
+  std::unordered_map<StateId, std::vector<StateId>> layer_cache_;
+};
+
+// All binary input assignments for n processes (the paper's Con_0 inputs).
+std::vector<std::vector<Value>> all_binary_inputs(int n);
+
+}  // namespace lacon

@@ -1,0 +1,29 @@
+#include "core/state.hpp"
+
+#include <cassert>
+
+namespace lacon {
+
+bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
+  assert(x.locals.size() == y.locals.size());
+  if (x.env != y.env) return false;
+  const int n = static_cast<int>(x.locals.size());
+  for (ProcessId i = 0; i < n; ++i) {
+    if (i == j) continue;
+    const auto idx = static_cast<std::size_t>(i);
+    if (x.locals[idx] != y.locals[idx]) return false;
+    if (x.decisions[idx] != y.decisions[idx]) return false;
+  }
+  return true;
+}
+
+StateId StateArena::intern(GlobalState s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(s);
+  index_.emplace(std::move(s), id);
+  return id;
+}
+
+}  // namespace lacon

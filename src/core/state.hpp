@@ -1,0 +1,56 @@
+// Global states and the hash-consing state arena.
+//
+// Following Section 2 of the paper, a global state is a local state for the
+// environment plus a local state for every process. For our full-information
+// models a process local state is its interned view plus its write-once
+// decision variable d_i; the environment's local state is a model-specific
+// vector of words (register contents, in-transit messages, failed set, ...).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/hash.hpp"
+
+namespace lacon {
+
+struct GlobalState {
+  std::vector<std::int64_t> env;  // model-specific environment encoding
+  std::vector<ViewId> locals;     // per-process full-information view
+  std::vector<Value> decisions;   // write-once d_i; kUndecided = ⊥
+
+  bool operator==(const GlobalState&) const = default;
+};
+
+// x and y agree modulo j: environments equal and all process local states
+// (view and decision variable) equal except possibly j's (Section 2).
+bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j);
+
+// Interns GlobalStates; equal states receive equal StateIds. This makes the
+// paper's state-equality arguments — e.g. x(j,[0]) == x(j',[0]) in the mobile
+// model, or the permutation-layering diamond — checkable as id equality.
+class StateArena {
+ public:
+  StateId intern(GlobalState s);
+  const GlobalState& state(StateId id) const {
+    return states_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const noexcept { return states_.size(); }
+
+ private:
+  struct Hash {
+    std::size_t operator()(const GlobalState& s) const noexcept {
+      std::uint64_t h = hash_range(s.env, 0x6c61636f6eULL);
+      h = hash_range(s.locals, h);
+      h = hash_range(s.decisions, h);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::vector<GlobalState> states_;
+  std::unordered_map<GlobalState, StateId, Hash> index_;
+};
+
+}  // namespace lacon

@@ -1,0 +1,75 @@
+#include "core/view.hpp"
+
+#include <cassert>
+
+namespace lacon {
+
+ViewArena::ViewArena(int n) : n_(n) { assert(n >= 2 && n < 62); }
+
+ViewId ViewArena::initial(ProcessId owner, Value input) {
+  assert(owner >= 0 && owner < n_);
+  assert(input >= 0);
+  return intern(ViewNode{owner, 0, input, kNoView, {}});
+}
+
+ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
+  assert(prev != kNoView);
+  const ViewNode& p = node(prev);
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    assert(obs[i - 1].source <= obs[i].source && "observations must be sorted");
+  }
+#endif
+  return intern(ViewNode{p.owner, p.round + 1, p.input, prev, std::move(obs)});
+}
+
+ViewId ViewArena::intern(ViewNode node) {
+  auto it = index_.find(node);
+  if (it != index_.end()) return it->second;
+  const ViewId id = static_cast<ViewId>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(std::move(node), id);
+  return id;
+}
+
+const std::vector<Value>& ViewArena::known_inputs(ViewId id) {
+  auto it = known_inputs_cache_.find(id);
+  if (it != known_inputs_cache_.end()) return it->second;
+
+  const ViewNode& v = node(id);
+  std::vector<Value> known;
+  if (v.prev == kNoView) {
+    known.assign(static_cast<std::size_t>(n_), kUnknownInput);
+  } else {
+    known = known_inputs(v.prev);
+  }
+  known[static_cast<std::size_t>(v.owner)] = v.input;
+  for (const Obs& o : v.obs) {
+    if (o.view == kNoView) continue;
+    const std::vector<Value>& sub = known_inputs(o.view);
+    for (int j = 0; j < n_; ++j) {
+      if (sub[static_cast<std::size_t>(j)] != kUnknownInput) {
+        known[static_cast<std::size_t>(j)] = sub[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return known_inputs_cache_.emplace(id, std::move(known)).first->second;
+}
+
+std::string ViewArena::to_string(ViewId id) const {
+  const ViewNode& v = node(id);
+  std::string out =
+      "p" + std::to_string(v.owner) + "@" + std::to_string(v.round);
+  if (v.prev == kNoView) {
+    out += "(in=" + std::to_string(v.input) + ")";
+    return out;
+  }
+  out += "<" + to_string(v.prev);
+  for (const Obs& o : v.obs) {
+    out += ", " + std::to_string(o.source) + ":";
+    out += (o.view == kNoView) ? "-" : to_string(o.view);
+  }
+  return out + ">";
+}
+
+}  // namespace lacon

@@ -1,0 +1,97 @@
+// Hash-consed full-information view DAG.
+//
+// The paper's impossibility analysis restricts only the environment's actions
+// ("we are making no simplifying assumptions regarding the form of the
+// protocols used; only the actions of the environment, or the scheduler, are
+// being restricted" — Section 5). Every deterministic protocol factors
+// through the full-information protocol, whose local state after a phase is
+// the pair (previous local state, observations made in the phase). We
+// represent such local states as nodes of a DAG interned in a ViewArena, so
+// that local-state equality — the basis of the paper's "agree modulo j"
+// relation — is integer equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/hash.hpp"
+
+namespace lacon {
+
+// One observation made during a local phase: the full-information content
+// received from `source` (a process for messages, a register index for
+// shared-memory reads). `view == kNoView` records an observed *absence*
+// (e.g. a missing message slot in a synchronous round).
+struct Obs {
+  std::int32_t source = 0;
+  ViewId view = kNoView;
+
+  bool operator==(const Obs&) const = default;
+};
+
+// A node of the view DAG: the local state of `owner` after `round` completed
+// local phases.
+struct ViewNode {
+  ProcessId owner = 0;
+  std::int32_t round = 0;     // number of completed local phases
+  Value input = 0;            // owner's initial input value
+  ViewId prev = kNoView;      // local state before this phase; kNoView iff round == 0
+  std::vector<Obs> obs;       // observations made during this phase
+
+  bool operator==(const ViewNode&) const = default;
+};
+
+// Interns ViewNodes; equal nodes receive equal ViewIds.
+class ViewArena {
+ public:
+  explicit ViewArena(int n);
+
+  int n() const noexcept { return n_; }
+
+  // The initial (round-0) view of a process with a given input.
+  ViewId initial(ProcessId owner, Value input);
+
+  // The view after one more local phase extending `prev` with observations
+  // `obs`. Callers must pass observations in a canonical (sorted-by-source)
+  // order so that equal views intern to equal ids.
+  ViewId extend(ViewId prev, std::vector<Obs> obs);
+
+  const ViewNode& node(ViewId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  // The inputs this view knows about: entry j is process j's input if it is
+  // determined by the view, kUnknownInput otherwise. Memoized.
+  const std::vector<Value>& known_inputs(ViewId id);
+
+  // Renders a view as a nested term for debugging, e.g.
+  // "p1@2<p0@1<...>, -,- >".
+  std::string to_string(ViewId id) const;
+
+ private:
+  struct NodeHash {
+    std::size_t operator()(const ViewNode& v) const noexcept {
+      std::uint64_t h = hash_combine(static_cast<std::uint64_t>(v.owner),
+                                     static_cast<std::uint64_t>(v.round));
+      h = hash_combine(h, static_cast<std::uint64_t>(v.input));
+      h = hash_combine(h, static_cast<std::uint64_t>(v.prev));
+      h = hash_combine(h, v.obs.size());
+      for (const Obs& o : v.obs) {
+        h = hash_combine(h, static_cast<std::uint64_t>(o.source));
+        h = hash_combine(h, static_cast<std::uint64_t>(o.view));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  ViewId intern(ViewNode node);
+
+  int n_;
+  std::vector<ViewNode> nodes_;
+  std::unordered_map<ViewNode, ViewId, NodeHash> index_;
+  std::unordered_map<ViewId, std::vector<Value>> known_inputs_cache_;
+};
+
+}  // namespace lacon

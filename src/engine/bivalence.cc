@@ -1,0 +1,41 @@
+#include "engine/bivalence.hpp"
+
+namespace lacon {
+
+BivalentRunResult extend_bivalent_run_from(ValenceEngine& engine,
+                                           StateId start, int depth) {
+  BivalentRunResult result;
+  if (!engine.valence(start).bivalent()) {
+    result.stuck_reason = "start state is not bivalent";
+    return result;
+  }
+  result.run.push_back(start);
+  StateId cur = start;
+  for (int d = 0; d < depth; ++d) {
+    const std::vector<StateId>& layer = engine.model().layer(cur);
+    const std::optional<StateId> next = engine.find_bivalent(layer);
+    if (!next) {
+      result.stuck_reason =
+          "no bivalent successor at depth " + std::to_string(d);
+      return result;
+    }
+    cur = *next;
+    result.run.push_back(cur);
+  }
+  result.complete = true;
+  return result;
+}
+
+BivalentRunResult extend_bivalent_run(ValenceEngine& engine, int depth) {
+  LayeredModel& model = engine.model();
+  const std::optional<StateId> start =
+      engine.find_bivalent(model.initial_states());
+  if (!start) {
+    BivalentRunResult result;
+    result.stuck_reason = "no bivalent initial state";
+    return result;
+  }
+  return extend_bivalent_run_from(engine, *start, depth);
+}
+
+}  // namespace lacon

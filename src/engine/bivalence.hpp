@@ -1,0 +1,39 @@
+// Bivalent-run construction: the executable content of Lemma 4.1 and
+// Theorem 4.2.
+//
+// Given a layered model and a protocol (decision rule) that satisfies
+// decision and validity, the engine (i) finds a bivalent initial state (the
+// Lemma 3.6 argument), and (ii) repeatedly selects a bivalent successor
+// inside the current layer (Lemma 4.1 guarantees one exists whenever the
+// layer is valence connected), producing a run prefix of any requested depth
+// all of whose states are bivalent — the round-by-round construction the
+// paper contrasts with FLP's critical-state argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/valence.hpp"
+
+namespace lacon {
+
+struct BivalentRunResult {
+  // The constructed execution x0, x1, ..., each state bivalent, each in the
+  // layer of its predecessor; x0 is an initial state.
+  std::vector<StateId> run;
+  // True when the run reached the requested depth.
+  bool complete = false;
+  // Diagnostic when the construction stops early (e.g. no bivalent initial
+  // state, or a layer with no bivalent member).
+  std::string stuck_reason;
+};
+
+// Extends a bivalent run to `depth` layers. The valence engine's horizon
+// bounds the lookahead used to classify states.
+BivalentRunResult extend_bivalent_run(ValenceEngine& engine, int depth);
+
+// Same construction but starting from a given bivalent state.
+BivalentRunResult extend_bivalent_run_from(ValenceEngine& engine,
+                                           StateId start, int depth);
+
+}  // namespace lacon

@@ -1,0 +1,33 @@
+#include "engine/explore.hpp"
+
+#include <unordered_set>
+
+namespace lacon {
+
+std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
+                                                     int depth) {
+  std::vector<std::vector<StateId>> levels;
+  levels.push_back(model.initial_states());
+  std::unordered_set<StateId> seen(levels[0].begin(), levels[0].end());
+  for (int d = 0; d < depth; ++d) {
+    std::vector<StateId> next;
+    for (StateId x : levels.back()) {
+      for (StateId y : model.layer(x)) {
+        if (seen.insert(y).second) next.push_back(y);
+      }
+    }
+    if (next.empty()) break;
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+std::vector<StateId> reachable_states(LayeredModel& model, int depth) {
+  std::vector<StateId> out;
+  for (const auto& level : reachable_by_depth(model, depth)) {
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+}  // namespace lacon

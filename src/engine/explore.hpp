@@ -1,0 +1,20 @@
+// Breadth-first enumeration of the layered run tree.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace lacon {
+
+// All states reachable from the initial states in at most `depth` layers,
+// deduplicated, grouped by the depth at which they were first discovered.
+// Quiescence does not prune here: callers that need the full S-run structure
+// (connectivity of deep layers, diameter growth) get every state.
+std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
+                                                     int depth);
+
+// Flattened version of reachable_by_depth.
+std::vector<StateId> reachable_states(LayeredModel& model, int depth);
+
+}  // namespace lacon

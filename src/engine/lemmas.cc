@@ -1,0 +1,316 @@
+#include "engine/lemmas.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/explore.hpp"
+#include "relation/similarity.hpp"
+
+namespace lacon {
+namespace {
+
+int undecided_non_failed(LayeredModel& model, StateId x) {
+  const GlobalState& s = model.state(x);
+  const ProcessSet failed = model.failed_at(x);
+  int count = 0;
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    if (failed.contains(i)) continue;
+    if (s.decisions[static_cast<std::size_t>(i)] == kUndecided) ++count;
+  }
+  return count;
+}
+
+int decided_count(LayeredModel& model, StateId x) {
+  const GlobalState& s = model.state(x);
+  return static_cast<int>(std::count_if(
+      s.decisions.begin(), s.decisions.end(),
+      [](Value d) { return d != kUndecided; }));
+}
+
+std::string state_str(StateId x) { return "state " + std::to_string(x); }
+
+}  // namespace
+
+CheckResult check_lemma_3_1(LayeredModel& model, int t, int depth, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : reachable_states(model, depth)) {
+    ++result.checked;
+    if (!engine.valence(x).bivalent()) continue;
+    const int undecided = undecided_non_failed(model, x);
+    if (undecided < model.n() - t) {
+      result.ok = false;
+      result.detail = state_str(x) + " is bivalent but only " +
+                      std::to_string(undecided) +
+                      " non-failed processes are undecided (need >= " +
+                      std::to_string(model.n() - t) + ")";
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_3_2(LayeredModel& model, int depth, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : reachable_states(model, depth)) {
+    ++result.checked;
+    if (!engine.valence(x).bivalent()) continue;
+    if (decided_count(model, x) != 0) {
+      result.ok = false;
+      result.detail =
+          state_str(x) + " is bivalent but a process has already decided";
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_3_2_contrapositive(LayeredModel& model, int depth,
+                                           int horizon, Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : reachable_states(model, depth)) {
+    if (!engine.valence(x).bivalent()) continue;
+    if (decided_count(model, x) == 0) continue;
+    ++result.checked;
+    // Search the subtree below x for two non-failed processes decided on
+    // different values.
+    bool violation = false;
+    std::vector<StateId> frontier = {x};
+    std::unordered_set<StateId> seen = {x};
+    for (int d = 0; d <= horizon && !violation; ++d) {
+      std::vector<StateId> next;
+      for (StateId y : frontier) {
+        if (decided_valences(model, y).bivalent()) {
+          violation = true;
+          break;
+        }
+        if (d < horizon) {
+          for (StateId z : model.layer(y)) {
+            if (seen.insert(z).second) next.push_back(z);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (!violation) {
+      result.ok = false;
+      result.detail = state_str(x) +
+                      " is bivalent with a decided process, yet no agreement "
+                      "violation is reachable";
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_3_3(LayeredModel& model, int depth, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  // Lemma 3.3 applies when the system displays an arbitrary crash failure
+  // with respect to the pair, i.e. when some similarity witness j can
+  // actually be silenced forever within the model's failure budget (the
+  // paper's side condition "with respect to every set X in which fewer than
+  // t failures are recorded"). In the 1-resilient models failed_at is empty
+  // and the condition is vacuous.
+  auto crashable_witness = [&](StateId x, StateId y) {
+    const ProcessSet failed = model.failed_at(x) | model.failed_at(y);
+    for (ProcessId j = 0; j < model.n(); ++j) {
+      if (!model.agree_modulo(x, y, j)) continue;
+      ProcessSet others = ProcessSet::all(model.n()) - failed;
+      others.erase(j);
+      if (others.empty()) continue;  // similarity needs a non-failed i != j
+      if ((failed | ProcessSet::single(j)).size() <= model.max_faulty()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& level : reachable_by_depth(model, depth)) {
+    for (std::size_t a = 0; a < level.size(); ++a) {
+      for (std::size_t b = a + 1; b < level.size(); ++b) {
+        if (!similar(model, level[a], level[b])) continue;
+        if (!crashable_witness(level[a], level[b])) continue;
+        ++result.checked;
+        const ValenceInfo va = engine.valence(level[a]);
+        const ValenceInfo vb = engine.valence(level[b]);
+        if (!va.exact || !vb.exact) {
+          result.ok = false;
+          result.detail = "valence not exact at horizon " +
+                          std::to_string(horizon) + "; increase it";
+          return result;
+        }
+        if (!((va.v0 && vb.v0) || (va.v1 && vb.v1))) {
+          result.ok = false;
+          result.detail = state_str(level[a]) + " ~s " + state_str(level[b]) +
+                          " but they have no shared valence";
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_3_6(LayeredModel& model, int horizon, Exactness mode) {
+  CheckResult result;
+  const std::vector<StateId>& con0 = model.initial_states();
+  result.checked = con0.size();
+  if (!similarity_connected(model, con0)) {
+    result.ok = false;
+    result.detail = "Con_0 is not similarity connected";
+    return result;
+  }
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : con0) {
+    if (!engine.valence(x).exact) {
+      result.ok = false;
+      result.detail = "initial-state valence not exact at horizon " +
+                      std::to_string(horizon);
+      return result;
+    }
+  }
+  if (!engine.valence_connected(con0)) {
+    result.ok = false;
+    result.detail = "Con_0 is not valence connected";
+    return result;
+  }
+  if (!engine.find_bivalent(con0)) {
+    result.ok = false;
+    result.detail = "no bivalent initial state found";
+    return result;
+  }
+  return result;
+}
+
+CheckResult check_layer_connectivity(
+    LayeredModel& model, int depth, int horizon, bool expect_similarity,
+    Exactness mode, const std::function<bool(StateId)>& filter) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : reachable_states(model, depth)) {
+    if (filter && !filter(x)) continue;
+    ++result.checked;
+    const std::vector<StateId>& layer = model.layer(x);
+    if (expect_similarity && !similarity_connected(model, layer)) {
+      result.ok = false;
+      result.detail =
+          "S(" + std::to_string(x) + ") is not similarity connected";
+      return result;
+    }
+    for (StateId y : layer) {
+      if (!engine.valence(y).exact) {
+        result.ok = false;
+        result.detail = "layer valence not exact at horizon " +
+                        std::to_string(horizon);
+        return result;
+      }
+    }
+    if (!engine.valence_connected(layer)) {
+      result.ok = false;
+      result.detail = "S(" + std::to_string(x) + ") is not valence connected";
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_6_1(LayeredModel& model, int t, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  const std::optional<StateId> start =
+      engine.find_bivalent(model.initial_states());
+  if (!start) {
+    result.ok = false;
+    result.detail = "no bivalent initial state";
+    return result;
+  }
+  StateId cur = *start;
+  ++result.checked;  // the bivalent initial state x^0 itself
+  // Build x^0, ..., x^{t-1}: each bivalent, |failed(x^m)| <= m.
+  for (int m = 1; m <= t - 1; ++m) {
+    const std::vector<StateId>& layer = model.layer(cur);
+    std::optional<StateId> next;
+    for (StateId y : layer) {
+      if (engine.valence(y).bivalent()) {
+        next = y;
+        break;
+      }
+    }
+    if (!next) {
+      result.ok = false;
+      result.detail = "no bivalent successor at layer " + std::to_string(m);
+      return result;
+    }
+    if (model.failed_at(*next).size() > m) {
+      result.ok = false;
+      result.detail = "layer " + std::to_string(m) + " has more than " +
+                      std::to_string(m) + " failed processes";
+      return result;
+    }
+    cur = *next;
+    ++result.checked;
+  }
+  return result;
+}
+
+CheckResult check_lemma_6_2(LayeredModel& model, int depth, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  for (StateId x : reachable_states(model, depth)) {
+    if (!engine.valence(x).bivalent()) continue;
+    ++result.checked;
+    const std::vector<StateId>& layer = model.layer(x);
+    const bool found = std::any_of(layer.begin(), layer.end(), [&](StateId y) {
+      return undecided_non_failed(model, y) > 0;
+    });
+    if (!found) {
+      result.ok = false;
+      result.detail = state_str(x) +
+                      " is bivalent but every layer successor has all "
+                      "non-failed processes decided";
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_lemma_6_4(LayeredModel& model, int t, int horizon,
+                            Exactness mode) {
+  CheckResult result;
+  ValenceEngine engine(model, horizon, mode);
+  // Explore t+1 layers: executions x^0 ... x^k x^{k+1} with k+1 <= t+1.
+  const auto levels = reachable_by_depth(model, t + 1);
+  for (std::size_t k = 0; k + 1 < levels.size(); ++k) {
+    for (StateId x : levels[k]) {
+      if (model.failed_at(x).size() > static_cast<int>(k)) continue;
+      for (StateId y : model.layer(x)) {
+        // A failure-free (k+1)-st layer keeps the failed set unchanged.
+        if (!(model.failed_at(y) == model.failed_at(x))) continue;
+        ++result.checked;
+        const ValenceInfo v = engine.valence(y);
+        if (!v.exact) {
+          result.ok = false;
+          result.detail = "valence not exact; increase horizon";
+          return result;
+        }
+        if (v.bivalent()) {
+          result.ok = false;
+          result.detail = state_str(y) + " at round " + std::to_string(k + 1) +
+                          " is bivalent despite <= " + std::to_string(k) +
+                          " failures and a failure-free round";
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lacon

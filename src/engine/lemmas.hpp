@@ -1,0 +1,98 @@
+// Mechanized checkers for the paper's numbered results.
+//
+// Each checker exhaustively tests a lemma's statement on the concrete
+// instance given by (model, protocol, exploration depth) and returns a
+// CheckResult whose `detail` names the first counterexample when the check
+// fails. The test suite runs these across all four models and a catalog of
+// protocols; the benchmark harnesses report their aggregate statistics.
+//
+// The `mode` parameter selects the valence-exactness criterion (see
+// engine/valence.hpp): kQuiescence for the synchronous-flavoured models,
+// kConvergence for the asynchronous layerings with sleeper branches.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/model.hpp"
+#include "engine/valence.hpp"
+
+namespace lacon {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;
+
+  // Number of states / pairs examined, for reporting.
+  std::size_t checked = 0;
+};
+
+// Lemma 3.1: in a system where at most t < n processes fail, every bivalent
+// state has at least n-t non-failed processes that have not decided.
+// Verified over all states reachable within `depth` layers, with valence
+// lookahead `horizon`.
+CheckResult check_lemma_3_1(LayeredModel& model, int t, int depth, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// Lemma 3.2: in a system displaying no finite failure, no process has
+// decided at a bivalent state.
+//
+// NOTE: Lemmas 3.1 and 3.2 hypothesize a system *satisfying agreement*; run
+// them with an agreement-safe rule (e.g. min_when_all_known) in the models
+// where no rule satisfies all three consensus requirements.
+CheckResult check_lemma_3_2(LayeredModel& model, int depth, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// The contrapositive of Lemma 3.2, non-vacuous for rules that violate
+// agreement: whenever a bivalent state has a decided non-failed process, an
+// agreement violation (two non-failed processes decided differently) is
+// reachable from it — the system cannot have satisfied agreement.
+CheckResult check_lemma_3_2_contrapositive(
+    LayeredModel& model, int depth, int horizon,
+    Exactness mode = Exactness::kQuiescence);
+
+// Lemma 3.3: x ~s y implies x ~v y, over every pair within each explored
+// depth level (the levels are the sets X the paper applies the lemma to).
+// Requires a protocol satisfying decision so valences are exact.
+CheckResult check_lemma_3_3(LayeredModel& model, int depth, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// Lemma 3.6: Con_0 is similarity connected and valence connected, and (with
+// validity) contains a bivalent state.
+CheckResult check_lemma_3_6(LayeredModel& model, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// Layer connectivity, the (iii) clauses of Lemmas 5.1 and 5.3 and the
+// corresponding claim for the permutation layering: for every state x
+// reachable within `depth` layers and accepted by `filter`, S(x) is valence
+// connected; when `expect_similarity` is set, S(x) must be similarity
+// connected as well (true for the synchronic layering S1, false for S^rw
+// and S^per whose layers are bridged by valence only).
+//
+// The filter matters for the t-resilient synchronous model: the paper only
+// claims valence connectivity of S^t(x) while fewer than t-1 processes have
+// failed (proof of Lemma 6.1), so pass a filter on |failed_at(x)| there.
+CheckResult check_layer_connectivity(
+    LayeredModel& model, int depth, int horizon, bool expect_similarity,
+    Exactness mode = Exactness::kQuiescence,
+    const std::function<bool(StateId)>& filter = {});
+
+// Lemma 6.1 (constructive): starting from a bivalent initial state with f=0
+// failed processes, an S^t execution of t-1 layers exists in which every
+// state is bivalent and the state at layer m has at most m failed processes.
+// Returns failure if the chain cannot be built.
+CheckResult check_lemma_6_1(LayeredModel& model, int t, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// Lemma 6.2 (statement form): for every reachable bivalent state x, some
+// state of S(x) has a non-failed process that has not decided.
+CheckResult check_lemma_6_2(LayeredModel& model, int depth, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+// Lemma 6.4: for a fast protocol (decides within t+1 rounds), every
+// (k+1)-layer execution with at most k failures at layer k and a
+// failure-free (k+1)-st layer ends univalent.
+CheckResult check_lemma_6_4(LayeredModel& model, int t, int horizon,
+                            Exactness mode = Exactness::kQuiescence);
+
+}  // namespace lacon

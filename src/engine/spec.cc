@@ -1,0 +1,123 @@
+#include "engine/spec.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/bivalence.hpp"
+
+namespace lacon {
+namespace {
+
+// Checks a single state for an agreement violation among non-failed
+// processes.
+std::optional<AgreementViolation> agreement_violation_at(LayeredModel& model,
+                                                         StateId x) {
+  const GlobalState& s = model.state(x);
+  const ProcessSet failed = model.failed_at(x);
+  std::optional<ProcessId> first;
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    if (failed.contains(i)) continue;
+    const Value d = s.decisions[static_cast<std::size_t>(i)];
+    if (d == kUndecided) continue;
+    if (!first) {
+      first = i;
+    } else if (s.decisions[static_cast<std::size_t>(*first)] != d) {
+      return AgreementViolation{x, *first, i};
+    }
+  }
+  return std::nullopt;
+}
+
+// Checks a single state for a validity violation: a decided value that was
+// nobody's input. Inputs are recoverable from the views' root nodes.
+std::optional<ValidityViolation> validity_violation_at(LayeredModel& model,
+                                                       StateId x) {
+  const GlobalState& s = model.state(x);
+  std::unordered_set<Value> inputs;
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    inputs.insert(model.views().node(s.locals[static_cast<std::size_t>(i)]).input);
+  }
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    const Value d = s.decisions[static_cast<std::size_t>(i)];
+    if (d != kUndecided && !inputs.contains(d)) {
+      return ValidityViolation{x, i, d};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SpecReport check_consensus_spec(LayeredModel& model, int depth) {
+  SpecReport report;
+  std::vector<StateId> frontier = model.initial_states();
+  std::unordered_set<StateId> seen(frontier.begin(), frontier.end());
+
+  for (int d = 0; d <= depth; ++d) {
+    for (StateId x : frontier) {
+      ++report.states_visited;
+      if (!report.agreement) report.agreement = agreement_violation_at(model, x);
+      if (!report.validity) report.validity = validity_violation_at(model, x);
+      if (d == depth && !quiescent(model, x)) {
+        report.all_quiesce = false;
+        if (!report.undecided_witness) report.undecided_witness = x;
+      }
+    }
+    if (d == depth) break;
+    std::vector<StateId> next;
+    for (StateId x : frontier) {
+      if (quiescent(model, x)) continue;  // the run tree below cannot change
+      for (StateId y : model.layer(x)) {
+        if (seen.insert(y).second) next.push_back(y);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return report;
+}
+
+TrilemmaVerdict consensus_trilemma(LayeredModel& model, int depth,
+                                   int horizon) {
+  TrilemmaVerdict verdict;
+  const SpecReport report = check_consensus_spec(model, depth);
+  if (report.agreement) {
+    verdict.violated = TrilemmaVerdict::Violated::kAgreement;
+    verdict.witness = "processes " + std::to_string(report.agreement->p) +
+                      " and " + std::to_string(report.agreement->q) +
+                      " decided differently (state " +
+                      std::to_string(report.agreement->state) + ")";
+    return verdict;
+  }
+  if (report.validity) {
+    verdict.violated = TrilemmaVerdict::Violated::kValidity;
+    verdict.witness = "process " + std::to_string(report.validity->p) +
+                      " decided " + std::to_string(report.validity->decided) +
+                      ", which is nobody's input (state " +
+                      std::to_string(report.validity->state) + ")";
+    return verdict;
+  }
+
+  // The protocol is safe up to `depth`; exhibit non-termination via an
+  // all-bivalent run (Theorem 4.2 construction).
+  ValenceEngine engine(model, horizon);
+  const BivalentRunResult run = extend_bivalent_run(engine, depth);
+  if (run.complete) {
+    verdict.violated = TrilemmaVerdict::Violated::kDecision;
+    verdict.witness = "bivalent run of length " +
+                      std::to_string(run.run.size() - 1) +
+                      " constructed; undecided non-failed processes persist";
+    return verdict;
+  }
+  if (!report.all_quiesce) {
+    verdict.violated = TrilemmaVerdict::Violated::kDecision;
+    verdict.witness = "run prefix of depth " + std::to_string(depth) +
+                      " with an undecided non-failed process";
+    return verdict;
+  }
+  verdict.violated = TrilemmaVerdict::Violated::kNone;
+  verdict.witness = "all requirements hold to depth " + std::to_string(depth);
+  return verdict;
+}
+
+}  // namespace lacon

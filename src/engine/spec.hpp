@@ -1,0 +1,59 @@
+// Bounded-depth checking of the three consensus requirements (Section 3)
+// over the runs of a layered model, and the resulting "trilemma" report: for
+// any candidate protocol, at least one requirement fails in the asynchronous
+// models — either a safety violation found by exhaustive search, or a
+// non-termination witness constructed by the bivalence engine.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/valence.hpp"
+
+namespace lacon {
+
+struct AgreementViolation {
+  StateId state = 0;
+  ProcessId p = 0;
+  ProcessId q = 0;  // decided differently from p, both non-failed at state
+};
+
+struct ValidityViolation {
+  StateId state = 0;
+  ProcessId p = 0;
+  Value decided = 0;  // a value that is nobody's input in this run
+};
+
+struct SpecReport {
+  std::optional<AgreementViolation> agreement;
+  std::optional<ValidityViolation> validity;
+  // True when every depth-`depth` run prefix reaches a state where all
+  // non-failed processes have decided.
+  bool all_quiesce = true;
+  // A deepest state with an undecided non-failed process, when one exists.
+  std::optional<StateId> undecided_witness;
+  std::size_t states_visited = 0;
+};
+
+// Explores every S-run prefix of length `depth` from every initial state
+// (with state deduplication) and reports on agreement, validity and
+// quiescence.
+SpecReport check_consensus_spec(LayeredModel& model, int depth);
+
+// The outcome of the executable Theorem 4.2: which consensus requirement the
+// candidate protocol violates in this model, with a witness description.
+struct TrilemmaVerdict {
+  enum class Violated { kAgreement, kValidity, kDecision, kNone };
+  Violated violated = Violated::kNone;
+  std::string witness;
+};
+
+// Runs the spec checker; if the protocol is safe (no agreement/validity
+// violation up to `depth`), attempts to build a bivalent run of length
+// `depth` witnessing non-termination. `horizon` is the valence lookahead.
+TrilemmaVerdict consensus_trilemma(LayeredModel& model, int depth,
+                                   int horizon);
+
+}  // namespace lacon

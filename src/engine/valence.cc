@@ -1,0 +1,110 @@
+#include "engine/valence.hpp"
+
+#include <cassert>
+
+namespace lacon {
+
+bool quiescent(LayeredModel& model, StateId x) {
+  const GlobalState& s = model.state(x);
+  const ProcessSet failed = model.failed_at(x);
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    if (failed.contains(i)) continue;
+    if (s.decisions[static_cast<std::size_t>(i)] == kUndecided) return false;
+  }
+  return true;
+}
+
+ValenceInfo decided_valences(LayeredModel& model, StateId x) {
+  ValenceInfo info;
+  const GlobalState& s = model.state(x);
+  const ProcessSet failed = model.failed_at(x);
+  for (ProcessId i = 0; i < model.n(); ++i) {
+    if (failed.contains(i)) continue;
+    const Value d = s.decisions[static_cast<std::size_t>(i)];
+    if (d == 0) info.v0 = true;
+    if (d == 1) info.v1 = true;
+  }
+  return info;
+}
+
+ValenceEngine::ValenceEngine(LayeredModel& model, int horizon, Exactness mode)
+    : model_(model), horizon_(horizon), mode_(mode) {
+  assert(horizon >= 0);
+}
+
+ValenceInfo ValenceEngine::valence(StateId x) {
+  if (mode_ == Exactness::kQuiescence) return compute(memo_, x, horizon_);
+  const ValenceInfo shallow = compute(memo_, x, horizon_);
+  if (shallow.bivalent()) return shallow;  // maximal already
+  ValenceInfo deep = compute(memo_deep_, x, horizon_ + 1);
+  deep.exact = deep.exact || deep.bivalent() || deep.same_set(shallow);
+  return deep;
+}
+
+ValenceInfo ValenceEngine::compute(Memo& memo, StateId x, int budget) {
+  auto it = memo.find(x);
+  if (it != memo.end()) {
+    // A bivalent result is maximal; otherwise only reuse results computed
+    // with at least the currently requested lookahead.
+    if (it->second.info.bivalent() || it->second.horizon >= budget) {
+      return it->second.info;
+    }
+  }
+  ++evaluations_;
+
+  ValenceInfo info = decided_valences(model_, x);
+  if (info.bivalent() || quiescent(model_, x)) {
+    info.exact = true;
+    memo[x] = Entry{budget, info};
+    return info;
+  }
+  if (budget == 0) {
+    info.exact = false;
+    memo[x] = Entry{0, info};
+    return info;
+  }
+
+  info.exact = true;
+  for (StateId y : model_.layer(x)) {
+    const ValenceInfo sub = compute(memo, y, budget - 1);
+    info.v0 = info.v0 || sub.v0;
+    info.v1 = info.v1 || sub.v1;
+    info.exact = info.exact && sub.exact;
+    if (info.bivalent()) {
+      info.exact = true;  // the valence set cannot grow further
+      break;
+    }
+  }
+  memo[x] = Entry{budget, info};
+  return info;
+}
+
+bool ValenceEngine::shared_valence(StateId x, StateId y) {
+  const ValenceInfo a = valence(x);
+  const ValenceInfo b = valence(y);
+  return (a.v0 && b.v0) || (a.v1 && b.v1);
+}
+
+Graph ValenceEngine::valence_graph(const std::vector<StateId>& X) {
+  // Precompute valences once; the graph is then a pure bitmask product.
+  std::vector<ValenceInfo> infos;
+  infos.reserve(X.size());
+  for (StateId x : X) infos.push_back(valence(x));
+  return Graph::from_relation(X.size(), [&](std::size_t a, std::size_t b) {
+    return (infos[a].v0 && infos[b].v0) || (infos[a].v1 && infos[b].v1);
+  });
+}
+
+bool ValenceEngine::valence_connected(const std::vector<StateId>& X) {
+  return valence_graph(X).connected();
+}
+
+std::optional<StateId> ValenceEngine::find_bivalent(
+    const std::vector<StateId>& X) {
+  for (StateId x : X) {
+    if (valence(x).bivalent()) return x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lacon

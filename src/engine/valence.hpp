@@ -1,0 +1,107 @@
+// Valence computation (Section 3 of the paper).
+//
+// A state x is v-valent when some execution of the (sub)model extending x has
+// a nonfaulty process deciding v. Because all our models satisfy Fault
+// Independence constructively — from any state there is an extension in which
+// only already-failed processes fail — a process that is non-failed at a
+// state and has decided v witnesses v-valence.
+//
+// The paper quantifies over infinite runs; the engine explores the layered
+// successor DAG up to a horizon and tracks *exactness* of the computed
+// valence set under one of two criteria:
+//
+//  * kQuiescence — every explored branch reached a state where all non-failed
+//    processes have decided (or bivalence, which is maximal). This is sound
+//    and complete for models in which every process acts in every layer
+//    (M^mf, the t-resilient synchronous model) running protocols that decide
+//    within the horizon.
+//
+//  * kConvergence — the valence sets computed with lookahead H and H+1
+//    coincide. The asynchronous layerings contain "sleeper" branches (the
+//    (j,A) shared-memory action, the drop-last permutation action) along
+//    which one process never acts, so strict quiescence is unreachable; the
+//    sleeper is faulty in those runs and owes no decision. Horizon
+//    convergence is the standard finite-horizon discharge of the infinite-run
+//    quantifier: the valence set is monotone in the horizon, and a fixed
+//    point across consecutive horizons is reported as exact.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.hpp"
+#include "relation/graph.hpp"
+
+namespace lacon {
+
+struct ValenceInfo {
+  bool v0 = false;
+  bool v1 = false;
+  bool exact = false;
+
+  bool bivalent() const noexcept { return v0 && v1; }
+  bool univalent() const noexcept { return v0 != v1; }
+  // The unique valence of a univalent state.
+  Value value() const noexcept { return v1 ? 1 : 0; }
+
+  bool same_set(const ValenceInfo& o) const noexcept {
+    return v0 == o.v0 && v1 == o.v1;
+  }
+};
+
+enum class Exactness { kQuiescence, kConvergence };
+
+class ValenceEngine {
+ public:
+  // `horizon`: number of layers explored below a state when computing its
+  // valence. For a protocol whose decisions complete within r rounds, any
+  // horizon >= r yields exact valences under kQuiescence in the synchronous
+  // models.
+  ValenceEngine(LayeredModel& model, int horizon,
+                Exactness mode = Exactness::kQuiescence);
+
+  ValenceInfo valence(StateId x);
+
+  // x ~v y : both are w-valent for some w (Definition 3.1).
+  bool shared_valence(StateId x, StateId y);
+
+  // The graph (X, ~v).
+  Graph valence_graph(const std::vector<StateId>& X);
+  bool valence_connected(const std::vector<StateId>& X);
+
+  // Constructive Lemma 3.4: if X is valence connected and contains both a
+  // 0-valent and a 1-valent state, a bivalent member exists; returns the
+  // first one found (in X order), or nullopt.
+  std::optional<StateId> find_bivalent(const std::vector<StateId>& X);
+
+  LayeredModel& model() noexcept { return model_; }
+  int horizon() const noexcept { return horizon_; }
+  std::size_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  struct Entry {
+    int horizon = -1;
+    ValenceInfo info;
+  };
+  using Memo = std::unordered_map<StateId, Entry>;
+
+  ValenceInfo compute(Memo& memo, StateId x, int budget);
+
+  LayeredModel& model_;
+  int horizon_;
+  Exactness mode_;
+  Memo memo_;       // lookahead = horizon_
+  Memo memo_deep_;  // lookahead = horizon_ + 1 (kConvergence only)
+  std::size_t evaluations_ = 0;
+};
+
+// True when every process that is non-failed at x has decided (the run tree
+// below x can no longer change the set of witnessed valences).
+bool quiescent(LayeredModel& model, StateId x);
+
+// The decided values among processes non-failed at x.
+ValenceInfo decided_valences(LayeredModel& model, StateId x);
+
+}  // namespace lacon

@@ -1,0 +1,181 @@
+#include "models/msgpass/msgpass_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/permutations.hpp"
+
+namespace lacon {
+
+std::int64_t pack_message(ProcessId sender, ProcessId receiver, ViewId view) {
+  return (static_cast<std::int64_t>(sender) << 40) |
+         (static_cast<std::int64_t>(receiver) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(view));
+}
+
+ProcessId message_sender(std::int64_t packed) {
+  return static_cast<ProcessId>(packed >> 40);
+}
+
+ProcessId message_receiver(std::int64_t packed) {
+  return static_cast<ProcessId>((packed >> 32) & 0xff);
+}
+
+ViewId message_view(std::int64_t packed) {
+  return static_cast<ViewId>(packed & 0xffffffffLL);
+}
+
+namespace {
+
+// All layer actions of the permutation layering for n processes.
+std::vector<Schedule> build_schedules(int n) {
+  std::vector<Schedule> out;
+  const std::vector<Permutation> perms = all_permutations(n);
+
+  // Type 1: full sequential permutations.
+  for (const Permutation& p : perms) {
+    Schedule s;
+    for (ProcessId q : p) s.push_back(SchedGroup{q, -1});
+    out.push_back(std::move(s));
+  }
+  // Type 2: one process skips the layer.
+  for (const Permutation& p : all_drop_last(n)) {
+    Schedule s;
+    for (ProcessId q : p) s.push_back(SchedGroup{q, -1});
+    out.push_back(std::move(s));
+  }
+  // Type 3: one adjacent concurrent pair. The pair is unordered; enumerate
+  // each once by requiring p[k] < p[k+1].
+  for (const Permutation& p : perms) {
+    for (int k = 0; k + 1 < n; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      if (p[ku] > p[ku + 1]) continue;
+      Schedule s;
+      for (int pos = 0; pos < n; ++pos) {
+        const auto posu = static_cast<std::size_t>(pos);
+        if (pos == k) {
+          s.push_back(SchedGroup{p[posu], p[posu + 1]});
+          ++pos;  // consumed two entries
+        } else {
+          s.push_back(SchedGroup{p[posu], -1});
+        }
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MsgPassModel::MsgPassModel(int n, const DecisionRule& rule,
+                           std::vector<std::vector<Value>> initial_inputs)
+    : LayeredModel(n, rule, std::move(initial_inputs)),
+      schedules_(build_schedules(n)) {}
+
+StateId MsgPassModel::apply_schedule(StateId x, const Schedule& schedule) {
+  const GlobalState& s = state(x);
+  // Mutable copy of the in-transit multiset.
+  std::vector<std::int64_t> transit = s.env;
+  std::vector<ViewId> locals = s.locals;
+  std::vector<Value> decisions = s.decisions;
+
+  auto do_receives = [&](ProcessId i) {
+    // Collect and remove all messages addressed to i, in canonical order.
+    std::vector<Obs> obs;
+    std::vector<std::int64_t> rest;
+    rest.reserve(transit.size());
+    for (std::int64_t m : transit) {
+      if (message_receiver(m) == i) {
+        obs.push_back(Obs{message_sender(m), message_view(m)});
+      } else {
+        rest.push_back(m);
+      }
+    }
+    transit = std::move(rest);
+    std::sort(obs.begin(), obs.end(), [](const Obs& l, const Obs& r) {
+      return l.source != r.source ? l.source < r.source : l.view < r.view;
+    });
+    return obs;
+  };
+  auto do_phase_update = [&](ProcessId i, std::vector<Obs> obs) {
+    const ViewId view =
+        views().extend(locals[static_cast<std::size_t>(i)], std::move(obs));
+    locals[static_cast<std::size_t>(i)] = view;
+    decisions[static_cast<std::size_t>(i)] = updated_decision(
+        i, decisions[static_cast<std::size_t>(i)], view);
+  };
+  // The message content of a phase is the sender's view at the *start* of
+  // the phase — the exact analogue of the shared-memory local phase, where
+  // the (at most one) write precedes the reads and therefore carries the
+  // pre-phase state. This is what makes the paper's similarity-chain claims
+  // of Section 5.1 hold: with post-delivery content, a re-ordered pair would
+  // change the payloads received by every later-scheduled process.
+  auto do_sends = [&](ProcessId i, ViewId pre_phase_view) {
+    for (ProcessId dest = 0; dest < n(); ++dest) {
+      if (dest == i) continue;
+      transit.push_back(pack_message(i, dest, pre_phase_view));
+    }
+  };
+
+  for (const SchedGroup& group : schedule) {
+    if (!group.pair()) {
+      const ViewId pre_a = locals[static_cast<std::size_t>(group.a)];
+      do_phase_update(group.a, do_receives(group.a));
+      do_sends(group.a, pre_a);
+    } else {
+      // Concurrent pair: both receive before either sends.
+      const ViewId pre_a = locals[static_cast<std::size_t>(group.a)];
+      const ViewId pre_b = locals[static_cast<std::size_t>(group.b)];
+      std::vector<Obs> obs_a = do_receives(group.a);
+      std::vector<Obs> obs_b = do_receives(group.b);
+      do_phase_update(group.a, std::move(obs_a));
+      do_phase_update(group.b, std::move(obs_b));
+      do_sends(group.a, pre_a);
+      do_sends(group.b, pre_b);
+    }
+  }
+
+  std::sort(transit.begin(), transit.end());
+  GlobalState next;
+  next.env = std::move(transit);
+  next.locals = std::move(locals);
+  next.decisions = std::move(decisions);
+  return intern(std::move(next));
+}
+
+bool MsgPassModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
+  const GlobalState& sx = state(x);
+  const GlobalState& sy = state(y);
+  for (ProcessId i = 0; i < n(); ++i) {
+    if (i == j) continue;
+    const auto idx = static_cast<std::size_t>(i);
+    if (sx.locals[idx] != sy.locals[idx]) return false;
+    if (sx.decisions[idx] != sy.decisions[idx]) return false;
+  }
+  // The messages addressed to j form j's mailbox and belong to j's local
+  // state; everything else in transit must coincide. Both encodings are
+  // sorted, so a filtered linear comparison suffices.
+  auto it_x = sx.env.begin();
+  auto it_y = sy.env.begin();
+  while (true) {
+    while (it_x != sx.env.end() && message_receiver(*it_x) == j) ++it_x;
+    while (it_y != sy.env.end() && message_receiver(*it_y) == j) ++it_y;
+    if (it_x == sx.env.end() || it_y == sy.env.end()) break;
+    if (*it_x != *it_y) return false;
+    ++it_x;
+    ++it_y;
+  }
+  return it_x == sx.env.end() && it_y == sy.env.end();
+}
+
+std::vector<StateId> MsgPassModel::compute_layer(StateId x) {
+  std::vector<StateId> succ;
+  succ.reserve(schedules_.size());
+  for (const Schedule& schedule : schedules_) {
+    succ.push_back(apply_schedule(x, schedule));
+  }
+  return succ;
+}
+
+}  // namespace lacon

@@ -1,0 +1,80 @@
+#include "models/snapshot/snapshot_model.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace lacon {
+
+std::vector<OrderedPartition> ordered_partitions_of(ProcessSet members) {
+  std::vector<OrderedPartition> out;
+  OrderedPartition current;
+  std::function<void(ProcessSet)> recurse = [&](ProcessSet remaining) {
+    if (remaining.empty()) {
+      out.push_back(current);
+      return;
+    }
+    const std::uint64_t mask = remaining.mask();
+    for (std::uint64_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+      current.push_back(ProcessSet(sub));
+      recurse(remaining - ProcessSet(sub));
+      current.pop_back();
+    }
+  };
+  recurse(members);
+  return out;
+}
+
+SnapshotModel::SnapshotModel(int n, const DecisionRule& rule,
+                             std::vector<std::vector<Value>> initial_inputs)
+    : LayeredModel(n, rule, std::move(initial_inputs)) {}
+
+StateId SnapshotModel::apply_partition(StateId x,
+                                       const OrderedPartition& partition) {
+  const GlobalState& s = state(x);
+  GlobalState next;
+  next.env = s.env;  // persistent registers, updated by the writes below
+  next.locals = s.locals;
+  next.decisions = s.decisions;
+
+  for (const ProcessSet& block : partition) {
+    // All block members write their pre-phase views ...
+    for (ProcessId i : block.to_vector()) {
+      next.env[static_cast<std::size_t>(i)] =
+          static_cast<std::int64_t>(s.locals[static_cast<std::size_t>(i)]);
+    }
+    // ... then all snapshot the full memory (their own writes included).
+    for (ProcessId i : block.to_vector()) {
+      std::vector<Obs> obs;
+      obs.reserve(static_cast<std::size_t>(n()));
+      for (ProcessId r = 0; r < n(); ++r) {
+        obs.push_back(Obs{r, static_cast<ViewId>(
+                                 next.env[static_cast<std::size_t>(r)])});
+      }
+      const ViewId view = views().extend(
+          s.locals[static_cast<std::size_t>(i)], std::move(obs));
+      next.locals[static_cast<std::size_t>(i)] = view;
+      next.decisions[static_cast<std::size_t>(i)] = updated_decision(
+          i, s.decisions[static_cast<std::size_t>(i)], view);
+    }
+  }
+  return intern(std::move(next));
+}
+
+std::vector<StateId> SnapshotModel::compute_layer(StateId x) {
+  std::vector<StateId> succ;
+  // Full participation ...
+  for (const OrderedPartition& p : ordered_partitions_of(ProcessSet::all(n()))) {
+    succ.push_back(apply_partition(x, p));
+  }
+  // ... and one process slow/absent (1-resilience).
+  for (ProcessId j = 0; j < n(); ++j) {
+    ProcessSet members = ProcessSet::all(n());
+    members.erase(j);
+    for (const OrderedPartition& p : ordered_partitions_of(members)) {
+      succ.push_back(apply_partition(x, p));
+    }
+  }
+  return succ;
+}
+
+}  // namespace lacon

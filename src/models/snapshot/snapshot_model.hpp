@@ -1,0 +1,47 @@
+// Immediate-snapshot executions over (persistent) snapshot shared memory
+// [Borowsky–Gafni; Saks–Zaharoglou] — the model the paper's permutation
+// layering transplants to message passing, and one of the models the full
+// paper extends the Corollary 7.3 equivalence to.
+//
+// Each process owns a single-writer register; a *snapshot* reads all
+// registers atomically. A layer action is an ordered partition of the
+// participating processes into blocks: the members of a block write their
+// pre-phase views simultaneously and then snapshot the memory, seeing the
+// writes of all blocks up to their own plus the persistent values of
+// non-participants. For 1-resilience the participants are either everyone
+// or everyone but one (the slow process), mirroring the permutation
+// layering's full and drop-one actions.
+//
+// Unlike IIS, the registers persist across rounds: a slow process's last
+// write stays visible, which is exactly the shared-memory counterpart of
+// the in-transit stale message of the synchronic MP model.
+#pragma once
+
+#include "core/model.hpp"
+#include "models/iis/iis_model.hpp"  // OrderedPartition
+
+namespace lacon {
+
+class SnapshotModel final : public LayeredModel {
+ public:
+  SnapshotModel(int n, const DecisionRule& rule,
+                std::vector<std::vector<Value>> initial_inputs = {});
+
+  std::string name() const override { return "M^snap/IS"; }
+
+  // Applies one immediate-snapshot round in which exactly the processes in
+  // the partition participate (others keep their state and register).
+  StateId apply_partition(StateId x, const OrderedPartition& partition);
+
+ protected:
+  std::vector<StateId> compute_layer(StateId x) override;
+
+  std::vector<std::int64_t> initial_env() const override {
+    return std::vector<std::int64_t>(static_cast<std::size_t>(n()), kNoView);
+  }
+};
+
+// All ordered partitions of a given subset of {0..n-1}.
+std::vector<OrderedPartition> ordered_partitions_of(ProcessSet members);
+
+}  // namespace lacon

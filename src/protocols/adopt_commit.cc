@@ -1,0 +1,101 @@
+#include "protocols/adopt_commit.hpp"
+
+namespace lacon {
+namespace {
+constexpr std::int64_t kStageA = 0;
+constexpr std::int64_t kStageB = 1;
+constexpr Value kBottomVote = -1;
+}  // namespace
+
+AdoptCommit::AdoptCommit(int n, int t, ProcessId id, Value input)
+    : n_(n), t_(t), id_(id), proposal_(input), a_value_(input) {}
+
+std::vector<Packet> AdoptCommit::broadcast(int stage, Value v) {
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(n_ - 1));
+  for (ProcessId dest = 0; dest < n_; ++dest) {
+    if (dest == id_) continue;
+    out.push_back(Packet{id_, dest, {stage, v}});
+  }
+  return out;
+}
+
+std::vector<Packet> AdoptCommit::start() {
+  // Count our own stage-A report, then broadcast it.
+  ++a_total_;
+  std::vector<Packet> out = broadcast(kStageA, proposal_);
+  auto more = advance();
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
+}
+
+std::vector<Packet> AdoptCommit::on_message(const Packet& packet) {
+  const std::int64_t stage = packet.payload[0];
+  const Value v = static_cast<Value>(packet.payload[1]);
+  if (stage == kStageA) {
+    ++a_total_;
+    if (v != a_value_) a_mixed_ = true;
+  } else {
+    ++b_total_;
+    if (v == kBottomVote) {
+      ++b_bottom_;
+    } else {
+      if (b_value_ && *b_value_ != v) b_mixed_ = true;
+      b_value_ = v;
+    }
+  }
+  return advance();
+}
+
+std::vector<Packet> AdoptCommit::advance() {
+  std::vector<Packet> out;
+  if (!vote_ && a_total_ >= n_ - t_) {
+    vote_ = a_mixed_ ? kBottomVote : a_value_;
+    // Count our own vote, then broadcast it.
+    ++b_total_;
+    if (*vote_ == kBottomVote) {
+      ++b_bottom_;
+    } else {
+      if (b_value_ && *b_value_ != *vote_) b_mixed_ = true;
+      b_value_ = *vote_;
+    }
+    out = broadcast(kStageB, *vote_);
+  }
+  if (vote_ && !grade_ && b_total_ >= n_ - t_) {
+    if (b_bottom_ == 0 && b_value_ && !b_mixed_) {
+      grade_ = Grade::kCommit;
+      value_ = *b_value_;
+    } else if (b_value_) {
+      grade_ = Grade::kAdopt;
+      value_ = *b_value_;
+    } else {
+      grade_ = Grade::kAdopt;
+      value_ = proposal_;
+    }
+  }
+  return out;
+}
+
+std::optional<Value> AdoptCommit::decision() const {
+  if (!grade_) return std::nullopt;
+  return 2 * (*value_) + (*grade_ == Grade::kCommit ? 1 : 0);
+}
+
+namespace {
+
+class Factory final : public AsyncProcessFactory {
+ public:
+  std::string name() const override { return "adopt-commit"; }
+  std::unique_ptr<AsyncProcess> create(int n, int t, ProcessId id, Value input,
+                                       Rng* /*rng*/) const override {
+    return std::make_unique<AdoptCommit>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncProcessFactory> adopt_commit_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

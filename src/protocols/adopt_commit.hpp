@@ -1,0 +1,59 @@
+// Adopt-commit: the classical safe-agreement building block (Gafni;
+// Borowsky–Gafni). Each process proposes a value and outputs a pair
+// (grade, value) with grade ∈ {adopt, commit} such that
+//   * if anyone commits v, everyone outputs v (adopt or commit), and
+//   * if all proposals are equal, everyone commits.
+// Adopt-commit is solvable wait-free — it is weaker than consensus in
+// exactly the way the paper's connectivity analysis predicts: its output
+// complex is connected (mixed adopt outcomes bridge the two commit
+// corners), while consensus' is not.
+//
+// Message-passing implementation with t < n/2: two broadcast stages.
+//   stage A: broadcast the proposal; await n-t; if all seen equal v,
+//            vote v, else vote ⊥.
+//   stage B: broadcast the vote; await n-t; if all votes are v: commit v;
+//            else if some vote is v != ⊥: adopt v; else adopt own proposal.
+#pragma once
+
+#include "protocols/async_process.hpp"
+
+namespace lacon {
+
+enum class Grade { kAdopt, kCommit };
+
+class AdoptCommit final : public AsyncProcess {
+ public:
+  AdoptCommit(int n, int t, ProcessId id, Value input);
+
+  std::vector<Packet> start() override;
+  std::vector<Packet> on_message(const Packet& packet) override;
+
+  // decision() encodes (grade, value) as 2*value + (committed ? 1 : 0) so
+  // the generic simulator can report it; use grade()/value() for clarity.
+  std::optional<Value> decision() const override;
+  std::optional<Grade> grade() const { return grade_; }
+  std::optional<Value> value() const { return value_; }
+
+ private:
+  std::vector<Packet> broadcast(int stage, Value v);
+  std::vector<Packet> advance();
+
+  int n_;
+  int t_;
+  ProcessId id_;
+  Value proposal_;
+  int a_total_ = 0;
+  int b_total_ = 0;
+  bool a_mixed_ = false;
+  Value a_value_;
+  std::optional<Value> vote_;       // ⊥ encoded as kUndecided
+  int b_bottom_ = 0;
+  std::optional<Value> b_value_;    // a non-⊥ vote seen in stage B
+  bool b_mixed_ = false;            // both ⊥ and non-⊥ (or two values) seen
+  std::optional<Grade> grade_;
+  std::optional<Value> value_;
+};
+
+std::unique_ptr<AsyncProcessFactory> adopt_commit_factory();
+
+}  // namespace lacon

@@ -1,0 +1,45 @@
+// Event-driven process interface for the asynchronous simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace lacon {
+
+struct Packet {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  std::vector<std::int64_t> payload;
+};
+
+class AsyncProcess {
+ public:
+  virtual ~AsyncProcess() = default;
+
+  // Called once before any delivery; returns the initial sends.
+  virtual std::vector<Packet> start() = 0;
+
+  // Called on each delivery; returns the sends it triggers.
+  virtual std::vector<Packet> on_message(const Packet& packet) = 0;
+
+  virtual std::optional<Value> decision() const = 0;
+};
+
+class AsyncProcessFactory {
+ public:
+  virtual ~AsyncProcessFactory() = default;
+  virtual std::string name() const = 0;
+  // `rng` outlives the process and may be shared; protocols that flip coins
+  // (Ben-Or) draw from it.
+  virtual std::unique_ptr<AsyncProcess> create(int n, int t, ProcessId id,
+                                               Value input,
+                                               Rng* rng) const = 0;
+};
+
+}  // namespace lacon

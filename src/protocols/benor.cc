@@ -1,0 +1,95 @@
+#include "protocols/benor.hpp"
+
+namespace lacon {
+namespace {
+constexpr Value kBottom = -1;  // the ⊥ proposal
+}  // namespace
+
+BenOr::BenOr(int n, int t, ProcessId id, Value input, Rng* rng)
+    : n_(n), t_(t), id_(id), rng_(rng), x_(input) {}
+
+std::vector<Packet> BenOr::broadcast_stage() {
+  const Value v = (stage_ == 0) ? x_ : prop_;
+  ++counts_[{phase_, stage_, v}];  // count our own vote
+  ++totals_[{phase_, stage_}];
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(n_ - 1));
+  for (ProcessId dest = 0; dest < n_; ++dest) {
+    if (dest == id_) continue;
+    out.push_back(Packet{id_, dest, {phase_, stage_, v}});
+  }
+  return out;
+}
+
+std::vector<Packet> BenOr::start() { return advance({}); }
+
+std::vector<Packet> BenOr::on_message(const Packet& packet) {
+  const int phase = static_cast<int>(packet.payload[0]);
+  const int stage = static_cast<int>(packet.payload[1]);
+  const Value v = static_cast<Value>(packet.payload[2]);
+  ++counts_[{phase, stage, v}];
+  ++totals_[{phase, stage}];
+  return advance({});
+}
+
+std::vector<Packet> BenOr::advance(std::vector<Packet> out) {
+  if (!started_) {
+    started_ = true;
+    auto sent = broadcast_stage();
+    out.insert(out.end(), sent.begin(), sent.end());
+  }
+  // Buffered future-phase messages may satisfy several quorums in a row.
+  while (totals_[{phase_, stage_}] >= n_ - t_) {
+    if (stage_ == 0) {
+      // Report stage complete: propose the strict-majority value, or ⊥.
+      prop_ = kBottom;
+      for (Value v : {0, 1}) {
+        if (2 * counts_[{phase_, 0, v}] > n_) prop_ = v;
+      }
+      stage_ = 1;
+    } else {
+      // Proposal stage complete.
+      Value seen = kBottom;
+      int seen_count = 0;
+      for (Value v : {0, 1}) {
+        const int c = counts_[{phase_, 1, v}];
+        if (c > seen_count) {
+          seen = v;
+          seen_count = c;
+        }
+      }
+      if (seen_count >= t_ + 1) {
+        decision_ = seen;
+        x_ = seen;
+      } else if (seen_count >= 1) {
+        x_ = seen;
+      } else {
+        x_ = rng_->coin() ? 1 : 0;
+      }
+      ++phase_;
+      stage_ = 0;
+    }
+    auto sent = broadcast_stage();
+    out.insert(out.end(), sent.begin(), sent.end());
+  }
+  return out;
+}
+
+namespace {
+
+class Factory final : public AsyncProcessFactory {
+ public:
+  std::string name() const override { return "ben-or"; }
+  std::unique_ptr<AsyncProcess> create(int n, int t, ProcessId id, Value input,
+                                       Rng* rng) const override {
+    return std::make_unique<BenOr>(n, t, id, input, rng);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncProcessFactory> benor_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

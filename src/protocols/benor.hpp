@@ -1,0 +1,57 @@
+// Ben-Or's randomized binary consensus (1983) for asynchronous message
+// passing with t < n/2 crash failures.
+//
+// The paper's Theorem 4.2 family shows deterministic consensus is impossible
+// even in the barely-asynchronous submodels; Ben-Or is the classical escape
+// hatch — randomization trades the impossible worst case for termination
+// with probability 1. Each phase has two stages:
+//
+//   report:  broadcast (phase, R, x); await n-t reports;
+//            propose v if > n/2 of them carry v, else propose ⊥.
+//   propose: broadcast (phase, P, prop); await n-t proposals;
+//            >= t+1 equal non-⊥ values  -> decide that value;
+//            >= 1 non-⊥ value           -> adopt it;
+//            otherwise                   -> flip a coin.
+//
+// A decided process keeps responding for one extra phase so laggards can
+// finish; the simulator's step bound caps runaway schedules.
+#pragma once
+
+#include <map>
+
+#include "protocols/async_process.hpp"
+
+namespace lacon {
+
+class BenOr final : public AsyncProcess {
+ public:
+  BenOr(int n, int t, ProcessId id, Value input, Rng* rng);
+
+  std::vector<Packet> start() override;
+  std::vector<Packet> on_message(const Packet& packet) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  int phase() const noexcept { return phase_; }
+
+ private:
+  std::vector<Packet> broadcast_stage();
+  std::vector<Packet> advance(std::vector<Packet> out);
+
+  int n_;
+  int t_;
+  ProcessId id_;
+  Rng* rng_;
+  Value x_;
+  Value prop_ = -1;
+  int phase_ = 1;
+  int stage_ = 0;  // 0 = report, 1 = propose
+  bool started_ = false;
+  std::optional<Value> decision_;
+  // Votes per (phase, stage, value); value -1 encodes ⊥ proposals.
+  std::map<std::tuple<int, int, Value>, int> counts_;
+  std::map<std::pair<int, int>, int> totals_;
+};
+
+std::unique_ptr<AsyncProcessFactory> benor_factory();
+
+}  // namespace lacon

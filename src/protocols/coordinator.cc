@@ -1,0 +1,87 @@
+#include "protocols/coordinator.hpp"
+
+namespace lacon {
+namespace {
+
+// Message tags.
+constexpr std::int64_t kEstimate = 0;
+constexpr std::int64_t kAck = 1;
+constexpr std::int64_t kDecide = 2;
+
+}  // namespace
+
+RotatingCoordinator::RotatingCoordinator(int n, int t, ProcessId id,
+                                         Value input)
+    : n_(n), t_(t), id_(id), estimate_(input) {}
+
+std::vector<Packet> RotatingCoordinator::coordinator_broadcast() {
+  std::vector<Packet> out;
+  if (phase_ % n_ != id_) return out;
+  acks_ = 0;
+  for (ProcessId dest = 0; dest < n_; ++dest) {
+    if (dest == id_) continue;
+    out.push_back(Packet{id_, dest, {kEstimate, phase_, estimate_}});
+  }
+  return out;
+}
+
+std::vector<Packet> RotatingCoordinator::start() {
+  return coordinator_broadcast();
+}
+
+std::vector<Packet> RotatingCoordinator::on_message(const Packet& packet) {
+  std::vector<Packet> out;
+  if (decision_) return out;
+  const std::int64_t tag = packet.payload[0];
+  const int phase = static_cast<int>(packet.payload[1]);
+
+  if (tag == kDecide) {
+    decision_ = static_cast<Value>(packet.payload[2]);
+    // Relay the decision so everyone terminates.
+    for (ProcessId dest = 0; dest < n_; ++dest) {
+      if (dest == id_) continue;
+      out.push_back(Packet{id_, dest, {kDecide, phase, *decision_}});
+    }
+    return out;
+  }
+
+  // Fall forward to later phases announced by others.
+  if (phase > phase_) {
+    phase_ = phase;
+    auto mine = coordinator_broadcast();
+    out.insert(out.end(), mine.begin(), mine.end());
+  }
+
+  if (tag == kEstimate && phase == phase_) {
+    estimate_ = static_cast<Value>(packet.payload[2]);
+    out.push_back(Packet{id_, packet.from, {kAck, phase, estimate_}});
+  } else if (tag == kAck && phase == phase_ && phase_ % n_ == id_) {
+    if (++acks_ >= n_ - t_ - 1) {
+      decision_ = estimate_;
+      for (ProcessId dest = 0; dest < n_; ++dest) {
+        if (dest == id_) continue;
+        out.push_back(Packet{id_, dest, {kDecide, phase, *decision_}});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Factory final : public AsyncProcessFactory {
+ public:
+  std::string name() const override { return "rotating-coordinator"; }
+  std::unique_ptr<AsyncProcess> create(int n, int t, ProcessId id, Value input,
+                                       Rng* /*rng*/) const override {
+    return std::make_unique<RotatingCoordinator>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncProcessFactory> rotating_coordinator_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

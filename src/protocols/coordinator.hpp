@@ -1,0 +1,46 @@
+// A naive rotating-coordinator consensus attempt for the asynchronous
+// model, used to *demonstrate* the paper's impossibility from the systems
+// side: the protocol is safe, and it terminates under every fair schedule,
+// but an adversarial scheduler that starves the coordinator's messages keeps
+// it from ever deciding — deterministic asynchronous consensus has no
+// defense against exactly this (Theorem 4.2 / Corollary 5.4).
+//
+// Protocol sketch: in phase p the coordinator c = p mod n broadcasts its
+// current estimate; a process that receives the phase-p estimate adopts it
+// and acknowledges; when the coordinator collects n-t-1 acknowledgements it
+// broadcasts "decide"; everyone who receives "decide" decides. A process
+// also moves to the next phase when it receives a message of a later phase
+// (so a crashed coordinator does not wedge the protocol under fair
+// scheduling with failure-free runs — but a *slow* coordinator wedges it
+// forever, which is the point).
+#pragma once
+
+#include "protocols/async_process.hpp"
+
+namespace lacon {
+
+class RotatingCoordinator final : public AsyncProcess {
+ public:
+  RotatingCoordinator(int n, int t, ProcessId id, Value input);
+
+  std::vector<Packet> start() override;
+  std::vector<Packet> on_message(const Packet& packet) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  int phase() const noexcept { return phase_; }
+
+ private:
+  std::vector<Packet> coordinator_broadcast();
+
+  int n_;
+  int t_;
+  ProcessId id_;
+  Value estimate_;
+  int phase_ = 0;
+  int acks_ = 0;
+  std::optional<Value> decision_;
+};
+
+std::unique_ptr<AsyncProcessFactory> rotating_coordinator_factory();
+
+}  // namespace lacon

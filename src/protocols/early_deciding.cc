@@ -1,0 +1,48 @@
+#include "protocols/early_deciding.hpp"
+
+namespace lacon {
+
+EarlyDecidingFloodSet::EarlyDecidingFloodSet(int n, int t, ProcessId /*id*/,
+                                             Value input)
+    : n_(n), t_(t), seen_{input}, prev_heard_(n) {}
+
+std::optional<Message> EarlyDecidingFloodSet::broadcast(int /*round*/) {
+  // Keep broadcasting after deciding so late deciders receive our values.
+  return Message(seen_.begin(), seen_.end());
+}
+
+void EarlyDecidingFloodSet::receive(
+    int round, const std::vector<std::optional<Message>>& received) {
+  int heard = 0;
+  for (const auto& msg : received) {
+    if (!msg) continue;
+    ++heard;
+    for (std::int64_t v : *msg) seen_.insert(static_cast<Value>(v));
+  }
+  const bool clean = (heard == prev_heard_);
+  prev_heard_ = heard;
+  if (!decision_ && (clean || round >= t_ + 1)) {
+    decision_ = *seen_.begin();
+    decision_round_ = round;
+  }
+}
+
+namespace {
+
+class Factory final : public RoundProtocolFactory {
+ public:
+  std::string name() const override { return "early-deciding-floodset"; }
+  int rounds(int /*n*/, int t) const override { return t + 1; }
+  std::unique_ptr<RoundProtocol> create(int n, int t, ProcessId id,
+                                        Value input) const override {
+    return std::make_unique<EarlyDecidingFloodSet>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoundProtocolFactory> early_deciding_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

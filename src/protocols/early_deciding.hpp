@@ -1,0 +1,45 @@
+// Early-deciding FloodSet: decide at the first *clean* round — a round in
+// which the set of processes heard from did not shrink — or at round t+1,
+// whichever comes first. With f actual crashes some round among 1..f+1 is
+// clean from every surviving process's perspective, so every survivor
+// decides by round f+2 at the latest; this is the upper-bound half of the
+// Dwork–Moses early-stopping picture the paper discusses around Lemma 6.4
+// ("by wasting w faults the environment loses w rounds").
+//
+// Heard-sets are monotone under crash failures (a process not heard in round
+// r has crashed and stays silent), so count equality equals set equality.
+// The protocol solves plain (non-uniform) consensus: a process that decides
+// in a clean round and then crashes may die with a value nobody else holds.
+#pragma once
+
+#include <set>
+
+#include "protocols/round_protocol.hpp"
+
+namespace lacon {
+
+class EarlyDecidingFloodSet final : public RoundProtocol {
+ public:
+  EarlyDecidingFloodSet(int n, int t, ProcessId id, Value input);
+
+  std::optional<Message> broadcast(int round) override;
+  void receive(int round,
+               const std::vector<std::optional<Message>>& received) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  // Round at which the decision fired (0 if undecided); for the f+2 bound
+  // measurements.
+  int decision_round() const noexcept { return decision_round_; }
+
+ private:
+  int n_;
+  int t_;
+  std::set<Value> seen_;
+  int prev_heard_;
+  std::optional<Value> decision_;
+  int decision_round_ = 0;
+};
+
+std::unique_ptr<RoundProtocolFactory> early_deciding_factory();
+
+}  // namespace lacon

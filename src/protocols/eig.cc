@@ -1,0 +1,104 @@
+#include "protocols/eig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lacon {
+
+std::int64_t pack_label(const EigLabel& label) {
+  assert(label.size() <= 9);
+  std::int64_t packed = static_cast<std::int64_t>(label.size());
+  for (ProcessId id : label) {
+    packed = (packed << 6) | static_cast<std::int64_t>(id);
+  }
+  return packed;
+}
+
+EigLabel unpack_label(std::int64_t packed) {
+  // The length prefix sits above the 6-bit id digits; for any well-formed
+  // encoding exactly one candidate length matches (the prefix of a longer
+  // label is itself >= 64 > 9, the prefix of a shorter one is 0).
+  for (int len = 0; len <= 9; ++len) {
+    if ((packed >> (6 * len)) == len) {
+      EigLabel label(static_cast<std::size_t>(len));
+      std::int64_t rest = packed;
+      for (int pos = len - 1; pos >= 0; --pos) {
+        label[static_cast<std::size_t>(pos)] =
+            static_cast<ProcessId>(rest & 0x3f);
+        rest >>= 6;
+      }
+      return label;
+    }
+  }
+  assert(false && "malformed EIG label");
+  return {};
+}
+
+Eig::Eig(int n, int t, ProcessId id, Value input) : n_(n), t_(t), id_(id) {
+  tree_[EigLabel{id}] = input;  // own level-1 node
+}
+
+std::optional<Message> Eig::broadcast(int round) {
+  Message msg;
+  if (round == 1) {
+    // Round-1 messages carry the empty relay chain: the receiver records
+    // (sender) -> input.
+    msg.push_back(pack_label({}));
+    msg.push_back(static_cast<std::int64_t>(tree_.at(EigLabel{id_})));
+    return msg;
+  }
+  // Relay every level-(round-1) node whose chain does not include us; the
+  // receiver appends our id to form a level-`round` node.
+  for (const auto& [label, value] : tree_) {
+    if (static_cast<int>(label.size()) != round - 1) continue;
+    if (std::find(label.begin(), label.end(), id_) != label.end()) continue;
+    msg.push_back(pack_label(label));
+    msg.push_back(static_cast<std::int64_t>(value));
+  }
+  return msg;
+}
+
+void Eig::receive(int round,
+                  const std::vector<std::optional<Message>>& received) {
+  // Own relays are recorded too (val(x·i) := val(x), Lynch §6.2.3): the
+  // own broadcast arrives through received[id_] like everyone else's.
+  for (ProcessId sender = 0; sender < n_; ++sender) {
+    const auto& msg = received[static_cast<std::size_t>(sender)];
+    if (!msg) continue;
+    for (std::size_t pos = 0; pos + 1 < msg->size(); pos += 2) {
+      EigLabel label = unpack_label((*msg)[pos]);
+      const Value value = static_cast<Value>((*msg)[pos + 1]);
+      if (static_cast<int>(label.size()) != round - 1) continue;
+      if (std::find(label.begin(), label.end(), sender) != label.end()) {
+        continue;
+      }
+      label.push_back(sender);
+      tree_.emplace(std::move(label), value);
+    }
+  }
+  if (round >= t_ + 1 && !decision_) {
+    Value best = tree_.begin()->second;
+    for (const auto& [label, value] : tree_) best = std::min(best, value);
+    decision_ = best;
+  }
+}
+
+namespace {
+
+class Factory final : public RoundProtocolFactory {
+ public:
+  std::string name() const override { return "eig"; }
+  int rounds(int /*n*/, int t) const override { return t + 1; }
+  std::unique_ptr<RoundProtocol> create(int n, int t, ProcessId id,
+                                        Value input) const override {
+    return std::make_unique<Eig>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoundProtocolFactory> eig_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

@@ -1,0 +1,44 @@
+// Exponential Information Gathering (EIG) consensus for crash failures
+// (EIGStop; Lynch §6.2.3). Each process maintains the EIG tree whose nodes
+// are labelled by strings of distinct process ids; the value at node
+// i1 i2 ... ik is the input of i1 as relayed along the chain i2, ..., ik.
+// After t+1 rounds it decides the minimum value present in the tree —
+// functionally equal to FloodSet, but exercising the full relay structure
+// (and the message sizes the literature attributes to EIG).
+#pragma once
+
+#include <map>
+
+#include "protocols/round_protocol.hpp"
+
+namespace lacon {
+
+// A tree-node label: the relay chain, most recent relayer last. Encoded for
+// messages as fixed-width 6-bit id digits with a length prefix.
+using EigLabel = std::vector<ProcessId>;
+
+std::int64_t pack_label(const EigLabel& label);
+EigLabel unpack_label(std::int64_t packed);
+
+class Eig final : public RoundProtocol {
+ public:
+  Eig(int n, int t, ProcessId id, Value input);
+
+  std::optional<Message> broadcast(int round) override;
+  void receive(int round,
+               const std::vector<std::optional<Message>>& received) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  const std::map<EigLabel, Value>& tree() const noexcept { return tree_; }
+
+ private:
+  int n_;
+  int t_;
+  ProcessId id_;
+  std::map<EigLabel, Value> tree_;
+  std::optional<Value> decision_;
+};
+
+std::unique_ptr<RoundProtocolFactory> eig_factory();
+
+}  // namespace lacon

@@ -1,0 +1,39 @@
+#include "protocols/floodset.hpp"
+
+namespace lacon {
+
+FloodSet::FloodSet(int /*n*/, int t, ProcessId /*id*/, Value input)
+    : t_(t), seen_{input} {}
+
+std::optional<Message> FloodSet::broadcast(int /*round*/) {
+  return Message(seen_.begin(), seen_.end());
+}
+
+void FloodSet::receive(int round,
+                       const std::vector<std::optional<Message>>& received) {
+  for (const auto& msg : received) {
+    if (!msg) continue;
+    for (std::int64_t v : *msg) seen_.insert(static_cast<Value>(v));
+  }
+  if (round >= t_ + 1 && !decision_) decision_ = *seen_.begin();
+}
+
+namespace {
+
+class Factory final : public RoundProtocolFactory {
+ public:
+  std::string name() const override { return "floodset"; }
+  int rounds(int /*n*/, int t) const override { return t + 1; }
+  std::unique_ptr<RoundProtocol> create(int n, int t, ProcessId id,
+                                        Value input) const override {
+    return std::make_unique<FloodSet>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoundProtocolFactory> floodset_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

@@ -1,0 +1,33 @@
+// FloodSet consensus (Lynch, "Distributed Algorithms" §6.2): broadcast the
+// set of values seen every round; after t+1 rounds decide the minimum.
+// Tolerates t crash failures in the synchronous model and decides in exactly
+// t+1 rounds — the matching upper bound for Corollary 6.3.
+#pragma once
+
+#include <set>
+
+#include "protocols/round_protocol.hpp"
+
+namespace lacon {
+
+class FloodSet final : public RoundProtocol {
+ public:
+  FloodSet(int n, int t, ProcessId id, Value input);
+
+  std::optional<Message> broadcast(int round) override;
+  void receive(int round,
+               const std::vector<std::optional<Message>>& received) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  // The current value set (exposed for tests).
+  const std::set<Value>& seen() const noexcept { return seen_; }
+
+ private:
+  int t_;
+  std::set<Value> seen_;
+  std::optional<Value> decision_;
+};
+
+std::unique_ptr<RoundProtocolFactory> floodset_factory();
+
+}  // namespace lacon

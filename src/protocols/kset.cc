@@ -1,0 +1,47 @@
+#include "protocols/kset.hpp"
+
+namespace lacon {
+
+KSetAgreement::KSetAgreement(int n, int t, ProcessId id, Value input)
+    : n_(n), t_(t), id_(id), input_(input) {
+  reports_.insert(input);  // own report
+}
+
+std::vector<Packet> KSetAgreement::start() {
+  std::vector<Packet> out;
+  for (ProcessId dest = 0; dest < n_; ++dest) {
+    if (dest == id_) continue;
+    out.push_back(Packet{id_, dest, {input_}});
+  }
+  if (static_cast<int>(reports_.size()) >= n_ - t_ && !decision_) {
+    decision_ = *reports_.begin();
+  }
+  return out;
+}
+
+std::vector<Packet> KSetAgreement::on_message(const Packet& packet) {
+  reports_.insert(static_cast<Value>(packet.payload[0]));
+  if (static_cast<int>(reports_.size()) >= n_ - t_ && !decision_) {
+    decision_ = *reports_.begin();
+  }
+  return {};
+}
+
+namespace {
+
+class Factory final : public AsyncProcessFactory {
+ public:
+  std::string name() const override { return "k-set-agreement"; }
+  std::unique_ptr<AsyncProcess> create(int n, int t, ProcessId id, Value input,
+                                       Rng* /*rng*/) const override {
+    return std::make_unique<KSetAgreement>(n, t, id, input);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncProcessFactory> kset_factory() {
+  return std::make_unique<Factory>();
+}
+
+}  // namespace lacon

@@ -1,0 +1,37 @@
+// t-resilient asynchronous k-set agreement for t < k (Chaudhuri): each
+// process broadcasts its input, waits for n-t reports (its own included),
+// and decides the minimum value it received. At most t values can be
+// missing from any quorum, so the decided values are among the t+1 <= k
+// smallest inputs — at most k distinct decisions.
+//
+// This is the operational counterpart of the Section 7 catalog row: 2-set
+// agreement is 1-thick connected and hence 1-resiliently solvable, in
+// contrast with consensus.
+#pragma once
+
+#include <set>
+
+#include "protocols/async_process.hpp"
+
+namespace lacon {
+
+class KSetAgreement final : public AsyncProcess {
+ public:
+  KSetAgreement(int n, int t, ProcessId id, Value input);
+
+  std::vector<Packet> start() override;
+  std::vector<Packet> on_message(const Packet& packet) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+ private:
+  int n_;
+  int t_;
+  ProcessId id_;
+  Value input_;
+  std::multiset<Value> reports_;
+  std::optional<Value> decision_;
+};
+
+std::unique_ptr<AsyncProcessFactory> kset_factory();
+
+}  // namespace lacon

@@ -1,0 +1,32 @@
+#include "protocols/round_protocol.hpp"
+
+#include <algorithm>
+
+namespace lacon {
+
+ConsensusOutcome judge_outcome(
+    const std::vector<std::optional<Value>>& decisions,
+    const std::vector<int>& decision_rounds, const std::vector<Value>& inputs,
+    const std::vector<bool>& crashed) {
+  ConsensusOutcome outcome;
+  outcome.all_decided = true;
+  std::optional<Value> agreed;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (crashed[i]) continue;
+    if (!decisions[i]) {
+      outcome.all_decided = false;
+      continue;
+    }
+    outcome.max_decision_round =
+        std::max(outcome.max_decision_round, decision_rounds[i]);
+    if (agreed && *agreed != *decisions[i]) outcome.agreement = false;
+    agreed = *decisions[i];
+    if (std::find(inputs.begin(), inputs.end(), *decisions[i]) ==
+        inputs.end()) {
+      outcome.validity = false;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace lacon

@@ -1,0 +1,66 @@
+// Round-based (synchronous) protocol interface for the Tier-B simulators.
+//
+// The layered analysis of src/engine quantifies over protocols through the
+// full-information skeleton; the protocols here are the *concrete* upper-
+// bound side: real message formats, real state machines, run on the
+// synchronous round simulator of src/sim under crash adversaries. FloodSet
+// and EIG decide in exactly t+1 rounds (the Dolev–Strong bound of Section 6
+// is tight), the early-deciding variant in min(f+2, t+1) rounds (the
+// Dwork–Moses structure the paper discusses around Lemma 6.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lacon {
+
+using Message = std::vector<std::int64_t>;
+
+class RoundProtocol {
+ public:
+  virtual ~RoundProtocol() = default;
+
+  // The message this process broadcasts in `round` (1-based), or nullopt to
+  // stay silent. Deciding processes keep broadcasting until the protocol's
+  // last round so their information is relayed.
+  virtual std::optional<Message> broadcast(int round) = 0;
+
+  // Delivery for `round`: received[i] holds i's message if it arrived.
+  // received[self] always holds the own broadcast.
+  virtual void receive(int round,
+                       const std::vector<std::optional<Message>>& received) = 0;
+
+  // The value written to the write-once decision variable, once decided.
+  virtual std::optional<Value> decision() const = 0;
+};
+
+class RoundProtocolFactory {
+ public:
+  virtual ~RoundProtocolFactory() = default;
+  virtual std::string name() const = 0;
+  // Rounds after which every correct process must have decided.
+  virtual int rounds(int n, int t) const = 0;
+  virtual std::unique_ptr<RoundProtocol> create(int n, int t, ProcessId id,
+                                                Value input) const = 0;
+};
+
+// Consensus outcome of a finished synchronous run, judged over the
+// processes that survived (plain, non-uniform consensus).
+struct ConsensusOutcome {
+  bool all_decided = false;  // every surviving process decided
+  bool agreement = true;     // surviving decisions identical
+  bool validity = true;      // every decision is somebody's input
+  int max_decision_round = 0;
+};
+
+ConsensusOutcome judge_outcome(const std::vector<std::optional<Value>>& decisions,
+                               const std::vector<int>& decision_rounds,
+                               const std::vector<Value>& inputs,
+                               const std::vector<bool>& crashed);
+
+}  // namespace lacon

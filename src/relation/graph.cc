@@ -1,0 +1,121 @@
+#include "relation/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace lacon {
+
+namespace {
+constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Graph::Graph(std::size_t size) : adjacency_(size) {}
+
+Graph Graph::from_relation(
+    std::size_t size,
+    const std::function<bool(std::size_t, std::size_t)>& related) {
+  Graph g(size);
+  for (std::size_t a = 0; a < size; ++a) {
+    for (std::size_t b = a + 1; b < size; ++b) {
+      if (related(a, b)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  assert(a < size() && b < size() && a != b);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edges_;
+}
+
+std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
+  std::vector<std::size_t> dist(size(), kUnreached);
+  std::queue<std::size_t> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (std::size_t w : adjacency_[v]) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (size() <= 1) return true;
+  const std::vector<std::size_t> dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == kUnreached; });
+}
+
+std::vector<std::size_t> Graph::components() const {
+  std::vector<std::size_t> label(size(), kUnreached);
+  std::size_t next = 0;
+  for (std::size_t v = 0; v < size(); ++v) {
+    if (label[v] != kUnreached) continue;
+    const std::size_t mine = next++;
+    std::queue<std::size_t> queue;
+    label[v] = mine;
+    queue.push(v);
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop();
+      for (std::size_t w : adjacency_[u]) {
+        if (label[w] == kUnreached) {
+          label[w] = mine;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::optional<std::size_t> Graph::diameter() const {
+  if (size() == 0) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < size(); ++v) {
+    const std::vector<std::size_t> dist = bfs_distances(v);
+    for (std::size_t d : dist) {
+      if (d == kUnreached) return std::nullopt;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> Graph::distance(std::size_t a, std::size_t b) const {
+  const std::vector<std::size_t> dist = bfs_distances(a);
+  if (dist[b] == kUnreached) return std::nullopt;
+  return dist[b];
+}
+
+std::vector<std::size_t> Graph::shortest_path(std::size_t a,
+                                              std::size_t b) const {
+  // BFS from b so we can walk a -> b by strictly decreasing distance.
+  const std::vector<std::size_t> dist = bfs_distances(b);
+  if (dist[a] == kUnreached) return {};
+  std::vector<std::size_t> path = {a};
+  std::size_t cur = a;
+  while (cur != b) {
+    for (std::size_t w : adjacency_[cur]) {
+      if (dist[w] + 1 == dist[cur]) {
+        cur = w;
+        path.push_back(w);
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace lacon

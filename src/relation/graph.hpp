@@ -1,0 +1,55 @@
+// Small undirected-graph utilities used for the paper's connectivity notions:
+// given a finite set X of states and a binary relation (~s or ~v), we form
+// the graph (X, ~) and ask about connectedness and diameter.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace lacon {
+
+// An undirected graph on vertices 0..size-1 stored as adjacency lists.
+class Graph {
+ public:
+  explicit Graph(std::size_t size);
+
+  // Builds the graph of a symmetric relation by evaluating `related` on all
+  // unordered pairs.
+  static Graph from_relation(
+      std::size_t size,
+      const std::function<bool(std::size_t, std::size_t)>& related);
+
+  void add_edge(std::size_t a, std::size_t b);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+  const std::vector<std::size_t>& neighbors(std::size_t v) const {
+    return adjacency_[v];
+  }
+  std::size_t edge_count() const noexcept { return edges_; }
+
+  bool connected() const;
+
+  // Connected-component label per vertex, labels are 0..k-1 in first-seen
+  // order.
+  std::vector<std::size_t> components() const;
+
+  // Diameter of the graph: the largest BFS eccentricity. nullopt when the
+  // graph is disconnected (infinite diameter) or empty.
+  std::optional<std::size_t> diameter() const;
+
+  // Length of a shortest path between a and b; nullopt if not connected.
+  std::optional<std::size_t> distance(std::size_t a, std::size_t b) const;
+
+  // A shortest path from a to b (inclusive); empty if not connected.
+  std::vector<std::size_t> shortest_path(std::size_t a, std::size_t b) const;
+
+ private:
+  std::vector<std::size_t> bfs_distances(std::size_t source) const;
+
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace lacon

@@ -1,0 +1,38 @@
+#include "relation/similarity.hpp"
+
+namespace lacon {
+
+std::optional<ProcessId> similarity_witness(LayeredModel& model, StateId x,
+                                            StateId y) {
+  const ProcessSet failed_both = model.failed_at(x) | model.failed_at(y);
+  const int n = model.n();
+  for (ProcessId j = 0; j < n; ++j) {
+    if (!model.agree_modulo(x, y, j)) continue;
+    // Need a process i != j non-failed in both states.
+    ProcessSet others = ProcessSet::all(n) - failed_both;
+    others.erase(j);
+    if (!others.empty()) return j;
+  }
+  return std::nullopt;
+}
+
+bool similar(LayeredModel& model, StateId x, StateId y) {
+  return similarity_witness(model, x, y).has_value();
+}
+
+Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X) {
+  return Graph::from_relation(X.size(), [&](std::size_t a, std::size_t b) {
+    return similar(model, X[a], X[b]);
+  });
+}
+
+bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X) {
+  return similarity_graph(model, X).connected();
+}
+
+std::optional<std::size_t> s_diameter(LayeredModel& model,
+                                      const std::vector<StateId>& X) {
+  return similarity_graph(model, X).diameter();
+}
+
+}  // namespace lacon

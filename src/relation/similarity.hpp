@@ -1,0 +1,33 @@
+// The similarity relation ~s of Definition 3.1 and the graphs it induces.
+//
+// x ~s y holds when there is a process j such that (i) x and y agree modulo
+// j, and (ii) some process i != j is non-failed in both x and y. Similarity
+// connectivity of a set X is connectivity of the graph (X, ~s); its diameter
+// is the paper's s-diameter (Section 7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "relation/graph.hpp"
+
+namespace lacon {
+
+// True iff x ~s y in the given model.
+bool similar(LayeredModel& model, StateId x, StateId y);
+
+// The witness process j for x ~s y, if any (the smallest such j).
+std::optional<ProcessId> similarity_witness(LayeredModel& model, StateId x,
+                                            StateId y);
+
+// The graph (X, ~s).
+Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X);
+
+bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X);
+
+// s-diameter of X; nullopt when (X, ~s) is disconnected.
+std::optional<std::size_t> s_diameter(LayeredModel& model,
+                                      const std::vector<StateId>& X);
+
+}  // namespace lacon

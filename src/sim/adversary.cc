@@ -1,0 +1,64 @@
+#include "sim/adversary.hpp"
+
+#include <cassert>
+
+namespace lacon {
+
+CrashPlan no_crashes() { return {}; }
+
+CrashPlan random_crashes(int n, int t, int rounds, std::uint64_t seed) {
+  Rng rng(seed);
+  CrashPlan plan;
+  ProcessSet crashed;
+  const int count = rng.int_below(t + 1);
+  for (int c = 0; c < count; ++c) {
+    ProcessId who = rng.int_below(n);
+    while (crashed.contains(who)) who = (who + 1) % n;
+    crashed.insert(who);
+    const int round = 1 + rng.int_below(rounds);
+    const ProcessSet delivered(rng.next() & (ProcessSet::all(n).mask()));
+    plan.push_back(CrashEvent{who, round, delivered});
+  }
+  return plan;
+}
+
+CrashPlan hiding_chain(int n, int t) {
+  assert(t < n);
+  CrashPlan plan;
+  for (int c = 0; c < t; ++c) {
+    plan.push_back(
+        CrashEvent{c, c + 1, ProcessSet::single((c + 1) % n)});
+  }
+  return plan;
+}
+
+std::vector<CrashPlan> all_crash_plans(int n, int max_crashes, int rounds) {
+  std::vector<CrashPlan> plans = {{}};
+  // Grow plans crash by crash; each new crash uses a process with a larger
+  // id than the previous ones (per-process crash events are unordered in
+  // the plan, but rounds may coincide, so order by process id to avoid
+  // duplicates).
+  std::vector<CrashPlan> frontier = {{}};
+  for (int c = 0; c < max_crashes; ++c) {
+    std::vector<CrashPlan> next;
+    for (const CrashPlan& base : frontier) {
+      const ProcessId start = base.empty() ? 0 : base.back().who + 1;
+      for (ProcessId who = start; who < n; ++who) {
+        for (int round = 1; round <= rounds; ++round) {
+          const std::uint64_t all = ProcessSet::all(n).mask();
+          for (std::uint64_t mask = 0; mask <= all; ++mask) {
+            if ((mask | all) != all) continue;
+            CrashPlan plan = base;
+            plan.push_back(CrashEvent{who, round, ProcessSet(mask)});
+            next.push_back(plan);
+          }
+        }
+      }
+    }
+    plans.insert(plans.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return plans;
+}
+
+}  // namespace lacon

@@ -1,0 +1,48 @@
+// Crash adversaries for the synchronous round simulator.
+//
+// A crash plan is a list of events (who, round, delivered): the process
+// crashes while broadcasting in `round`, delivering its final message only
+// to `delivered`; it is silent (and stopped) afterwards. The generators
+// below produce the standard adversaries: none, seeded-random, one crash
+// per round, and the value-hiding chain that forces FloodSet/EIG to the
+// full t+1 rounds (the executable counterpart of Corollary 6.3).
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace lacon {
+
+struct CrashEvent {
+  ProcessId who = 0;
+  int round = 1;  // 1-based round of the partial broadcast
+  ProcessSet delivered;
+
+  bool operator==(const CrashEvent&) const = default;
+};
+
+using CrashPlan = std::vector<CrashEvent>;
+
+// No failures.
+CrashPlan no_crashes();
+
+// Up to t crashes at random rounds with random partial-delivery sets.
+CrashPlan random_crashes(int n, int t, int rounds, std::uint64_t seed);
+
+// The value-hiding chain: process 0 (which should hold the minimum input)
+// crashes in round 1 delivering only to process 1; process 1 crashes in
+// round 2 delivering only to process 2; ... ; process t-1 crashes in round t
+// delivering only to process t. The minimum value stays known to exactly one
+// alive process through round t, so no protocol can safely decide before
+// round t+1.
+CrashPlan hiding_chain(int n, int t);
+
+// All crash plans with at most `max_crashes` crashes within `rounds` rounds,
+// where every crash delivers to an arbitrary subset. Exponential; intended
+// for exhaustive testing at n <= 4, rounds <= 3.
+std::vector<CrashPlan> all_crash_plans(int n, int max_crashes, int rounds);
+
+}  // namespace lacon

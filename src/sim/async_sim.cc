@@ -1,0 +1,117 @@
+#include "sim/async_sim.hpp"
+
+#include <cassert>
+
+namespace lacon {
+namespace {
+
+class RandomScheduler final : public AsyncScheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::optional<std::size_t> pick(const std::vector<Packet>& pending) override {
+    return rng_.below(pending.size());
+  }
+
+ private:
+  Rng rng_;
+};
+
+class StarveSenderScheduler final : public AsyncScheduler {
+ public:
+  StarveSenderScheduler(ProcessId victim, std::uint64_t seed)
+      : victim_(victim), rng_(seed) {}
+  std::optional<std::size_t> pick(const std::vector<Packet>& pending) override {
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].from != victim_) eligible.push_back(i);
+    }
+    if (eligible.empty()) return std::nullopt;  // stall forever
+    return eligible[rng_.below(eligible.size())];
+  }
+
+ private:
+  ProcessId victim_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncScheduler> random_scheduler(std::uint64_t seed) {
+  return std::make_unique<RandomScheduler>(seed);
+}
+
+std::unique_ptr<AsyncScheduler> starve_sender_scheduler(ProcessId victim,
+                                                        std::uint64_t seed) {
+  return std::make_unique<StarveSenderScheduler>(victim, seed);
+}
+
+AsyncRunResult run_async(const AsyncProcessFactory& factory, int n, int t,
+                         const std::vector<Value>& inputs,
+                         AsyncScheduler& scheduler, Rng& protocol_rng,
+                         const std::vector<long>& crash_after,
+                         std::size_t max_deliveries) {
+  assert(static_cast<int>(inputs.size()) == n);
+  assert(static_cast<int>(crash_after.size()) == n);
+
+  std::vector<std::unique_ptr<AsyncProcess>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId i = 0; i < n; ++i) {
+    procs.push_back(factory.create(n, t, i, inputs[static_cast<std::size_t>(i)],
+                                   &protocol_rng));
+  }
+
+  AsyncRunResult result;
+  result.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+  result.crashed.assign(static_cast<std::size_t>(n), false);
+
+  auto is_crashed = [&](ProcessId i) {
+    const long limit = crash_after[static_cast<std::size_t>(i)];
+    return limit >= 0 && static_cast<long>(result.deliveries) >= limit;
+  };
+
+  std::vector<Packet> pending;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (is_crashed(i)) continue;
+    auto out = procs[static_cast<std::size_t>(i)]->start();
+    pending.insert(pending.end(), out.begin(), out.end());
+  }
+
+  auto all_alive_decided = [&]() {
+    for (ProcessId i = 0; i < n; ++i) {
+      if (result.crashed[static_cast<std::size_t>(i)] || is_crashed(i)) {
+        result.crashed[static_cast<std::size_t>(i)] = true;
+        continue;
+      }
+      if (!result.decisions[static_cast<std::size_t>(i)]) return false;
+    }
+    return true;
+  };
+
+  while (!pending.empty() && result.deliveries < max_deliveries) {
+    if (all_alive_decided()) {
+      result.all_alive_decided = true;
+      return result;
+    }
+    const std::optional<std::size_t> choice = scheduler.pick(pending);
+    if (!choice) {
+      result.stalled = true;
+      return result;
+    }
+    const Packet packet = pending[*choice];
+    pending.erase(pending.begin() + static_cast<long>(*choice));
+    ++result.deliveries;
+    if (is_crashed(packet.to)) {
+      result.crashed[static_cast<std::size_t>(packet.to)] = true;
+      continue;
+    }
+    auto out = procs[static_cast<std::size_t>(packet.to)]->on_message(packet);
+    pending.insert(pending.end(), out.begin(), out.end());
+    const auto d = procs[static_cast<std::size_t>(packet.to)]->decision();
+    if (d) result.decisions[static_cast<std::size_t>(packet.to)] = d;
+  }
+
+  result.all_alive_decided = all_alive_decided();
+  return result;
+}
+
+}  // namespace lacon

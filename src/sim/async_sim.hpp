@@ -1,0 +1,55 @@
+// Asynchronous event simulator: a pending-packet pool drained one delivery
+// at a time by a pluggable scheduler. This is the substrate on which Ben-Or
+// demonstrates the randomized escape from the FLP-style impossibilities, and
+// on which the starvation scheduler wedges the deterministic
+// rotating-coordinator protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/async_process.hpp"
+#include "util/rng.hpp"
+
+namespace lacon {
+
+class AsyncScheduler {
+ public:
+  virtual ~AsyncScheduler() = default;
+  // Picks the index of the next pending packet to deliver, or nullopt to
+  // refuse (the adversary stalls; the run ends). `pending` is non-empty.
+  virtual std::optional<std::size_t> pick(
+      const std::vector<Packet>& pending) = 0;
+};
+
+// Delivers a uniformly random pending packet (a fair schedule with
+// probability 1).
+std::unique_ptr<AsyncScheduler> random_scheduler(std::uint64_t seed);
+
+// Starves every packet *sent by* `victim`: delivers any other packet first
+// and stalls when only the victim's packets remain. Models an unboundedly
+// slow process/link — exactly the asynchrony the impossibility proofs
+// exploit.
+std::unique_ptr<AsyncScheduler> starve_sender_scheduler(ProcessId victim,
+                                                        std::uint64_t seed);
+
+struct AsyncRunResult {
+  std::vector<std::optional<Value>> decisions;
+  std::vector<bool> crashed;
+  std::size_t deliveries = 0;
+  bool all_alive_decided = false;
+  bool stalled = false;  // the scheduler refused while packets were pending
+};
+
+// Runs the protocol to completion, a step bound, or a scheduler stall.
+// `crash_after[i]` stops process i after that many global deliveries
+// (-1 = never crashes); packets to a crashed process are dropped.
+AsyncRunResult run_async(const AsyncProcessFactory& factory, int n, int t,
+                         const std::vector<Value>& inputs,
+                         AsyncScheduler& scheduler, Rng& protocol_rng,
+                         const std::vector<long>& crash_after,
+                         std::size_t max_deliveries);
+
+}  // namespace lacon

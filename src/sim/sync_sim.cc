@@ -1,0 +1,87 @@
+#include "sim/sync_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lacon {
+
+SyncRunResult run_sync(const RoundProtocolFactory& factory, int n, int t,
+                       const std::vector<Value>& inputs,
+                       const CrashPlan& crashes, int max_rounds) {
+  assert(static_cast<int>(inputs.size()) == n);
+  if (max_rounds < 0) max_rounds = factory.rounds(n, t);
+
+  std::vector<std::unique_ptr<RoundProtocol>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId i = 0; i < n; ++i) {
+    procs.push_back(
+        factory.create(n, t, i, inputs[static_cast<std::size_t>(i)]));
+  }
+
+  SyncRunResult result;
+  result.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+  result.decision_rounds.assign(static_cast<std::size_t>(n), 0);
+  result.crashed.assign(static_cast<std::size_t>(n), false);
+
+  auto crash_event = [&](ProcessId i, int round) -> const CrashEvent* {
+    for (const CrashEvent& e : crashes) {
+      if (e.who == i && e.round == round) return &e;
+    }
+    return nullptr;
+  };
+
+  for (int round = 1; round <= max_rounds; ++round) {
+    result.rounds_executed = round;
+
+    // Gather broadcasts from processes alive at the start of the round.
+    std::vector<std::optional<Message>> sent(static_cast<std::size_t>(n));
+    for (ProcessId i = 0; i < n; ++i) {
+      if (result.crashed[static_cast<std::size_t>(i)]) continue;
+      sent[static_cast<std::size_t>(i)] =
+          procs[static_cast<std::size_t>(i)]->broadcast(round);
+    }
+
+    // Deliver, applying this round's crash events.
+    for (ProcessId i = 0; i < n; ++i) {
+      if (result.crashed[static_cast<std::size_t>(i)]) continue;
+      if (crash_event(i, round) != nullptr) continue;  // crashes mid-round
+      std::vector<std::optional<Message>> received(
+          static_cast<std::size_t>(n));
+      for (ProcessId s = 0; s < n; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        if (!sent[su]) continue;
+        if (s != i) {
+          const CrashEvent* e = crash_event(s, round);
+          if (e != nullptr && !e->delivered.contains(i)) continue;
+        }
+        received[su] = sent[su];
+        ++result.messages_delivered;
+      }
+      procs[static_cast<std::size_t>(i)]->receive(round, received);
+      const auto d = procs[static_cast<std::size_t>(i)]->decision();
+      if (d && !result.decisions[static_cast<std::size_t>(i)]) {
+        result.decisions[static_cast<std::size_t>(i)] = d;
+        result.decision_rounds[static_cast<std::size_t>(i)] = round;
+      }
+    }
+
+    // Mark this round's crashes.
+    for (const CrashEvent& e : crashes) {
+      if (e.round == round) result.crashed[static_cast<std::size_t>(e.who)] = true;
+    }
+
+    // Early exit: all survivors decided.
+    bool done = true;
+    for (ProcessId i = 0; i < n; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (!result.crashed[iu] && !result.decisions[iu]) done = false;
+    }
+    if (done) break;
+  }
+
+  result.outcome = judge_outcome(result.decisions, result.decision_rounds,
+                                 inputs, result.crashed);
+  return result;
+}
+
+}  // namespace lacon

@@ -1,0 +1,31 @@
+// Synchronous round simulator for Tier-B protocols under crash adversaries.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/round_protocol.hpp"
+#include "sim/adversary.hpp"
+
+namespace lacon {
+
+struct SyncRunResult {
+  std::vector<std::optional<Value>> decisions;
+  std::vector<int> decision_rounds;  // 0 when undecided
+  std::vector<bool> crashed;
+  int rounds_executed = 0;
+  std::size_t messages_delivered = 0;
+  ConsensusOutcome outcome;
+};
+
+// Runs `factory`-created processes for up to `max_rounds` synchronous rounds
+// (default: factory.rounds(n, t)) under the given crash plan. A process
+// crashing in round r delivers its round-r broadcast only to the event's
+// `delivered` set and neither receives nor acts from then on. The simulation
+// stops early once every surviving process has decided.
+SyncRunResult run_sync(const RoundProtocolFactory& factory, int n, int t,
+                       const std::vector<Value>& inputs,
+                       const CrashPlan& crashes, int max_rounds = -1);
+
+}  // namespace lacon

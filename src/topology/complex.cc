@@ -1,0 +1,71 @@
+#include "topology/complex.hpp"
+
+#include <algorithm>
+
+namespace lacon {
+namespace {
+
+// Enumerates all faces of `s` with exactly `size` vertices into `out`.
+void faces_of_size(const Simplex& s, int size,
+                   std::unordered_set<Simplex, SimplexHash>& out) {
+  const int m = static_cast<int>(s.size());
+  if (size > m) return;
+  // Iterate over all size-subsets via bitmask (simplexes are tiny).
+  for (std::uint32_t bits = 0; bits < (1u << m); ++bits) {
+    if (__builtin_popcount(bits) != size) continue;
+    Simplex face;
+    face.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < m; ++i) {
+      if ((bits >> i) & 1u) face.push_back(s[static_cast<std::size_t>(i)]);
+    }
+    out.insert(std::move(face));
+  }
+}
+
+}  // namespace
+
+void Complex::add(const Simplex& s) {
+  if (generator_set_.insert(s).second) generators_.push_back(s);
+}
+
+bool Complex::contains(const Simplex& s) const {
+  if (generator_set_.contains(s)) return true;
+  return std::any_of(generators_.begin(), generators_.end(),
+                     [&](const Simplex& g) { return is_face(s, g); });
+}
+
+std::vector<Simplex> Complex::simplexes_of_size(int size) const {
+  std::unordered_set<Simplex, SimplexHash> set;
+  for (const Simplex& g : generators_) faces_of_size(g, size, set);
+  std::vector<Simplex> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Graph Complex::thick_graph(int n, int k) const {
+  const std::vector<Simplex> tops = simplexes_of_size(n);
+  return Graph::from_relation(tops.size(), [&](std::size_t a, std::size_t b) {
+    return static_cast<int>(simplex_intersection(tops[a], tops[b]).size()) >=
+           n - k;
+  });
+}
+
+bool Complex::k_thick_connected(int n, int k) const {
+  return thick_graph(n, k).connected();
+}
+
+std::optional<std::size_t> Complex::thick_diameter(int n, int k) const {
+  return thick_graph(n, k).diameter();
+}
+
+bool Complex::operator==(const Complex& o) const {
+  // Compare as sets of generators (sufficient for our uses, where complexes
+  // are built from the same generator families).
+  if (generators_.size() != o.generators_.size()) return false;
+  return std::all_of(generators_.begin(), generators_.end(),
+                     [&](const Simplex& g) {
+                       return o.generator_set_.contains(g);
+                     });
+}
+
+}  // namespace lacon

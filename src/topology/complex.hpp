@@ -1,0 +1,56 @@
+// Simplicial complexes, k-thick connectivity and complex diameter
+// (Section 7).
+//
+// A complex is a set of simplexes closed under containment; we store the
+// maximal-simplex generators and answer membership by face queries (the
+// instances here are tiny). An n-size-complex is k-thick-connected when any
+// two n-size-simplexes are linked by a chain of n-size-simplexes in which
+// consecutive members share an (n-k)-size face.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "relation/graph.hpp"
+#include "topology/simplex.hpp"
+
+namespace lacon {
+
+class Complex {
+ public:
+  Complex() = default;
+
+  // Adds a simplex (and implicitly all of its faces).
+  void add(const Simplex& s);
+
+  bool empty() const noexcept { return generators_.empty(); }
+
+  // Membership: s is in the complex iff it is a face of some generator.
+  bool contains(const Simplex& s) const;
+
+  // All distinct simplexes of exactly `size` vertices present in the
+  // complex (enumerated from the generators' faces).
+  std::vector<Simplex> simplexes_of_size(int size) const;
+
+  const std::vector<Simplex>& generators() const noexcept {
+    return generators_;
+  }
+
+  // The graph on n-size-simplexes with edges between pairs sharing an
+  // (n-k)-size face.
+  Graph thick_graph(int n, int k) const;
+
+  bool k_thick_connected(int n, int k) const;
+
+  // Diameter of the thick graph; nullopt when disconnected or empty.
+  std::optional<std::size_t> thick_diameter(int n, int k) const;
+
+  bool operator==(const Complex& o) const;
+
+ private:
+  std::vector<Simplex> generators_;  // maximal under insertion order
+  std::unordered_set<Simplex, SimplexHash> generator_set_;
+};
+
+}  // namespace lacon

@@ -1,0 +1,53 @@
+#include "topology/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lacon {
+
+Simplex make_simplex(std::vector<Vertex> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < vertices.size(); ++i) {
+    assert(vertices[i - 1].id != vertices[i].id &&
+           "simplex process ids must be distinct");
+  }
+#endif
+  return vertices;
+}
+
+Simplex make_simplex(std::initializer_list<Vertex> vertices) {
+  return make_simplex(std::vector<Vertex>(vertices));
+}
+
+Simplex assignment_simplex(const std::vector<Value>& values) {
+  Simplex s;
+  s.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.push_back(Vertex{static_cast<ProcessId>(i), values[i]});
+  }
+  return s;
+}
+
+bool is_face(const Simplex& a, const Simplex& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+Simplex simplex_intersection(const Simplex& a, const Simplex& b) {
+  Simplex out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::string to_string(const Simplex& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ", ";
+    out += "(" + std::to_string(s[i].id) + ":" + std::to_string(s[i].value) +
+           ")";
+  }
+  return out + "}";
+}
+
+}  // namespace lacon

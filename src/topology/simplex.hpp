@@ -1,0 +1,55 @@
+// Vertices and simplexes (Section 7).
+//
+// A vertex is a pair (process id, value); a simplex is a set of vertices
+// with pairwise-distinct process ids, stored sorted by process id so that
+// simplex equality is vector equality.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/hash.hpp"
+
+namespace lacon {
+
+struct Vertex {
+  ProcessId id = 0;
+  Value value = 0;
+
+  auto operator<=>(const Vertex&) const = default;
+};
+
+using Simplex = std::vector<Vertex>;  // sorted by id, ids distinct
+
+// Builds a simplex from arbitrary-order vertices; asserts distinct ids.
+Simplex make_simplex(std::vector<Vertex> vertices);
+Simplex make_simplex(std::initializer_list<Vertex> vertices);
+
+// The simplex describing a full input/output assignment: vertex (i, v[i])
+// for every process.
+Simplex assignment_simplex(const std::vector<Value>& values);
+
+// True iff `a` is a face of `b` (every vertex of a appears in b).
+bool is_face(const Simplex& a, const Simplex& b);
+
+// The common face of a and b.
+Simplex simplex_intersection(const Simplex& a, const Simplex& b);
+
+std::string to_string(const Simplex& s);
+
+struct SimplexHash {
+  std::size_t operator()(const Simplex& s) const noexcept {
+    std::uint64_t h = s.size();
+    for (const Vertex& v : s) {
+      h = hash_combine(h, static_cast<std::uint64_t>(v.id));
+      h = hash_combine(h, static_cast<std::uint64_t>(v.value));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace lacon

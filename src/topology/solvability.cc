@@ -1,0 +1,249 @@
+#include "topology/solvability.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "relation/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lacon {
+namespace {
+
+Graph input_similarity_graph(const DecisionProblem& p) {
+  return Graph::from_relation(p.inputs.size(),
+                              [&](std::size_t a, std::size_t b) {
+                                return inputs_similar(p.inputs[a],
+                                                      p.inputs[b]);
+                              });
+}
+
+bool subset_connected(const Graph& g, const std::vector<std::size_t>& which) {
+  if (which.size() <= 1) return true;
+  // BFS within the subset.
+  std::vector<bool> in_set(g.size(), false);
+  for (std::size_t v : which) in_set[v] = true;
+  std::vector<bool> seen(g.size(), false);
+  std::vector<std::size_t> stack = {which[0]};
+  seen[which[0]] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : g.neighbors(v)) {
+      if (in_set[w] && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == which.size();
+}
+
+// The sets I the checker quantifies over. Exhaustive for small input
+// families; otherwise a structured sample (full set, singletons, adjacent
+// pairs, random connected subsets).
+std::vector<std::vector<std::size_t>> candidate_input_sets(
+    const DecisionProblem& p, bool* exhaustive) {
+  const Graph g = input_similarity_graph(p);
+  const std::size_t m = p.inputs.size();
+  std::vector<std::vector<std::size_t>> sets;
+  if (m <= 16) {
+    *exhaustive = true;
+    for (std::uint32_t bits = 1; bits < (1u << m); ++bits) {
+      std::vector<std::size_t> which;
+      for (std::size_t i = 0; i < m; ++i) {
+        if ((bits >> i) & 1u) which.push_back(i);
+      }
+      if (subset_connected(g, which)) sets.push_back(std::move(which));
+    }
+    // Largest first: the full set is the most discriminating for failures.
+    std::sort(sets.begin(), sets.end(),
+              [](const auto& a, const auto& b) { return a.size() > b.size(); });
+    return sets;
+  }
+  *exhaustive = false;
+  std::vector<std::size_t> full(m);
+  for (std::size_t i = 0; i < m; ++i) full[i] = i;
+  sets.push_back(full);
+  for (std::size_t i = 0; i < m; ++i) sets.push_back({i});
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b : g.neighbors(a)) {
+      if (b > a) sets.push_back({a, b});
+    }
+  }
+  // Random connected subsets grown by BFS from random seeds.
+  Rng rng(0x7365747321ULL);
+  for (int trial = 0; trial < 128; ++trial) {
+    const std::size_t target = 2 + rng.below(m - 1);
+    std::vector<std::size_t> which = {rng.below(m)};
+    std::vector<bool> in_set(m, false);
+    in_set[which[0]] = true;
+    for (std::size_t grow = 0; grow < target; ++grow) {
+      const std::size_t v = which[rng.below(which.size())];
+      const auto& nb = g.neighbors(v);
+      if (nb.empty()) break;
+      const std::size_t w = nb[rng.below(nb.size())];
+      if (!in_set[w]) {
+        in_set[w] = true;
+        which.push_back(w);
+      }
+    }
+    std::sort(which.begin(), which.end());
+    sets.push_back(std::move(which));
+  }
+  return sets;
+}
+
+// A subproblem: for each input index, a non-empty bitmask over its allowed
+// outputs.
+using Subproblem = std::vector<std::uint32_t>;
+
+Complex subproblem_complex(const DecisionProblem& p, const Subproblem& sub,
+                           const std::vector<std::size_t>& which) {
+  Complex c;
+  for (std::size_t idx : which) {
+    const auto& outs = p.allowed_outputs[idx];
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      if ((sub[idx] >> o) & 1u) c.add(assignment_simplex(outs[o]));
+    }
+  }
+  return c;
+}
+
+bool subproblem_ok(const DecisionProblem& p, const Subproblem& sub, int k,
+                   const std::vector<std::vector<std::size_t>>& sets) {
+  return std::all_of(sets.begin(), sets.end(), [&](const auto& which) {
+    return subproblem_complex(p, sub, which).k_thick_connected(p.n, k);
+  });
+}
+
+}  // namespace
+
+bool inputs_similar(const std::vector<Value>& a, const std::vector<Value>& b) {
+  assert(a.size() == b.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i] && ++diffs > 1) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::size_t>> similarity_connected_input_sets(
+    const DecisionProblem& p) {
+  bool exhaustive = false;
+  auto sets = candidate_input_sets(p, &exhaustive);
+  assert(exhaustive && "problem too large for exhaustive set enumeration");
+  return sets;
+}
+
+ThickResult problem_k_thick_connected(const DecisionProblem& p, int k,
+                                      std::uint64_t budget) {
+  ThickResult result;
+  bool exhaustive_sets = false;
+  const auto sets = candidate_input_sets(p, &exhaustive_sets);
+  const std::string set_note =
+      exhaustive_sets ? "all similarity-connected I"
+                      : "sampled similarity-connected I";
+
+  // Heuristic witnesses first: Δ' = Δ, then the per-input single choices
+  // "always the c-th allowed output".
+  std::size_t max_choices = 0;
+  Subproblem full(p.inputs.size());
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    const std::size_t sz = p.allowed_outputs[i].size();
+    max_choices = std::max(max_choices, sz);
+    full[i] = (sz >= 32) ? 0xffffffffu : ((1u << sz) - 1);
+  }
+  ++result.subproblems_tried;
+  if (subproblem_ok(p, full, k, sets)) {
+    result.verdict = ThickVerdict::kConnected;
+    result.detail = "witness: Δ' = Δ (" + set_note + ")";
+    return result;
+  }
+  for (std::size_t c = 0; c < max_choices; ++c) {
+    Subproblem single(p.inputs.size());
+    for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+      const std::size_t sz = p.allowed_outputs[i].size();
+      single[i] = 1u << std::min(c, sz - 1);
+    }
+    ++result.subproblems_tried;
+    if (subproblem_ok(p, single, k, sets)) {
+      result.verdict = ThickVerdict::kConnected;
+      result.detail = "witness: single-choice subproblem #" +
+                      std::to_string(c) + " (" + set_note + ")";
+      return result;
+    }
+  }
+
+  // Exhaustive subproblem search when feasible (and only conclusive for the
+  // negative verdict when the I-sets were exhaustive too).
+  std::uint64_t space = 1;
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    const std::size_t sz = p.allowed_outputs[i].size();
+    if (sz >= 20) {
+      space = budget + 1;
+      break;
+    }
+    const std::uint64_t options = (1ULL << sz) - 1;
+    if (space > budget / options + 1) {
+      space = budget + 1;
+      break;
+    }
+    space *= options;
+  }
+  if (space > budget) {
+    result.verdict = ThickVerdict::kUnknown;
+    result.detail = "subproblem space too large (" + set_note + ")";
+    return result;
+  }
+
+  Subproblem sub(p.inputs.size(), 1u);  // mixed-radix counter over masks
+  for (;;) {
+    ++result.subproblems_tried;
+    if (subproblem_ok(p, sub, k, sets)) {
+      result.verdict = ThickVerdict::kConnected;
+      result.detail = "witness found by exhaustive search (" + set_note + ")";
+      return result;
+    }
+    // Increment: each digit ranges over 1 .. 2^sz - 1.
+    std::size_t pos = 0;
+    while (pos < sub.size()) {
+      const std::uint32_t limit =
+          (1u << p.allowed_outputs[pos].size()) - 1;
+      if (sub[pos] < limit) {
+        ++sub[pos];
+        break;
+      }
+      sub[pos] = 1u;
+      ++pos;
+    }
+    if (pos == sub.size()) break;
+  }
+  result.verdict = exhaustive_sets ? ThickVerdict::kNotConnected
+                                   : ThickVerdict::kUnknown;
+  result.detail = "no subproblem works (exhaustive over Δ', " + set_note + ")";
+  return result;
+}
+
+long long diameter_bound(int n, int t, long long d0) {
+  long long dx = d0;
+  for (int m = 0; m < t; ++m) {
+    const long long dy = 2LL * (n - m);
+    dx = dx * dy + dx + dy;
+  }
+  return dx;
+}
+
+bool diameter_condition_holds(const DecisionProblem& p, int k,
+                              long long bound) {
+  bool exhaustive = false;
+  const auto sets = candidate_input_sets(p, &exhaustive);
+  for (const auto& which : sets) {
+    const auto diam = p.output_complex(which).thick_diameter(p.n, k);
+    if (!diam || static_cast<long long>(*diam) > bound) return false;
+  }
+  return true;
+}
+
+}  // namespace lacon

@@ -1,0 +1,58 @@
+// Solvability conditions for decision problems (Section 7): k-thick
+// connectivity of a problem (Theorem 7.2 / Corollary 7.3 / Lemma 7.5) and
+// the diameter bound of Lemma 7.6 / Theorem 7.7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/tasks.hpp"
+
+namespace lacon {
+
+// Two input assignments are similar as initial states exactly when they
+// differ in at most one process's input (the Lemma 3.6 chain argument).
+bool inputs_similar(const std::vector<Value>& a, const std::vector<Value>& b);
+
+// All similarity-connected subsets of the problem's inputs, as index lists.
+// Only valid for small problems (|inputs| <= 20); larger problems use the
+// sampled variant below.
+std::vector<std::vector<std::size_t>> similarity_connected_input_sets(
+    const DecisionProblem& p);
+
+enum class ThickVerdict {
+  kConnected,     // a subproblem Δ' witnessing the condition was found
+  kNotConnected,  // exhaustively proved: no subproblem works
+  kUnknown,       // search space too large and heuristics failed
+};
+
+struct ThickResult {
+  ThickVerdict verdict = ThickVerdict::kUnknown;
+  std::string detail;
+  std::uint64_t subproblems_tried = 0;
+};
+
+// Decides whether D is k-thick connected: does a subproblem Δ' ⊆ Δ exist
+// such that C_Δ'(I) is k-thick-connected for every similarity-connected set
+// I of initial states?
+//
+// Strategy: (1) try Δ' = Δ and the canonical single-choice subproblems;
+// (2) when the full subproblem space has at most `budget` members, decide
+// exhaustively; otherwise return kUnknown if no witness was found. For every
+// task in the catalog at n = 3 the answer is decided exactly.
+ThickResult problem_k_thick_connected(const DecisionProblem& p, int k,
+                                      std::uint64_t budget = 4'000'000);
+
+// The diameter recurrence of Theorem 7.7: d_X^{m+1} = d_X^m d_Y^m + d_X^m +
+// d_Y^m with d_Y^m = 2(n-m) and d_X^0 = d0; returns d_X^t.
+long long diameter_bound(int n, int t, long long d0);
+
+// Checks the diameter side condition of Theorem 7.7 for a problem: for
+// every similarity-connected I there must be a subproblem whose output
+// complex has thick-graph diameter at most `bound`. We evaluate it for
+// Δ' = Δ (sufficient for the catalog's positive cases).
+bool diameter_condition_holds(const DecisionProblem& p, int k,
+                              long long bound);
+
+}  // namespace lacon

@@ -1,0 +1,122 @@
+#include "topology/tasks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "core/model.hpp"  // all_binary_inputs
+
+namespace lacon {
+namespace {
+
+// All assignments over {0..m-1}^n.
+std::vector<std::vector<Value>> all_inputs(int n, int m) {
+  std::vector<std::vector<Value>> out;
+  std::vector<Value> cur(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    out.push_back(cur);
+    int pos = 0;
+    while (pos < n && cur[static_cast<std::size_t>(pos)] == m - 1) {
+      cur[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+    ++cur[static_cast<std::size_t>(pos)];
+  }
+  return out;
+}
+
+std::set<Value> distinct_values(const std::vector<Value>& v) {
+  return std::set<Value>(v.begin(), v.end());
+}
+
+}  // namespace
+
+Complex DecisionProblem::output_complex(
+    const std::vector<std::size_t>& which) const {
+  Complex c;
+  for (std::size_t idx : which) {
+    for (const std::vector<Value>& out : allowed_outputs[idx]) {
+      c.add(assignment_simplex(out));
+    }
+  }
+  return c;
+}
+
+DecisionProblem consensus_task(int n) {
+  DecisionProblem p;
+  p.name = "consensus";
+  p.n = n;
+  p.inputs = all_binary_inputs(n);
+  for (const auto& in : p.inputs) {
+    std::vector<std::vector<Value>> outs;
+    for (Value v : distinct_values(in)) {
+      outs.push_back(std::vector<Value>(static_cast<std::size_t>(n), v));
+    }
+    p.allowed_outputs.push_back(std::move(outs));
+  }
+  return p;
+}
+
+DecisionProblem set_agreement_task(int n, int k, int m) {
+  assert(k >= 1 && m >= 2);
+  DecisionProblem p;
+  p.name = std::to_string(k) + "-set-agreement(m=" + std::to_string(m) + ")";
+  p.n = n;
+  p.inputs = all_inputs(n, m);
+  for (const auto& in : p.inputs) {
+    const std::set<Value> vals = distinct_values(in);
+    std::vector<std::vector<Value>> outs;
+    // Every output assignment drawing from the run's inputs with at most k
+    // distinct values.
+    for (const auto& candidate : all_inputs(n, m)) {
+      const std::set<Value> cvals = distinct_values(candidate);
+      if (static_cast<int>(cvals.size()) > k) continue;
+      if (!std::includes(vals.begin(), vals.end(), cvals.begin(),
+                         cvals.end())) {
+        continue;
+      }
+      outs.push_back(candidate);
+    }
+    p.allowed_outputs.push_back(std::move(outs));
+  }
+  return p;
+}
+
+DecisionProblem trivial_task(int n) {
+  DecisionProblem p;
+  p.name = "trivial";
+  p.n = n;
+  p.inputs = all_binary_inputs(n);
+  for (const auto& in : p.inputs) {
+    p.allowed_outputs.push_back({in});
+  }
+  return p;
+}
+
+DecisionProblem constant_task(int n, Value v) {
+  DecisionProblem p;
+  p.name = "constant-" + std::to_string(v);
+  p.n = n;
+  p.inputs = all_binary_inputs(n);
+  const std::vector<Value> out(static_cast<std::size_t>(n), v);
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    p.allowed_outputs.push_back({out});
+  }
+  return p;
+}
+
+DecisionProblem weak_agreement_task(int n) {
+  DecisionProblem p;
+  p.name = "weak-agreement";
+  p.n = n;
+  p.inputs = all_binary_inputs(n);
+  const std::vector<Value> zeros(static_cast<std::size_t>(n), 0);
+  const std::vector<Value> ones(static_cast<std::size_t>(n), 1);
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    p.allowed_outputs.push_back({zeros, ones});
+  }
+  return p;
+}
+
+}  // namespace lacon

@@ -1,0 +1,43 @@
+// Hashing utilities used by the hash-consing arenas.
+//
+// All interned objects (views, global states, simplexes) are hashed with
+// these helpers; they must therefore be deterministic across runs so that
+// recorded experiment output is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lacon {
+
+// 64-bit mix function (splitmix64 finalizer). Good avalanche behaviour for
+// combining word-sized fields.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Combines a hash value with the hash of another field, boost-style but with
+// a 64-bit mixer.
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Hashes a contiguous range of integral values.
+template <typename T>
+std::uint64_t hash_range(const std::vector<T>& values,
+                         std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = hash_combine(seed, values.size());
+  for (const T& v : values) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+}  // namespace lacon

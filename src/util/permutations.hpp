@@ -1,0 +1,57 @@
+// Permutation enumeration helpers for the permutation layering (Section 5.1)
+// and for connectivity tests based on transposition chains.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/process_set.hpp"
+
+namespace lacon {
+
+using Permutation = std::vector<ProcessId>;
+
+// All permutations of {0, .., n-1}, in lexicographic order.
+inline std::vector<Permutation> all_permutations(int n) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  std::vector<Permutation> out;
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+// All injective sequences of length n-1 over {0, .., n-1}, i.e. permutations
+// with the last element dropped. Used for the paper's second action type
+// [p_1, ..., p_{n-1}].
+inline std::vector<Permutation> all_drop_last(int n) {
+  std::vector<Permutation> out;
+  for (Permutation p : all_permutations(n)) {
+    p.pop_back();
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+// A chain of adjacent transpositions transforming `from` into `to`
+// (bubble-sort order). Each step swaps two adjacent entries. Used to verify
+// that "transpositions span all permutations" drives similarity chains.
+inline std::vector<Permutation> transposition_chain(const Permutation& from,
+                                                    const Permutation& to) {
+  std::vector<Permutation> chain = {from};
+  Permutation cur = from;
+  for (std::size_t target = 0; target < to.size(); ++target) {
+    auto it = std::find(cur.begin() + static_cast<long>(target), cur.end(),
+                        to[target]);
+    for (auto pos = static_cast<std::size_t>(it - cur.begin()); pos > target;
+         --pos) {
+      std::swap(cur[pos], cur[pos - 1]);
+      chain.push_back(cur);
+    }
+  }
+  return chain;
+}
+
+}  // namespace lacon

@@ -1,0 +1,79 @@
+// A small value-type set of process identifiers, backed by a 64-bit mask.
+//
+// The paper works with a fixed finite set of n >= 2 processes named
+// 1..n; we use 0-based ProcessId throughout the code base and translate in
+// printing only. Models are limited to n <= 62 processes, far above anything
+// the exhaustive analyses can explore.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lacon {
+
+using ProcessId = int;
+
+class ProcessSet {
+ public:
+  constexpr ProcessSet() noexcept = default;
+  constexpr explicit ProcessSet(std::uint64_t mask) noexcept : mask_(mask) {}
+
+  // The set {0, 1, ..., k-1}; the paper's prefix set [k].
+  static constexpr ProcessSet prefix(int k) noexcept {
+    return ProcessSet(k >= 64 ? ~0ULL : ((1ULL << k) - 1));
+  }
+  static constexpr ProcessSet all(int n) noexcept { return prefix(n); }
+  static constexpr ProcessSet single(ProcessId i) noexcept {
+    return ProcessSet(1ULL << i);
+  }
+
+  constexpr bool contains(ProcessId i) const noexcept {
+    return (mask_ >> i) & 1ULL;
+  }
+  constexpr bool empty() const noexcept { return mask_ == 0; }
+  constexpr int size() const noexcept { return __builtin_popcountll(mask_); }
+  constexpr std::uint64_t mask() const noexcept { return mask_; }
+
+  constexpr void insert(ProcessId i) noexcept { mask_ |= (1ULL << i); }
+  constexpr void erase(ProcessId i) noexcept { mask_ &= ~(1ULL << i); }
+
+  constexpr ProcessSet operator|(ProcessSet o) const noexcept {
+    return ProcessSet(mask_ | o.mask_);
+  }
+  constexpr ProcessSet operator&(ProcessSet o) const noexcept {
+    return ProcessSet(mask_ & o.mask_);
+  }
+  // Set difference: the members of *this not in o.
+  constexpr ProcessSet operator-(ProcessSet o) const noexcept {
+    return ProcessSet(mask_ & ~o.mask_);
+  }
+  constexpr bool operator==(const ProcessSet&) const noexcept = default;
+
+  std::vector<ProcessId> to_vector() const {
+    std::vector<ProcessId> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (std::uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(__builtin_ctzll(m));
+    }
+    return out;
+  }
+
+  // Renders as e.g. "{0,2,3}" for logs and test-failure messages.
+  std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (ProcessId i : to_vector()) {
+      if (!first) out += ",";
+      out += std::to_string(i);
+      first = false;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace lacon

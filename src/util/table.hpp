@@ -1,0 +1,33 @@
+// A minimal fixed-width text table used by the benchmark harnesses and
+// examples to print experiment rows in a uniform, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lacon {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the table with a title banner, column padding and a rule under
+  // the header.
+  std::string to_string(const std::string& title) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience number-to-cell conversions.
+std::string cell(long long v);
+std::string cell(bool v);
+std::string cell(double v, int precision = 2);
+
+}  // namespace lacon

@@ -1,0 +1,76 @@
+// Tests for the analysis front-end: model construction helpers, the lemma
+// suite runner, and the DOT exporters.
+#include <gtest/gtest.h>
+
+#include "analysis/dot.hpp"
+#include "analysis/reports.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(Reports, ModelKindNamesAndDefaults) {
+  EXPECT_EQ(model_kind_name(ModelKind::kMobile), "M^mf/S1");
+  EXPECT_EQ(model_kind_name(ModelKind::kSharedMem), "M^rw/S^rw");
+  EXPECT_EQ(model_kind_name(ModelKind::kMsgPass), "AsyncMP/S^per");
+  EXPECT_EQ(model_kind_name(ModelKind::kSync), "Sync/S^t");
+  EXPECT_EQ(default_exactness(ModelKind::kMobile), Exactness::kQuiescence);
+  EXPECT_EQ(default_exactness(ModelKind::kSharedMem),
+            Exactness::kConvergence);
+  EXPECT_TRUE(layers_similarity_connected(ModelKind::kMobile));
+  EXPECT_FALSE(layers_similarity_connected(ModelKind::kMsgPass));
+}
+
+TEST(Reports, MakeModelBuildsTheRightModel) {
+  auto rule = never_decide();
+  for (ModelKind kind : {ModelKind::kMobile, ModelKind::kSharedMem,
+                         ModelKind::kMsgPass, ModelKind::kSync}) {
+    auto model = make_model(kind, 3, 1, *rule);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->n(), 3);
+    EXPECT_EQ(model->initial_states().size(), 8u);
+  }
+}
+
+TEST(Reports, MakeModelHonorsCustomInputs) {
+  auto rule = never_decide();
+  auto model =
+      make_model(ModelKind::kMobile, 3, 1, *rule, {{0, 0, 0}, {1, 1, 1}});
+  EXPECT_EQ(model->initial_states().size(), 2u);
+}
+
+TEST(Dot, SimilarityGraphContainsNodesAndEdges) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 2, 1, *rule);
+  ValenceEngine engine(*model, 3);
+  const std::string dot =
+      similarity_graph_dot(*model, model->initial_states(), &engine);
+  EXPECT_NE(dot.find("graph similarity {"), std::string::npos);
+  // 4 nodes, colored; Q2 has 4 similarity edges.
+  EXPECT_NE(dot.find("style=filled"), std::string::npos);
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+  EXPECT_NE(dot.find("plum"), std::string::npos);        // a bivalent state
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);   // the all-0 state
+  EXPECT_NE(dot.find("lightsalmon"), std::string::npos); // the all-1 state
+}
+
+TEST(Dot, RunTreeIsADigraphWithRootAndSuccessors) {
+  auto rule = never_decide();
+  auto model = make_model(ModelKind::kMobile, 2, 1, *rule);
+  const StateId root = model->initial_states().front();
+  const std::string dot = run_tree_dot(*model, root, 1);
+  EXPECT_NE(dot.find("digraph runs {"), std::string::npos);
+  EXPECT_NE(dot.find("n" + std::to_string(root) + " -> "), std::string::npos);
+  EXPECT_NE(dot.find("d=[--]"), std::string::npos);  // undecided labels
+}
+
+TEST(Dot, WithoutEngineNodesAreWhite) {
+  auto rule = never_decide();
+  auto model = make_model(ModelKind::kMobile, 2, 1, *rule);
+  const std::string dot =
+      similarity_graph_dot(*model, model->initial_states(), nullptr);
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+  EXPECT_EQ(dot.find("plum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lacon

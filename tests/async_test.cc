@@ -1,0 +1,141 @@
+// Tests for the asynchronous simulator, Ben-Or, and the rotating
+// coordinator: randomization terminates with probability 1 where the
+// paper's deterministic impossibility bites, and an unfair scheduler wedges
+// the deterministic protocol.
+#include <gtest/gtest.h>
+
+#include "protocols/benor.hpp"
+#include "protocols/coordinator.hpp"
+#include "sim/async_sim.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(BenOr, UnanimousInputsDecideInPhaseOne) {
+  const auto factory = benor_factory();
+  Rng rng(1);
+  auto sched = random_scheduler(2);
+  const AsyncRunResult r =
+      run_async(*factory, 4, 1, {1, 1, 1, 1}, *sched, rng, {-1, -1, -1, -1},
+                100000);
+  EXPECT_TRUE(r.all_alive_decided);
+  for (const auto& d : r.decisions) {
+    ASSERT_TRUE(d);
+    EXPECT_EQ(*d, 1);  // validity: unanimous input is the only outcome
+  }
+}
+
+TEST(BenOr, MixedInputsTerminateAndAgreeAcrossSeeds) {
+  const auto factory = benor_factory();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    auto sched = random_scheduler(seed + 1000);
+    const AsyncRunResult r =
+        run_async(*factory, 4, 1, {0, 1, 0, 1}, *sched, rng, {-1, -1, -1, -1},
+                  200000);
+    EXPECT_TRUE(r.all_alive_decided) << "seed " << seed;
+    std::optional<Value> agreed;
+    for (const auto& d : r.decisions) {
+      if (!d) continue;
+      if (agreed) {
+        EXPECT_EQ(*agreed, *d) << "seed " << seed;
+      }
+      agreed = *d;
+    }
+    ASSERT_TRUE(agreed);
+    EXPECT_TRUE(*agreed == 0 || *agreed == 1);
+  }
+}
+
+TEST(BenOr, ToleratesOneCrash) {
+  const auto factory = benor_factory();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    auto sched = random_scheduler(seed * 7 + 3);
+    // Process 2 crashes after 5 deliveries.
+    const AsyncRunResult r =
+        run_async(*factory, 4, 1, {0, 1, 1, 0}, *sched, rng, {-1, -1, 5, -1},
+                  200000);
+    EXPECT_TRUE(r.all_alive_decided) << "seed " << seed;
+    std::optional<Value> agreed;
+    for (ProcessId i = 0; i < 4; ++i) {
+      if (r.crashed[static_cast<std::size_t>(i)]) continue;
+      const auto& d = r.decisions[static_cast<std::size_t>(i)];
+      ASSERT_TRUE(d) << "seed " << seed;
+      if (agreed) {
+        EXPECT_EQ(*agreed, *d);
+      }
+      agreed = *d;
+    }
+  }
+}
+
+TEST(RotatingCoordinator, DecidesUnderFairScheduling) {
+  const auto factory = rotating_coordinator_factory();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto sched = random_scheduler(seed + 42);
+    const AsyncRunResult r =
+        run_async(*factory, 3, 1, {1, 0, 1}, *sched, rng, {-1, -1, -1},
+                  100000);
+    EXPECT_TRUE(r.all_alive_decided) << "seed " << seed;
+    for (const auto& d : r.decisions) {
+      ASSERT_TRUE(d);
+      EXPECT_EQ(*d, 1);  // phase-0 coordinator (process 0) imposes its input
+    }
+  }
+}
+
+TEST(RotatingCoordinator, StarvedCoordinatorWedgesTheProtocol) {
+  // The scheduler that starves the coordinator's messages produces an
+  // unbounded-delay prefix in which nobody ever decides — the systems-side
+  // face of Theorem 4.2: a deterministic protocol cannot wait out
+  // asynchrony.
+  const auto factory = rotating_coordinator_factory();
+  Rng rng(7);
+  auto sched = starve_sender_scheduler(0, 11);
+  const AsyncRunResult r = run_async(*factory, 3, 1, {1, 0, 1}, *sched, rng,
+                                     {-1, -1, -1}, 100000);
+  EXPECT_TRUE(r.stalled);
+  for (const auto& d : r.decisions) EXPECT_FALSE(d);
+}
+
+TEST(BenOr, RandomizationBeatsTheStarvingScheduler) {
+  // Ben-Or only ever waits for n-t messages, so starving one sender cannot
+  // wedge it — the quorum forms from the others. (The starved process
+  // itself may be unable to finish; it is "faulty" in this schedule.)
+  const auto factory = benor_factory();
+  Rng rng(3);
+  auto sched = starve_sender_scheduler(0, 13);
+  const AsyncRunResult r = run_async(*factory, 4, 1, {0, 1, 1, 1}, *sched,
+                                     rng, {-1, -1, -1, -1}, 200000);
+  int decided = 0;
+  for (ProcessId i = 1; i < 4; ++i) {
+    if (r.decisions[static_cast<std::size_t>(i)]) ++decided;
+  }
+  EXPECT_EQ(decided, 3);
+}
+
+TEST(AsyncSim, StepBoundTerminatesRun) {
+  const auto factory = benor_factory();
+  Rng rng(1);
+  auto sched = random_scheduler(1);
+  const AsyncRunResult r = run_async(*factory, 4, 1, {0, 1, 0, 1}, *sched,
+                                     rng, {-1, -1, -1, -1}, 10);
+  EXPECT_LE(r.deliveries, 10u);
+}
+
+TEST(AsyncSim, CrashedProcessDropsDeliveries) {
+  const auto factory = benor_factory();
+  Rng rng(5);
+  auto sched = random_scheduler(9);
+  const AsyncRunResult r = run_async(*factory, 4, 1, {1, 1, 1, 1}, *sched,
+                                     rng, {0, -1, -1, -1}, 100000);
+  // Process 0 crashed from the start: no decision recorded for it.
+  EXPECT_FALSE(r.decisions[0]);
+  EXPECT_TRUE(r.crashed[0]);
+  EXPECT_TRUE(r.all_alive_decided);
+}
+
+}  // namespace
+}  // namespace lacon

@@ -1,0 +1,153 @@
+// Tests for the bivalent-run constructor — the executable Theorem 4.2 — in
+// all three 1-resilient models, plus the spec checker / trilemma verdicts.
+#include <gtest/gtest.h>
+
+#include "core/decision_rule.hpp"
+#include "engine/bivalence.hpp"
+#include "engine/spec.hpp"
+#include "models/mobile/mobile_model.hpp"
+#include "models/msgpass/msgpass_model.hpp"
+#include "models/sharedmem/sharedmem_model.hpp"
+#include "models/synchronous/sync_model.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(BivalentRun, MobileModelExtendsIndefinitely) {
+  auto rule = min_after_round(2);
+  MobileModel model(3, *rule);
+  ValenceEngine engine(model, 3);
+  const BivalentRunResult run = extend_bivalent_run(engine, 8);
+  EXPECT_TRUE(run.complete) << run.stuck_reason;
+  EXPECT_EQ(run.run.size(), 9u);
+  // Every state on the run really is bivalent.
+  for (StateId x : run.run) {
+    EXPECT_TRUE(engine.valence(x).bivalent());
+  }
+  // Consecutive states are layer successors.
+  for (std::size_t i = 1; i < run.run.size(); ++i) {
+    const auto& layer = model.layer(run.run[i - 1]);
+    EXPECT_NE(std::find(layer.begin(), layer.end(), run.run[i]), layer.end());
+  }
+}
+
+TEST(BivalentRun, SharedMemoryModelExtends) {
+  auto rule = min_after_round(2);
+  SharedMemModel model(3, *rule);
+  ValenceEngine engine(model, 3, Exactness::kConvergence);
+  const BivalentRunResult run = extend_bivalent_run(engine, 5);
+  EXPECT_TRUE(run.complete) << run.stuck_reason;
+}
+
+TEST(BivalentRun, MessagePassingModelExtends) {
+  auto rule = min_after_round(2);
+  MsgPassModel model(3, *rule);
+  ValenceEngine engine(model, 3, Exactness::kConvergence);
+  const BivalentRunResult run = extend_bivalent_run(engine, 4);
+  EXPECT_TRUE(run.complete) << run.stuck_reason;
+}
+
+TEST(BivalentRun, NeverDecideHasNoBivalentInitial) {
+  // Without any decisions there are no valences at all, so the construction
+  // reports the precise failure instead of a run.
+  auto rule = never_decide();
+  MobileModel model(3, *rule);
+  ValenceEngine engine(model, 3);
+  const BivalentRunResult run = extend_bivalent_run(engine, 3);
+  EXPECT_FALSE(run.complete);
+  EXPECT_EQ(run.stuck_reason, "no bivalent initial state");
+}
+
+TEST(BivalentRun, FromGivenState) {
+  auto rule = min_after_round(2);
+  MobileModel model(3, *rule);
+  ValenceEngine engine(model, 3);
+  const auto start = engine.find_bivalent(model.initial_states());
+  ASSERT_TRUE(start);
+  const BivalentRunResult run = extend_bivalent_run_from(engine, *start, 3);
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.run.front(), *start);
+}
+
+TEST(BivalentRun, SyncModelChainLengthTMinusOne) {
+  // Lemma 6.1 with f = 0: a bivalent chain of t-1 layers exists; afterwards
+  // (Lemma 6.2) at least one more undecided state exists in the next layer.
+  const int n = 4;
+  const int t = 2;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  ValenceEngine engine(model, t + 2);
+  const BivalentRunResult run = extend_bivalent_run(engine, t - 1);
+  EXPECT_TRUE(run.complete) << run.stuck_reason;
+}
+
+TEST(SpecChecker, MinRuleInMobileViolatesAgreementOnly) {
+  auto rule = min_after_round(2);
+  MobileModel model(3, *rule);
+  const SpecReport report = check_consensus_spec(model, 3);
+  EXPECT_TRUE(report.agreement.has_value());
+  EXPECT_FALSE(report.validity.has_value());
+  ASSERT_TRUE(report.agreement);
+  EXPECT_NE(report.agreement->p, report.agreement->q);
+}
+
+TEST(SpecChecker, FloodSetRuleInSyncModelIsCorrect) {
+  // In the t-resilient synchronous model, min-after-round-(t+1) *is* a
+  // correct consensus protocol (FloodSet): no violations, full quiescence.
+  const int n = 3;
+  const int t = 1;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  const SpecReport report = check_consensus_spec(model, t + 1);
+  EXPECT_FALSE(report.agreement.has_value());
+  EXPECT_FALSE(report.validity.has_value());
+  EXPECT_TRUE(report.all_quiesce);
+}
+
+TEST(SpecChecker, FloodSetTooEarlyViolatesAgreement) {
+  // Deciding after only t rounds is exactly what Corollary 6.3 forbids.
+  const int n = 3;
+  const int t = 1;
+  auto rule = min_after_round(t);
+  SyncModel model(n, t, *rule);
+  const SpecReport report = check_consensus_spec(model, t + 1);
+  EXPECT_TRUE(report.agreement.has_value());
+}
+
+TEST(Trilemma, SyncModelCorrectProtocolPasses) {
+  const int n = 3;
+  const int t = 1;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  const TrilemmaVerdict v = consensus_trilemma(model, t + 2, t + 2);
+  EXPECT_EQ(v.violated, TrilemmaVerdict::Violated::kNone) << v.witness;
+}
+
+TEST(Trilemma, EveryCandidateFailsInAsyncModels) {
+  struct Candidate {
+    std::unique_ptr<DecisionRule> rule;
+  };
+  std::vector<std::unique_ptr<DecisionRule>> rules;
+  rules.push_back(min_after_round(2));
+  rules.push_back(own_input_after_round(1));
+  rules.push_back(majority_after_round(2));
+  for (auto& rule : rules) {
+    SharedMemModel model(3, *rule);
+    const TrilemmaVerdict v = consensus_trilemma(model, 3, 3);
+    EXPECT_NE(v.violated, TrilemmaVerdict::Violated::kNone)
+        << rule->name() << ": " << v.witness;
+  }
+}
+
+TEST(Trilemma, SafeButNonDecidingRuleViolatesDecision) {
+  // unanimity-only (deadline never reached within the explored window is
+  // not what we test; instead use never-decide, which is trivially safe and
+  // never decides).
+  auto rule = never_decide();
+  MobileModel model(3, *rule);
+  const TrilemmaVerdict v = consensus_trilemma(model, 3, 3);
+  EXPECT_EQ(v.violated, TrilemmaVerdict::Violated::kDecision);
+}
+
+}  // namespace
+}  // namespace lacon

@@ -1,0 +1,134 @@
+// End-to-end integration tests: the paper's storyline run across modules —
+// Tier-A layered analysis and Tier-B simulation agreeing with each other,
+// and the cross-model equivalences of Corollary 7.3 reflected in identical
+// verdicts.
+#include <gtest/gtest.h>
+
+#include "analysis/reports.hpp"
+#include "engine/bivalence.hpp"
+#include "models/mobile/mobile_model.hpp"
+#include "models/synchronous/sync_model.hpp"
+#include "protocols/floodset.hpp"
+#include "sim/sync_sim.hpp"
+#include "topology/solvability.hpp"
+#include "topology/tasks.hpp"
+
+namespace lacon {
+namespace {
+
+// The same candidate protocol gets a violation verdict in every 1-resilient
+// model (Corollaries 5.2 and 5.4 and the permutation-layering proof), while
+// the t-resilient synchronous model accepts its t+1-round version.
+TEST(Integration, TrilemmaAcrossAllModels) {
+  for (ModelKind kind :
+       {ModelKind::kMobile, ModelKind::kSharedMem, ModelKind::kMsgPass}) {
+    auto rule = min_after_round(2);
+    auto model = make_model(kind, 3, 1, *rule);
+    const TrilemmaVerdict v = consensus_trilemma(*model, 3, 3);
+    EXPECT_NE(v.violated, TrilemmaVerdict::Violated::kNone)
+        << model_kind_name(kind);
+  }
+  auto rule = min_after_round(2);
+  auto sync = make_model(ModelKind::kSync, 3, 1, *rule);
+  const TrilemmaVerdict v = consensus_trilemma(*sync, 3, 3);
+  EXPECT_EQ(v.violated, TrilemmaVerdict::Violated::kNone) << v.witness;
+}
+
+// Tier A and Tier B agree on the synchronous story: the layered submodel's
+// round bound matches the simulator's measured decision rounds.
+TEST(Integration, LayeredBoundMatchesSimulatedRounds) {
+  for (int t : {1, 2}) {
+    const int n = t + 2;
+    // Tier A: round-t decisions break agreement; round-(t+1) decisions work.
+    auto early = min_after_round(t);
+    SyncModel bad(n, t, *early);
+    EXPECT_TRUE(check_consensus_spec(bad, t + 1).agreement.has_value());
+    auto good_rule = min_after_round(t + 1);
+    SyncModel good(n, t, *good_rule);
+    const SpecReport ok = check_consensus_spec(good, t + 1);
+    EXPECT_FALSE(ok.agreement.has_value());
+    // Tier B: FloodSet's worst-case decision round equals t+1.
+    std::vector<Value> inputs(static_cast<std::size_t>(n), 1);
+    inputs[0] = 0;
+    const SyncRunResult sim =
+        run_sync(*floodset_factory(), n, t, inputs, hiding_chain(n, t));
+    EXPECT_EQ(sim.outcome.max_decision_round, t + 1);
+  }
+}
+
+// The full-information min rule and the FloodSet protocol compute the same
+// decisions on matching adversaries: the (j,[k]) layer action corresponds to
+// the crash plan "j crashes in round 1 delivering to everyone but 0..k-1".
+TEST(Integration, TierAMatchesTierBDecisionForDecisiveRuns) {
+  const int n = 3;
+  const int t = 1;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  const auto factory = floodset_factory();
+  for (StateId x0 : model.initial_states()) {
+    std::vector<Value> inputs;
+    for (ViewId v : model.state(x0).locals) {
+      inputs.push_back(model.views().node(v).input);
+    }
+    for (ProcessId j = 0; j < n; ++j) {
+      for (int k = 0; k <= n; ++k) {
+        // Tier A: apply (j,[k]) then run failure-free to quiescence.
+        StateId x = model.apply(x0, j, k);
+        while (!quiescent(model, x)) x = model.apply(x, 0, 0);
+        // Tier B: same adversary as a crash plan. A prefix that only
+        // "loses" j's message to itself loses nothing — no crash at all
+        // (and Tier A interns the same state as the failure-free round).
+        ProcessSet lost = ProcessSet::prefix(k);
+        lost.erase(j);
+        CrashPlan plan;
+        if (!lost.empty()) {
+          plan.push_back(CrashEvent{j, 1, ProcessSet::all(n) - lost});
+        }
+        const SyncRunResult sim = run_sync(*factory, n, t, inputs, plan);
+        for (ProcessId i = 0; i < n; ++i) {
+          if (model.failed_at(x).contains(i)) continue;
+          const Value tier_a =
+              model.state(x).decisions[static_cast<std::size_t>(i)];
+          ASSERT_TRUE(sim.decisions[static_cast<std::size_t>(i)].has_value());
+          EXPECT_EQ(tier_a, *sim.decisions[static_cast<std::size_t>(i)])
+              << "inputs via state " << x0 << " action (" << j << ",[" << k
+              << "]) process " << i;
+        }
+      }
+    }
+  }
+}
+
+// Corollary 7.3 reflected: consensus is rejected by the topology condition
+// AND non-terminating in every 1-resilient layered model, while the trivial
+// task passes the condition and is trivially solvable (decide own input —
+// own_input_after_round satisfies its spec).
+TEST(Integration, TopologyVerdictMatchesOperationalBehaviour) {
+  EXPECT_EQ(problem_k_thick_connected(consensus_task(3), 1).verdict,
+            ThickVerdict::kNotConnected);
+  EXPECT_EQ(problem_k_thick_connected(trivial_task(3), 1).verdict,
+            ThickVerdict::kConnected);
+  // Operational side of the trivial task: deciding one's own input after one
+  // phase never violates its Δ (outputs = inputs), in any model.
+  for (ModelKind kind :
+       {ModelKind::kMobile, ModelKind::kSharedMem, ModelKind::kMsgPass}) {
+    auto rule = own_input_after_round(1);
+    auto model = make_model(kind, 3, 1, *rule);
+    const SpecReport report = check_consensus_spec(*model, 2);
+    // Validity for the *trivial task* means everyone outputs its own input —
+    // trivially true for this rule; consensus-validity also holds.
+    EXPECT_FALSE(report.validity.has_value()) << model_kind_name(kind);
+  }
+}
+
+// The executable Theorem 4.2 at a larger size: n = 4 in the mobile model.
+TEST(Integration, BivalentRunAtN4) {
+  auto rule = min_after_round(2);
+  MobileModel model(4, *rule);
+  ValenceEngine engine(model, 3);
+  const BivalentRunResult run = extend_bivalent_run(engine, 5);
+  EXPECT_TRUE(run.complete) << run.stuck_reason;
+}
+
+}  // namespace
+}  // namespace lacon

@@ -1,0 +1,91 @@
+// k-set agreement (t < k) on the asynchronous simulator: the solvable side
+// of the Section 7 characterization, exercised operationally.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "protocols/kset.hpp"
+#include "sim/async_sim.hpp"
+
+namespace lacon {
+namespace {
+
+// Runs one instance and returns the distinct decided values of survivors.
+std::set<Value> decided_values(int n, int t, const std::vector<Value>& inputs,
+                               std::uint64_t seed,
+                               const std::vector<long>& crash_after) {
+  const auto factory = kset_factory();
+  Rng rng(seed);
+  auto sched = random_scheduler(seed * 13 + 1);
+  const AsyncRunResult r =
+      run_async(*factory, n, t, inputs, *sched, rng, crash_after, 100000);
+  std::set<Value> out;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (r.crashed[static_cast<std::size_t>(i)]) continue;
+    EXPECT_TRUE(r.decisions[static_cast<std::size_t>(i)].has_value())
+        << "survivor " << i << " undecided";
+    if (r.decisions[static_cast<std::size_t>(i)]) {
+      out.insert(*r.decisions[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+TEST(KSet, AtMostTPlus1DistinctDecisions) {
+  // With quorums of n-t, at most t+1 distinct values can be decided.
+  const int n = 4;
+  const int t = 1;
+  const std::vector<Value> inputs = {0, 1, 2, 3};
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const std::set<Value> decided =
+        decided_values(n, t, inputs, seed, {-1, -1, -1, -1});
+    EXPECT_LE(decided.size(), static_cast<std::size_t>(t + 1)) << seed;
+    // Validity: every decision is somebody's input.
+    for (Value v : decided) {
+      EXPECT_NE(std::find(inputs.begin(), inputs.end(), v), inputs.end());
+    }
+  }
+}
+
+TEST(KSet, SolvesTwoSetAgreementWithOneCrash) {
+  // The T6 catalog row, operationally: 1-resilient 2-set agreement (n=3,
+  // inputs from {0,1,2}) terminates with <= 2 distinct decisions even when
+  // one process crashes at an arbitrary point.
+  const int n = 3;
+  const int t = 1;
+  const std::vector<Value> inputs = {0, 1, 2};
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    std::vector<long> crash_after = {-1, -1, -1};
+    crash_after[static_cast<std::size_t>(seed % 3)] =
+        static_cast<long>(seed % 7);
+    const std::set<Value> decided =
+        decided_values(n, t, inputs, seed, crash_after);
+    EXPECT_LE(decided.size(), 2u) << seed;
+    EXPECT_GE(decided.size(), 1u) << seed;
+  }
+}
+
+TEST(KSet, UnanimousInputsSingleDecision) {
+  const std::set<Value> decided =
+      decided_values(4, 1, {7, 7, 7, 7}, 3, {-1, -1, -1, -1});
+  EXPECT_EQ(decided, std::set<Value>{7});
+}
+
+TEST(KSet, ConsensusAttemptViaKSetBreaksWithTEqualsK) {
+  // k-set agreement with t >= k no longer bounds disagreement below k+1:
+  // with t = 2 and quorums of n-t = 2, three different minima can appear.
+  const int n = 4;
+  const int t = 2;
+  const std::vector<Value> inputs = {0, 1, 2, 3};
+  std::size_t worst = 0;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const std::set<Value> decided =
+        decided_values(n, t, inputs, seed, {-1, -1, -1, -1});
+    worst = std::max(worst, decided.size());
+  }
+  EXPECT_GE(worst, 3u);  // t+1 = 3 distinct decisions do occur
+}
+
+}  // namespace
+}  // namespace lacon

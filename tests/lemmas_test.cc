@@ -1,0 +1,179 @@
+// The mechanized lemma suite (DESIGN.md §3): every numbered result of
+// Sections 3-6, checked on concrete instances of all four models.
+#include <gtest/gtest.h>
+
+#include "analysis/reports.hpp"
+#include "engine/lemmas.hpp"
+#include "models/synchronous/sync_model.hpp"
+
+namespace lacon {
+namespace {
+
+// ---- Cross-model suite, parameterized over the model kind -----------------
+
+class LemmaSuite : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(LemmaSuite, AllChecksPass) {
+  const ModelKind kind = GetParam();
+  // The synchronous model runs at t = 2: for t = 1 the layer-connectivity
+  // claim is vacuous (the paper asserts it only below t-1 failures).
+  const bool sync = (kind == ModelKind::kSync);
+  const int n = sync ? 4 : 3;
+  const int t = sync ? 2 : 1;
+  const int depth = 2;
+  const int horizon = sync ? 4 : 3;
+  auto rule = min_after_round(sync ? 3 : 2);
+  for (const NamedCheck& check :
+       run_lemma_suite(kind, n, t, depth, horizon, *rule)) {
+    EXPECT_TRUE(check.result.ok)
+        << model_kind_name(kind) << " / " << check.name << ": "
+        << check.result.detail;
+    EXPECT_GT(check.result.checked, 0u) << check.name << " checked nothing";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, LemmaSuite,
+                         ::testing::Values(ModelKind::kMobile,
+                                           ModelKind::kSharedMem,
+                                           ModelKind::kMsgPass,
+                                           ModelKind::kSync),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ModelKind::kMobile: return "Mobile";
+                             case ModelKind::kSharedMem: return "SharedMem";
+                             case ModelKind::kMsgPass: return "MsgPass";
+                             case ModelKind::kSync: return "Sync";
+                           }
+                           return "Unknown";
+                         });
+
+// ---- Individual lemmas at other parameters ---------------------------------
+
+TEST(Lemma31, HoldsDeeperInMobileModelWithSafeRule) {
+  // Lemma 3.1 hypothesizes agreement; min-when-all-known satisfies it.
+  auto rule = min_when_all_known(1);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const CheckResult r = check_lemma_3_1(*model, 1, 3, 4);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Lemma32, MobileModelNobodyDecidedAtBivalentStates) {
+  auto rule = min_when_all_known(1);
+  auto model = make_model(ModelKind::kMobile, 4, 1, *rule);
+  const CheckResult r = check_lemma_3_2(*model, 2, 3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Lemma32, ContrapositiveNonVacuousForMinRule) {
+  // With the agreement-violating min rule, bivalent states with decided
+  // processes exist, and each one must lead to an agreement violation.
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const CheckResult r = check_lemma_3_2_contrapositive(*model, 3, 3);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.checked, 0u);
+}
+
+TEST(Lemma36, HoldsForNUpTo5InMobileModel) {
+  for (int n = 2; n <= 5; ++n) {
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kMobile, n, 1, *rule);
+    const CheckResult r = check_lemma_3_6(*model, 3);
+    EXPECT_TRUE(r.ok) << "n=" << n << ": " << r.detail;
+  }
+}
+
+TEST(Lemma36, HoldsAcrossRuleCatalog) {
+  std::vector<std::unique_ptr<DecisionRule>> rules;
+  rules.push_back(min_after_round(1));
+  rules.push_back(min_after_round(2));
+  rules.push_back(majority_after_round(2));
+  for (auto& rule : rules) {
+    auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+    const CheckResult r = check_lemma_3_6(*model, 3);
+    EXPECT_TRUE(r.ok) << rule->name() << ": " << r.detail;
+  }
+}
+
+TEST(Lemma61, BivalentChainInSyncModel) {
+  for (int t : {1, 2}) {
+    const int n = t + 2;
+    auto rule = min_after_round(t + 1);
+    SyncModel model(n, t, *rule);
+    const CheckResult r = check_lemma_6_1(model, t, t + 2);
+    EXPECT_TRUE(r.ok) << "t=" << t << ": " << r.detail;
+  }
+}
+
+TEST(Lemma62, HoldsInSyncModel) {
+  auto rule = min_after_round(2);
+  SyncModel model(3, 1, *rule);
+  const CheckResult r = check_lemma_6_2(model, 2, 3);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.checked, 0u);
+}
+
+TEST(Lemma64, FastProtocolUnivalentAfterFailureFreeRound) {
+  // min-after-round-(t+1) is a fast protocol; Lemma 6.4 says a
+  // failure-free round k+1 after at most k failures forces univalence.
+  const int n = 3;
+  const int t = 1;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  const CheckResult r = check_lemma_6_4(model, t, t + 2);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.checked, 0u);
+}
+
+TEST(Lemma64, AlsoAtT2) {
+  const int n = 4;
+  const int t = 2;
+  auto rule = min_after_round(t + 1);
+  SyncModel model(n, t, *rule);
+  const CheckResult r = check_lemma_6_4(model, t, t + 2);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(LayerConnectivity, MobileModelLayersSimilarityConnected) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const CheckResult r = check_layer_connectivity(*model, 1, 3, true);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(LayerConnectivity, AsyncLayersValenceConnectedOnly) {
+  for (ModelKind kind : {ModelKind::kSharedMem, ModelKind::kMsgPass}) {
+    auto rule = min_after_round(2);
+    auto model = make_model(kind, 3, 1, *rule);
+    const CheckResult r = check_layer_connectivity(
+        *model, 1, 3, false, Exactness::kConvergence);
+    EXPECT_TRUE(r.ok) << model_kind_name(kind) << ": " << r.detail;
+  }
+}
+
+TEST(Corollary63, TRoundDecisionIsImpossible) {
+  // The executable form of the t+1 lower bound: for every t, the protocol
+  // "decide at round t" breaks agreement somewhere within the S^t submodel.
+  for (int t : {1, 2}) {
+    const int n = t + 2;
+    auto rule = min_after_round(t);
+    SyncModel model(n, t, *rule);
+    const SpecReport report = check_consensus_spec(model, t + 1);
+    EXPECT_TRUE(report.agreement.has_value()) << "t=" << t;
+  }
+}
+
+TEST(Corollary63, TPlusOneRoundsSuffice) {
+  for (int t : {1, 2}) {
+    const int n = t + 2;
+    auto rule = min_after_round(t + 1);
+    SyncModel model(n, t, *rule);
+    const SpecReport report = check_consensus_spec(model, t + 1);
+    EXPECT_FALSE(report.agreement.has_value()) << "t=" << t;
+    EXPECT_FALSE(report.validity.has_value()) << "t=" << t;
+    EXPECT_TRUE(report.all_quiesce) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace lacon

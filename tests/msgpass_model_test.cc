@@ -1,0 +1,211 @@
+// Tests for the asynchronous message-passing model and the permutation
+// layering S^per (Section 5.1): the diamond identity, the similarity chain
+// across transpositions, and the mailbox reading of agree-modulo.
+#include <gtest/gtest.h>
+
+#include "core/decision_rule.hpp"
+#include "models/msgpass/msgpass_model.hpp"
+#include "relation/similarity.hpp"
+
+namespace lacon {
+namespace {
+
+Schedule seq(std::initializer_list<ProcessId> order) {
+  Schedule s;
+  for (ProcessId p : order) s.push_back(SchedGroup{p, -1});
+  return s;
+}
+
+Schedule with_pair(std::initializer_list<ProcessId> order, int pair_pos) {
+  Schedule s;
+  int pos = 0;
+  auto it = order.begin();
+  while (it != order.end()) {
+    if (pos == pair_pos) {
+      const ProcessId a = *it++;
+      const ProcessId b = *it++;
+      s.push_back(SchedGroup{a, b});
+      pos += 2;
+    } else {
+      s.push_back(SchedGroup{*it++, -1});
+      ++pos;
+    }
+  }
+  return s;
+}
+
+TEST(MsgPass, PackUnpackRoundTrip) {
+  for (ProcessId s = 0; s < 5; ++s) {
+    for (ProcessId t = 0; t < 5; ++t) {
+      const std::int64_t m = pack_message(s, t, 12345);
+      EXPECT_EQ(message_sender(m), s);
+      EXPECT_EQ(message_receiver(m), t);
+      EXPECT_EQ(message_view(m), 12345);
+    }
+  }
+}
+
+TEST(MsgPass, ScheduleCountMatchesFormula) {
+  auto rule = never_decide();
+  for (int n : {2, 3, 4}) {
+    MsgPassModel model(n, *rule);
+    long long fact = 1;
+    for (int i = 2; i <= n; ++i) fact *= i;
+    // n! full + n! drop-last + (n-1) * n!/2 adjacent-pair actions.
+    EXPECT_EQ(static_cast<long long>(model.schedules().size()),
+              fact + fact + (n - 1) * fact / 2)
+        << "n=" << n;
+  }
+}
+
+TEST(MsgPass, DiamondIdentity) {
+  // x[p1..pn][p1..p_{n-1}] == x[p1..p_{n-1}][pn, p1..p_{n-1}] — the paper's
+  // reduction of the FLP diamond argument to a state equality.
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  for (StateId x0 : model.initial_states()) {
+    const StateId lhs =
+        model.apply_schedule(model.apply_schedule(x0, seq({0, 1, 2})),
+                             seq({0, 1}));
+    const StateId rhs =
+        model.apply_schedule(model.apply_schedule(x0, seq({0, 1})),
+                             seq({2, 0, 1}));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(MsgPass, DiamondIdentityAllPermutations) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  const Schedule full_perms[] = {seq({0, 1, 2}), seq({1, 2, 0}),
+                                 seq({2, 0, 1})};
+  for (const Schedule& full : full_perms) {
+    Schedule dropped = full;
+    const ProcessId last = dropped.back().a;
+    dropped.pop_back();
+    Schedule rotated;
+    rotated.push_back(SchedGroup{last, -1});
+    for (const SchedGroup& g : dropped) rotated.push_back(g);
+    const StateId lhs = model.apply_schedule(model.apply_schedule(x0, full),
+                                             dropped);
+    const StateId rhs = model.apply_schedule(model.apply_schedule(x0, dropped),
+                                             rotated);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(MsgPass, SimilarityChainSequentialPairConcurrent) {
+  // x[.., pk, pk+1, ..] ~s x[.., {pk,pk+1}, ..] ~s x[.., pk+1, pk, ..]
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  for (StateId x0 : model.initial_states()) {
+    const StateId a = model.apply_schedule(x0, seq({0, 1, 2}));
+    const StateId m = model.apply_schedule(x0, with_pair({0, 1, 2}, 0));
+    const StateId b = model.apply_schedule(x0, seq({1, 0, 2}));
+    // Left link differs only at process 1 (it missed 0's fresh message and
+    // that message sits in its mailbox).
+    EXPECT_TRUE(model.agree_modulo(a, m, 1));
+    EXPECT_TRUE(similar(model, a, m));
+    // Right link differs only at process 0.
+    EXPECT_TRUE(model.agree_modulo(m, b, 0));
+    EXPECT_TRUE(similar(model, m, b));
+  }
+}
+
+TEST(MsgPass, SimilarityChainAtSecondPosition) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  const StateId a = model.apply_schedule(x0, seq({2, 0, 1}));
+  const StateId m = model.apply_schedule(x0, with_pair({2, 0, 1}, 1));
+  const StateId b = model.apply_schedule(x0, seq({2, 1, 0}));
+  EXPECT_TRUE(model.agree_modulo(a, m, 1));
+  EXPECT_TRUE(model.agree_modulo(m, b, 0));
+}
+
+TEST(MsgPass, FullAndDropLastAreNotSimilar) {
+  // The paper's remark: x[p1..pn] and x[p1..p_{n-1}] differ both in p_n's
+  // local state and in other processes' mailboxes (p_n's unsent messages),
+  // so they are not similar — this is exactly where the valence-based
+  // diamond argument is needed.
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  for (StateId x0 : model.initial_states()) {
+    const StateId a = model.apply_schedule(x0, seq({0, 1, 2}));
+    const StateId b = model.apply_schedule(x0, seq({0, 1}));
+    EXPECT_FALSE(similar(model, a, b));
+  }
+}
+
+TEST(MsgPass, TranspositionChainConnectsFullActions) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  // All 6 full-permutation successors are similarity connected via the
+  // pair-mediated chain.
+  std::vector<StateId> full_states;
+  for (const Schedule& s :
+       {seq({0, 1, 2}), seq({0, 2, 1}), seq({1, 0, 2}), seq({1, 2, 0}),
+        seq({2, 0, 1}), seq({2, 1, 0})}) {
+    full_states.push_back(model.apply_schedule(x0, s));
+  }
+  // Add the pair states, which are the bridges.
+  for (int pos : {0, 1}) {
+    for (const auto order :
+         {std::initializer_list<ProcessId>{0, 1, 2},
+          std::initializer_list<ProcessId>{0, 2, 1},
+          std::initializer_list<ProcessId>{1, 2, 0}}) {
+      full_states.push_back(model.apply_schedule(x0, with_pair(order, pos)));
+    }
+  }
+  std::sort(full_states.begin(), full_states.end());
+  full_states.erase(std::unique(full_states.begin(), full_states.end()),
+                    full_states.end());
+  EXPECT_TRUE(similarity_connected(model, full_states));
+}
+
+TEST(MsgPass, DropLastStarvesExactlyOneProcess) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  const StateId y = model.apply_schedule(x0, seq({0, 1}));
+  EXPECT_EQ(model.state(y).locals[2], model.state(x0).locals[2]);
+  EXPECT_NE(model.state(y).locals[0], model.state(x0).locals[0]);
+  EXPECT_NE(model.state(y).locals[1], model.state(x0).locals[1]);
+  // The starved process's mailbox accumulates messages across layers.
+  const StateId z = model.apply_schedule(y, seq({0, 1}));
+  int to_2 = 0;
+  for (std::int64_t m : model.state(z).env) {
+    if (message_receiver(m) == 2) ++to_2;
+  }
+  EXPECT_EQ(to_2, 4);  // two senders, two layers
+}
+
+TEST(MsgPass, MessageContentIsPrePhaseView) {
+  auto rule = never_decide();
+  MsgPassModel model(2, *rule);
+  const StateId x0 = model.initial_states().front();
+  const StateId y = model.apply_schedule(x0, seq({0, 1}));
+  // Process 0's message carries its *initial* view (content fixed before
+  // its phase's deliveries).
+  for (std::int64_t m : model.state(y).env) {
+    if (message_sender(m) == 0) {
+      EXPECT_EQ(message_view(m), model.state(x0).locals[0]);
+    }
+  }
+}
+
+TEST(MsgPass, LayerIsDeduplicated) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  const auto& layer = model.layer(x0);
+  for (std::size_t i = 1; i < layer.size(); ++i) {
+    EXPECT_LT(layer[i - 1], layer[i]);
+  }
+  EXPECT_LE(layer.size(), model.schedules().size());
+}
+
+}  // namespace
+}  // namespace lacon

@@ -1,0 +1,138 @@
+// Unit tests for src/relation: graph algorithms and the similarity relation.
+#include <gtest/gtest.h>
+
+#include "core/decision_rule.hpp"
+#include "models/mobile/mobile_model.hpp"
+#include "relation/graph.hpp"
+#include "relation/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(Graph, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+  EXPECT_FALSE(Graph(2).connected());
+}
+
+TEST(Graph, PathConnectivityAndDiameter) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.connected());
+  ASSERT_TRUE(g.diameter());
+  EXPECT_EQ(*g.diameter(), 3u);
+  EXPECT_EQ(*g.distance(0, 3), 3u);
+  EXPECT_EQ(g.shortest_path(0, 3).size(), 4u);
+}
+
+TEST(Graph, DisconnectedComponentsAndDiameter) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  EXPECT_FALSE(g.diameter());
+  EXPECT_FALSE(g.distance(0, 2));
+  EXPECT_TRUE(g.shortest_path(0, 2).empty());
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(Graph, FromRelationBuildsSymmetricEdges) {
+  const Graph g = Graph::from_relation(
+      4, [](std::size_t a, std::size_t b) { return a + 1 == b; });
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(Graph, CompleteGraphDiameterOne) {
+  const Graph g =
+      Graph::from_relation(6, [](std::size_t, std::size_t) { return true; });
+  ASSERT_TRUE(g.diameter());
+  EXPECT_EQ(*g.diameter(), 1u);
+}
+
+// Property test: on random graphs, distance() is symmetric and satisfies
+// the triangle inequality along shortest paths.
+TEST(Graph, RandomGraphDistanceProperties) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size = 2 + rng.below(10);
+    Graph g(size);
+    for (std::size_t a = 0; a < size; ++a) {
+      for (std::size_t b = a + 1; b < size; ++b) {
+        if (rng.below(3) == 0) g.add_edge(a, b);
+      }
+    }
+    for (std::size_t a = 0; a < size; ++a) {
+      for (std::size_t b = 0; b < size; ++b) {
+        const auto ab = g.distance(a, b);
+        const auto ba = g.distance(b, a);
+        ASSERT_EQ(ab.has_value(), ba.has_value());
+        if (ab) {
+          ASSERT_EQ(*ab, *ba);
+          const auto path = g.shortest_path(a, b);
+          ASSERT_EQ(path.size(), *ab + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(Similarity, InitialStatesDifferingInOneInput) {
+  auto rule = never_decide();
+  MobileModel model(3, *rule);
+  const auto& con0 = model.initial_states();
+  ASSERT_EQ(con0.size(), 8u);
+  // Count similar pairs: each pair of assignments at Hamming distance 1.
+  int similar_pairs = 0;
+  for (std::size_t a = 0; a < con0.size(); ++a) {
+    for (std::size_t b = a + 1; b < con0.size(); ++b) {
+      if (similar(model, con0[a], con0[b])) ++similar_pairs;
+    }
+  }
+  // The 3-cube has 12 edges.
+  EXPECT_EQ(similar_pairs, 12);
+}
+
+TEST(Similarity, WitnessIsTheDifferingProcess) {
+  auto rule = never_decide();
+  MobileModel model(3, *rule);
+  const auto& con0 = model.initial_states();
+  for (std::size_t a = 0; a < con0.size(); ++a) {
+    for (std::size_t b = a + 1; b < con0.size(); ++b) {
+      const auto w = similarity_witness(model, con0[a], con0[b]);
+      if (!w) continue;
+      EXPECT_TRUE(model.agree_modulo(con0[a], con0[b], *w));
+    }
+  }
+}
+
+TEST(Similarity, Con0GraphIsCube) {
+  auto rule = never_decide();
+  MobileModel model(4, *rule);
+  const auto& con0 = model.initial_states();
+  const Graph g = similarity_graph(model, con0);
+  EXPECT_TRUE(g.connected());
+  // Q4: 32 edges, diameter 4.
+  EXPECT_EQ(g.edge_count(), 32u);
+  ASSERT_TRUE(s_diameter(model, con0));
+  EXPECT_EQ(*s_diameter(model, con0), 4u);
+}
+
+TEST(Similarity, SelfSimilarityHoldsViaAnyWitness) {
+  auto rule = never_decide();
+  MobileModel model(2, *rule);
+  const auto& con0 = model.initial_states();
+  for (StateId x : con0) {
+    EXPECT_TRUE(similar(model, x, x));
+  }
+}
+
+}  // namespace
+}  // namespace lacon

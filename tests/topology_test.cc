@@ -1,0 +1,194 @@
+// Tests for src/topology: simplexes, complexes, thick connectivity, the
+// task catalog and the solvability conditions of Section 7.
+#include <gtest/gtest.h>
+
+#include "topology/complex.hpp"
+#include "topology/simplex.hpp"
+#include "topology/solvability.hpp"
+#include "topology/tasks.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(Simplex, MakeSortsById) {
+  const Simplex s = make_simplex({{2, 5}, {0, 1}, {1, 3}});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].id, 0);
+  EXPECT_EQ(s[1].id, 1);
+  EXPECT_EQ(s[2].id, 2);
+}
+
+TEST(Simplex, AssignmentSimplex) {
+  const Simplex s = assignment_simplex({1, 0, 1});
+  EXPECT_EQ(s, make_simplex({{0, 1}, {1, 0}, {2, 1}}));
+}
+
+TEST(Simplex, FacesAndIntersection) {
+  const Simplex big = make_simplex({{0, 1}, {1, 0}, {2, 1}});
+  const Simplex face = make_simplex({{0, 1}, {2, 1}});
+  const Simplex other = make_simplex({{0, 0}, {1, 0}});
+  EXPECT_TRUE(is_face(face, big));
+  EXPECT_TRUE(is_face(Simplex{}, big));
+  EXPECT_FALSE(is_face(other, big));
+  EXPECT_EQ(simplex_intersection(big, other), make_simplex({{1, 0}}));
+  EXPECT_EQ(simplex_intersection(big, face), face);
+}
+
+TEST(Complex, MembershipByFace) {
+  Complex c;
+  c.add(assignment_simplex({0, 0, 0}));
+  EXPECT_TRUE(c.contains(make_simplex({{1, 0}})));
+  EXPECT_TRUE(c.contains(assignment_simplex({0, 0, 0})));
+  EXPECT_FALSE(c.contains(make_simplex({{1, 1}})));
+  EXPECT_TRUE(c.contains(Simplex{}));  // the empty simplex is a face
+}
+
+TEST(Complex, SimplexesOfSize) {
+  Complex c;
+  c.add(assignment_simplex({0, 1, 1}));
+  EXPECT_EQ(c.simplexes_of_size(3).size(), 1u);
+  EXPECT_EQ(c.simplexes_of_size(2).size(), 3u);
+  EXPECT_EQ(c.simplexes_of_size(1).size(), 3u);
+  c.add(assignment_simplex({0, 1, 0}));
+  EXPECT_EQ(c.simplexes_of_size(3).size(), 2u);
+  // The two top simplexes share vertices (0:0) and (1:1).
+  EXPECT_EQ(c.simplexes_of_size(1).size(), 4u);
+}
+
+TEST(Complex, ThickConnectivity) {
+  // Two disjoint triangles: not even n-thick connected... k=n allows empty
+  // intersections, so k = n makes everything with >= 1 simplex connected.
+  Complex c;
+  c.add(assignment_simplex({0, 0, 0}));
+  c.add(assignment_simplex({1, 1, 1}));
+  EXPECT_FALSE(c.k_thick_connected(3, 1));
+  EXPECT_FALSE(c.k_thick_connected(3, 2));
+  EXPECT_TRUE(c.k_thick_connected(3, 3));
+  // Adding a bridging simplex sharing 2 vertices with each side makes it
+  // 1-thick connected.
+  c.add(assignment_simplex({0, 0, 1}));
+  c.add(assignment_simplex({0, 1, 1}));
+  EXPECT_TRUE(c.k_thick_connected(3, 1));
+  ASSERT_TRUE(c.thick_diameter(3, 1));
+  EXPECT_EQ(*c.thick_diameter(3, 1), 3u);
+}
+
+TEST(Tasks, ConsensusDeltaRespectsValidity) {
+  const DecisionProblem p = consensus_task(3);
+  ASSERT_EQ(p.inputs.size(), 8u);
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    const auto& in = p.inputs[i];
+    const bool unanimous =
+        std::all_of(in.begin(), in.end(), [&](Value v) { return v == in[0]; });
+    EXPECT_EQ(p.allowed_outputs[i].size(), unanimous ? 1u : 2u);
+    for (const auto& out : p.allowed_outputs[i]) {
+      // all-same output, value present among inputs
+      EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                              [&](Value v) { return v == out[0]; }));
+      EXPECT_NE(std::find(in.begin(), in.end(), out[0]), in.end());
+    }
+  }
+}
+
+TEST(Tasks, SetAgreementOutputsBounded) {
+  const DecisionProblem p = set_agreement_task(3, 2, 3);
+  ASSERT_EQ(p.inputs.size(), 27u);
+  for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+    for (const auto& out : p.allowed_outputs[i]) {
+      std::set<Value> distinct(out.begin(), out.end());
+      EXPECT_LE(distinct.size(), 2u);
+      for (Value v : distinct) {
+        EXPECT_NE(std::find(p.inputs[i].begin(), p.inputs[i].end(), v),
+                  p.inputs[i].end());
+      }
+    }
+    EXPECT_FALSE(p.allowed_outputs[i].empty());
+  }
+}
+
+TEST(Solvability, InputSimilarityIsHammingAtMostOne) {
+  EXPECT_TRUE(inputs_similar({0, 1, 1}, {0, 0, 1}));
+  EXPECT_TRUE(inputs_similar({0, 1, 1}, {0, 1, 1}));
+  EXPECT_FALSE(inputs_similar({0, 1, 1}, {1, 0, 1}));
+}
+
+TEST(Solvability, ConsensusIsNot1ThickConnected) {
+  // Theorem 7.2 / Corollary 7.3: consensus is not solvable 1-resiliently,
+  // and the checker proves it exhaustively over all subproblems.
+  const DecisionProblem p = consensus_task(3);
+  const ThickResult r = problem_k_thick_connected(p, 1);
+  EXPECT_EQ(r.verdict, ThickVerdict::kNotConnected) << r.detail;
+}
+
+TEST(Solvability, ConsensusIsNThickConnected) {
+  // With k = n the intersection requirement vanishes.
+  const DecisionProblem p = consensus_task(3);
+  const ThickResult r = problem_k_thick_connected(p, 3);
+  EXPECT_EQ(r.verdict, ThickVerdict::kConnected) << r.detail;
+}
+
+TEST(Solvability, TrivialTaskIs1ThickConnected) {
+  const DecisionProblem p = trivial_task(3);
+  const ThickResult r = problem_k_thick_connected(p, 1);
+  EXPECT_EQ(r.verdict, ThickVerdict::kConnected) << r.detail;
+}
+
+TEST(Solvability, ConstantTaskIs1ThickConnected) {
+  const DecisionProblem p = constant_task(3, 0);
+  const ThickResult r = problem_k_thick_connected(p, 1);
+  EXPECT_EQ(r.verdict, ThickVerdict::kConnected) << r.detail;
+}
+
+TEST(Solvability, WeakAgreementNeedsSubproblemSearch) {
+  // The full Δ generates a disconnected complex, but the constant
+  // subproblem works — exercising the ∃Δ' quantifier.
+  const DecisionProblem p = weak_agreement_task(3);
+  const ThickResult r = problem_k_thick_connected(p, 1);
+  EXPECT_EQ(r.verdict, ThickVerdict::kConnected) << r.detail;
+  EXPECT_NE(r.detail.find("single-choice"), std::string::npos) << r.detail;
+}
+
+TEST(Solvability, TwoSetAgreementIs1ThickConnected) {
+  // 1-resilient 2-set agreement is solvable (t < k); the condition must
+  // come out connected (sampled I-sets: the instance has 27 inputs).
+  const DecisionProblem p = set_agreement_task(3, 2, 3);
+  const ThickResult r = problem_k_thick_connected(p, 1);
+  EXPECT_EQ(r.verdict, ThickVerdict::kConnected) << r.detail;
+}
+
+TEST(Solvability, DiameterBoundRecurrence) {
+  // d_X^{m+1} = d_X d_Y + d_X + d_Y, d_Y^m = 2(n-m).
+  EXPECT_EQ(diameter_bound(3, 0, 3), 3);
+  // t=1: dY = 6 -> 3*6+3+6 = 27.
+  EXPECT_EQ(diameter_bound(3, 1, 3), 27);
+  // t=2: next dY = 4 -> 27*4+27+4 = 139.
+  EXPECT_EQ(diameter_bound(3, 2, 3), 139);
+}
+
+TEST(Solvability, DiameterConditionForTrivialTask) {
+  const DecisionProblem p = trivial_task(3);
+  // The trivial task's output complex over any I has diameter <= n, far
+  // below the synchronous-round bound.
+  EXPECT_TRUE(diameter_condition_holds(p, 1, diameter_bound(3, 1, 3)));
+  // A bound of 0 is unsatisfiable once I contains two different inputs.
+  EXPECT_FALSE(diameter_condition_holds(p, 1, 0));
+}
+
+TEST(Solvability, ConsensusFailsDiameterCondition) {
+  const DecisionProblem p = consensus_task(3);
+  // Disconnected output complexes have no finite diameter at all.
+  EXPECT_FALSE(diameter_condition_holds(p, 1, 1000));
+}
+
+TEST(Solvability, SimilarityConnectedSetsEnumerated) {
+  const DecisionProblem p = consensus_task(2);  // the 4 corners of Q2
+  const auto sets = similarity_connected_input_sets(p);
+  // Q2's connected vertex subsets: 4 singletons + 4 edges + 4 paths of 3
+  // + 1 full square = 13 (the 2 antipodal pairs are disconnected).
+  EXPECT_EQ(sets.size(), 13u);
+  // Largest set first (the most discriminating for failures).
+  EXPECT_EQ(sets.front().size(), 4u);
+}
+
+}  // namespace
+}  // namespace lacon

@@ -1,0 +1,153 @@
+// Unit tests for src/util: hashing, process sets, RNG, permutations, tables.
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/hash.hpp"
+#include "util/permutations.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+TEST(Hash, Mix64IsInjectiveOnSmallRange) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Hash, RangeDistinguishesLengthAndContent) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {1, 2};
+  const std::vector<int> c = {1, 2, 4};
+  EXPECT_NE(hash_range(a), hash_range(b));
+  EXPECT_NE(hash_range(a), hash_range(c));
+  EXPECT_EQ(hash_range(a), hash_range(std::vector<int>{1, 2, 3}));
+}
+
+TEST(ProcessSet, PrefixMatchesPaperBrackets) {
+  // [k] = {1..k} in the paper; {0..k-1} in 0-based code.
+  EXPECT_TRUE(ProcessSet::prefix(0).empty());
+  const ProcessSet p3 = ProcessSet::prefix(3);
+  EXPECT_EQ(p3.size(), 3);
+  EXPECT_TRUE(p3.contains(0));
+  EXPECT_TRUE(p3.contains(2));
+  EXPECT_FALSE(p3.contains(3));
+}
+
+TEST(ProcessSet, InsertEraseUnionDifference) {
+  ProcessSet s;
+  s.insert(2);
+  s.insert(5);
+  EXPECT_EQ(s.size(), 2);
+  s.erase(2);
+  EXPECT_FALSE(s.contains(2));
+  const ProcessSet u = s | ProcessSet::single(1);
+  EXPECT_EQ(u.size(), 2);
+  EXPECT_EQ((u - ProcessSet::single(5)).to_vector(),
+            (std::vector<ProcessId>{1}));
+}
+
+TEST(ProcessSet, ToStringSorted) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(0);
+  EXPECT_EQ(s.to_string(), "{0,3}");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsInRangeAndHitsAllValues) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.int_below(5);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Permutations, CountsAreFactorial) {
+  EXPECT_EQ(all_permutations(3).size(), 6u);
+  EXPECT_EQ(all_permutations(4).size(), 24u);
+  // Dropping the last element of each permutation yields n! distinct
+  // (n-1)-sequences (the missing element is determined by the sequence).
+  EXPECT_EQ(all_drop_last(3).size(), 6u);
+  EXPECT_EQ(all_drop_last(4).size(), 24u);
+}
+
+TEST(Permutations, DropLastEntriesAreInjectiveSequences) {
+  for (const Permutation& p : all_drop_last(4)) {
+    EXPECT_EQ(p.size(), 3u);
+    std::set<ProcessId> distinct(p.begin(), p.end());
+    EXPECT_EQ(distinct.size(), p.size());
+  }
+}
+
+TEST(Permutations, TranspositionChainReachesTarget) {
+  const Permutation from = {0, 1, 2, 3};
+  const Permutation to = {3, 1, 0, 2};
+  const auto chain = transposition_chain(from, to);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.front(), from);
+  EXPECT_EQ(chain.back(), to);
+  // Each consecutive pair differs by one adjacent swap.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    int diffs = 0;
+    for (std::size_t k = 0; k < from.size(); ++k) {
+      if (chain[i - 1][k] != chain[i][k]) ++diffs;
+    }
+    EXPECT_EQ(diffs, 2);
+  }
+}
+
+TEST(Permutations, TranspositionChainIdentity) {
+  const Permutation p = {2, 0, 1};
+  const auto chain = transposition_chain(p, p);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"model", "n", "ok"});
+  t.add_row({"M^mf", "3", "yes"});
+  t.add_row({"AsyncMP/S^per", "4", "no"});
+  const std::string s = t.to_string("demo");
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("AsyncMP/S^per"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CellHelpers) {
+  EXPECT_EQ(cell(42LL), "42");
+  EXPECT_EQ(cell(true), "yes");
+  EXPECT_EQ(cell(false), "no");
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace lacon
