@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t2_connectivity.cc" "bench/CMakeFiles/bench_t2_connectivity.dir/bench_t2_connectivity.cc.o" "gcc" "bench/CMakeFiles/bench_t2_connectivity.dir/bench_t2_connectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

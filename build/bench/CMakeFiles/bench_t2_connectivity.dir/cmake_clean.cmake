@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_connectivity.dir/bench_t2_connectivity.cc.o"
+  "CMakeFiles/bench_t2_connectivity.dir/bench_t2_connectivity.cc.o.d"
+  "bench_t2_connectivity"
+  "bench_t2_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_bivalent_run.dir/bench_t3_bivalent_run.cc.o"
+  "CMakeFiles/bench_t3_bivalent_run.dir/bench_t3_bivalent_run.cc.o.d"
+  "bench_t3_bivalent_run"
+  "bench_t3_bivalent_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_bivalent_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_sync_bound.dir/bench_t4_sync_bound.cc.o"
+  "CMakeFiles/bench_t4_sync_bound.dir/bench_t4_sync_bound.cc.o.d"
+  "bench_t4_sync_bound"
+  "bench_t4_sync_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_sync_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

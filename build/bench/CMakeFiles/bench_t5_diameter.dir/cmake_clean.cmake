@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_diameter.dir/bench_t5_diameter.cc.o"
+  "CMakeFiles/bench_t5_diameter.dir/bench_t5_diameter.cc.o.d"
+  "bench_t5_diameter"
+  "bench_t5_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_tasks.dir/bench_t6_tasks.cc.o"
+  "CMakeFiles/bench_t6_tasks.dir/bench_t6_tasks.cc.o.d"
+  "bench_t6_tasks"
+  "bench_t6_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_simulation.dir/bench_t7_simulation.cc.o"
+  "CMakeFiles/bench_t7_simulation.dir/bench_t7_simulation.cc.o.d"
+  "bench_t7_simulation"
+  "bench_t7_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_extended_models.dir/bench_t8_extended_models.cc.o"
+  "CMakeFiles/bench_t8_extended_models.dir/bench_t8_extended_models.cc.o.d"
+  "bench_t8_extended_models"
+  "bench_t8_extended_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_extended_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

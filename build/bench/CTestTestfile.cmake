@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_t1_layers "/root/repo/build/bench/bench_t1_layers" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t1_layers PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t2_connectivity "/root/repo/build/bench/bench_t2_connectivity" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t2_connectivity PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t3_bivalent_run "/root/repo/build/bench/bench_t3_bivalent_run" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t3_bivalent_run PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t4_sync_bound "/root/repo/build/bench/bench_t4_sync_bound" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t4_sync_bound PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t5_diameter "/root/repo/build/bench/bench_t5_diameter" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t5_diameter PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t6_tasks "/root/repo/build/bench/bench_t6_tasks" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t6_tasks PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t7_simulation "/root/repo/build/bench/bench_t7_simulation" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t7_simulation PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_t8_extended_models "/root/repo/build/bench/bench_t8_extended_models" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_t8_extended_models PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_a1_ablation "/root/repo/build/bench/bench_a1_ablation" "--benchmark_min_time=0.01s")
+set_tests_properties(smoke_bench_a1_ablation PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benor_demo.dir/benor_demo.cpp.o"
+  "CMakeFiles/benor_demo.dir/benor_demo.cpp.o.d"
+  "benor_demo"
+  "benor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

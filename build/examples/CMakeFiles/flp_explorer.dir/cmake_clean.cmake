@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flp_explorer.dir/flp_explorer.cpp.o"
+  "CMakeFiles/flp_explorer.dir/flp_explorer.cpp.o.d"
+  "flp_explorer"
+  "flp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_check.dir/lacon_check.cpp.o"
+  "CMakeFiles/lacon_check.dir/lacon_check.cpp.o.d"
+  "lacon_check"
+  "lacon_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_lower_bound.dir/sync_lower_bound.cpp.o"
+  "CMakeFiles/sync_lower_bound.dir/sync_lower_bound.cpp.o.d"
+  "sync_lower_bound"
+  "sync_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

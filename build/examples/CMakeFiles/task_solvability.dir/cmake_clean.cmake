@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_solvability.dir/task_solvability.cpp.o"
+  "CMakeFiles/task_solvability.dir/task_solvability.cpp.o.d"
+  "task_solvability"
+  "task_solvability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_solvability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_analysis.dir/analysis/dot.cc.o"
+  "CMakeFiles/lacon_analysis.dir/analysis/dot.cc.o.d"
+  "CMakeFiles/lacon_analysis.dir/analysis/reports.cc.o"
+  "CMakeFiles/lacon_analysis.dir/analysis/reports.cc.o.d"
+  "liblacon_analysis.a"
+  "liblacon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decision_rule.cc" "src/CMakeFiles/lacon_core.dir/core/decision_rule.cc.o" "gcc" "src/CMakeFiles/lacon_core.dir/core/decision_rule.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/lacon_core.dir/core/model.cc.o" "gcc" "src/CMakeFiles/lacon_core.dir/core/model.cc.o.d"
+  "/root/repo/src/core/state.cc" "src/CMakeFiles/lacon_core.dir/core/state.cc.o" "gcc" "src/CMakeFiles/lacon_core.dir/core/state.cc.o.d"
+  "/root/repo/src/core/view.cc" "src/CMakeFiles/lacon_core.dir/core/view.cc.o" "gcc" "src/CMakeFiles/lacon_core.dir/core/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_core.dir/core/decision_rule.cc.o"
+  "CMakeFiles/lacon_core.dir/core/decision_rule.cc.o.d"
+  "CMakeFiles/lacon_core.dir/core/model.cc.o"
+  "CMakeFiles/lacon_core.dir/core/model.cc.o.d"
+  "CMakeFiles/lacon_core.dir/core/state.cc.o"
+  "CMakeFiles/lacon_core.dir/core/state.cc.o.d"
+  "CMakeFiles/lacon_core.dir/core/view.cc.o"
+  "CMakeFiles/lacon_core.dir/core/view.cc.o.d"
+  "liblacon_core.a"
+  "liblacon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

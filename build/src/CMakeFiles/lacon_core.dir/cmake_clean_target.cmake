@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblacon_core.a"
+)

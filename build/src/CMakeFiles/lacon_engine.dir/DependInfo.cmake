@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bivalence.cc" "src/CMakeFiles/lacon_engine.dir/engine/bivalence.cc.o" "gcc" "src/CMakeFiles/lacon_engine.dir/engine/bivalence.cc.o.d"
+  "/root/repo/src/engine/explore.cc" "src/CMakeFiles/lacon_engine.dir/engine/explore.cc.o" "gcc" "src/CMakeFiles/lacon_engine.dir/engine/explore.cc.o.d"
+  "/root/repo/src/engine/lemmas.cc" "src/CMakeFiles/lacon_engine.dir/engine/lemmas.cc.o" "gcc" "src/CMakeFiles/lacon_engine.dir/engine/lemmas.cc.o.d"
+  "/root/repo/src/engine/spec.cc" "src/CMakeFiles/lacon_engine.dir/engine/spec.cc.o" "gcc" "src/CMakeFiles/lacon_engine.dir/engine/spec.cc.o.d"
+  "/root/repo/src/engine/valence.cc" "src/CMakeFiles/lacon_engine.dir/engine/valence.cc.o" "gcc" "src/CMakeFiles/lacon_engine.dir/engine/valence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

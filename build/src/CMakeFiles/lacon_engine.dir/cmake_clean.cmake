@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_engine.dir/engine/bivalence.cc.o"
+  "CMakeFiles/lacon_engine.dir/engine/bivalence.cc.o.d"
+  "CMakeFiles/lacon_engine.dir/engine/explore.cc.o"
+  "CMakeFiles/lacon_engine.dir/engine/explore.cc.o.d"
+  "CMakeFiles/lacon_engine.dir/engine/lemmas.cc.o"
+  "CMakeFiles/lacon_engine.dir/engine/lemmas.cc.o.d"
+  "CMakeFiles/lacon_engine.dir/engine/spec.cc.o"
+  "CMakeFiles/lacon_engine.dir/engine/spec.cc.o.d"
+  "CMakeFiles/lacon_engine.dir/engine/valence.cc.o"
+  "CMakeFiles/lacon_engine.dir/engine/valence.cc.o.d"
+  "liblacon_engine.a"
+  "liblacon_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

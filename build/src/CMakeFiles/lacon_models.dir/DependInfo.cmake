@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/iis/iis_model.cc" "src/CMakeFiles/lacon_models.dir/models/iis/iis_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/iis/iis_model.cc.o.d"
+  "/root/repo/src/models/mobile/mobile_model.cc" "src/CMakeFiles/lacon_models.dir/models/mobile/mobile_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/mobile/mobile_model.cc.o.d"
+  "/root/repo/src/models/msgpass/msgpass_model.cc" "src/CMakeFiles/lacon_models.dir/models/msgpass/msgpass_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/msgpass/msgpass_model.cc.o.d"
+  "/root/repo/src/models/msgpass/msgpass_sync_model.cc" "src/CMakeFiles/lacon_models.dir/models/msgpass/msgpass_sync_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/msgpass/msgpass_sync_model.cc.o.d"
+  "/root/repo/src/models/sharedmem/sharedmem_model.cc" "src/CMakeFiles/lacon_models.dir/models/sharedmem/sharedmem_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/sharedmem/sharedmem_model.cc.o.d"
+  "/root/repo/src/models/snapshot/snapshot_model.cc" "src/CMakeFiles/lacon_models.dir/models/snapshot/snapshot_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/snapshot/snapshot_model.cc.o.d"
+  "/root/repo/src/models/synchronous/sync_model.cc" "src/CMakeFiles/lacon_models.dir/models/synchronous/sync_model.cc.o" "gcc" "src/CMakeFiles/lacon_models.dir/models/synchronous/sync_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

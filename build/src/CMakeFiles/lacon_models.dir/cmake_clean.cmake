@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_models.dir/models/iis/iis_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/iis/iis_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/mobile/mobile_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/mobile/mobile_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/msgpass/msgpass_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/msgpass/msgpass_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/msgpass/msgpass_sync_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/msgpass/msgpass_sync_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/sharedmem/sharedmem_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/sharedmem/sharedmem_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/snapshot/snapshot_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/snapshot/snapshot_model.cc.o.d"
+  "CMakeFiles/lacon_models.dir/models/synchronous/sync_model.cc.o"
+  "CMakeFiles/lacon_models.dir/models/synchronous/sync_model.cc.o.d"
+  "liblacon_models.a"
+  "liblacon_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/adopt_commit.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/adopt_commit.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/adopt_commit.cc.o.d"
+  "/root/repo/src/protocols/benor.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/benor.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/benor.cc.o.d"
+  "/root/repo/src/protocols/coordinator.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/coordinator.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/coordinator.cc.o.d"
+  "/root/repo/src/protocols/early_deciding.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/early_deciding.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/early_deciding.cc.o.d"
+  "/root/repo/src/protocols/eig.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/eig.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/eig.cc.o.d"
+  "/root/repo/src/protocols/floodset.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/floodset.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/floodset.cc.o.d"
+  "/root/repo/src/protocols/kset.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/kset.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/kset.cc.o.d"
+  "/root/repo/src/protocols/round_protocol.cc" "src/CMakeFiles/lacon_protocols.dir/protocols/round_protocol.cc.o" "gcc" "src/CMakeFiles/lacon_protocols.dir/protocols/round_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_protocols.dir/protocols/adopt_commit.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/adopt_commit.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/benor.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/benor.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/coordinator.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/coordinator.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/early_deciding.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/early_deciding.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/eig.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/eig.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/floodset.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/floodset.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/kset.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/kset.cc.o.d"
+  "CMakeFiles/lacon_protocols.dir/protocols/round_protocol.cc.o"
+  "CMakeFiles/lacon_protocols.dir/protocols/round_protocol.cc.o.d"
+  "liblacon_protocols.a"
+  "liblacon_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_relation.dir/relation/graph.cc.o"
+  "CMakeFiles/lacon_relation.dir/relation/graph.cc.o.d"
+  "CMakeFiles/lacon_relation.dir/relation/similarity.cc.o"
+  "CMakeFiles/lacon_relation.dir/relation/similarity.cc.o.d"
+  "liblacon_relation.a"
+  "liblacon_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

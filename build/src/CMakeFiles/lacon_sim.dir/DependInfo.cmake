@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cc" "src/CMakeFiles/lacon_sim.dir/sim/adversary.cc.o" "gcc" "src/CMakeFiles/lacon_sim.dir/sim/adversary.cc.o.d"
+  "/root/repo/src/sim/async_sim.cc" "src/CMakeFiles/lacon_sim.dir/sim/async_sim.cc.o" "gcc" "src/CMakeFiles/lacon_sim.dir/sim/async_sim.cc.o.d"
+  "/root/repo/src/sim/sync_sim.cc" "src/CMakeFiles/lacon_sim.dir/sim/sync_sim.cc.o" "gcc" "src/CMakeFiles/lacon_sim.dir/sim/sync_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_sim.dir/sim/adversary.cc.o"
+  "CMakeFiles/lacon_sim.dir/sim/adversary.cc.o.d"
+  "CMakeFiles/lacon_sim.dir/sim/async_sim.cc.o"
+  "CMakeFiles/lacon_sim.dir/sim/async_sim.cc.o.d"
+  "CMakeFiles/lacon_sim.dir/sim/sync_sim.cc.o"
+  "CMakeFiles/lacon_sim.dir/sim/sync_sim.cc.o.d"
+  "liblacon_sim.a"
+  "liblacon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/complex.cc" "src/CMakeFiles/lacon_topology.dir/topology/complex.cc.o" "gcc" "src/CMakeFiles/lacon_topology.dir/topology/complex.cc.o.d"
+  "/root/repo/src/topology/covering.cc" "src/CMakeFiles/lacon_topology.dir/topology/covering.cc.o" "gcc" "src/CMakeFiles/lacon_topology.dir/topology/covering.cc.o.d"
+  "/root/repo/src/topology/simplex.cc" "src/CMakeFiles/lacon_topology.dir/topology/simplex.cc.o" "gcc" "src/CMakeFiles/lacon_topology.dir/topology/simplex.cc.o.d"
+  "/root/repo/src/topology/solvability.cc" "src/CMakeFiles/lacon_topology.dir/topology/solvability.cc.o" "gcc" "src/CMakeFiles/lacon_topology.dir/topology/solvability.cc.o.d"
+  "/root/repo/src/topology/tasks.cc" "src/CMakeFiles/lacon_topology.dir/topology/tasks.cc.o" "gcc" "src/CMakeFiles/lacon_topology.dir/topology/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacon_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

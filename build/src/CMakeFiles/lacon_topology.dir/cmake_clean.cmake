@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_topology.dir/topology/complex.cc.o"
+  "CMakeFiles/lacon_topology.dir/topology/complex.cc.o.d"
+  "CMakeFiles/lacon_topology.dir/topology/covering.cc.o"
+  "CMakeFiles/lacon_topology.dir/topology/covering.cc.o.d"
+  "CMakeFiles/lacon_topology.dir/topology/simplex.cc.o"
+  "CMakeFiles/lacon_topology.dir/topology/simplex.cc.o.d"
+  "CMakeFiles/lacon_topology.dir/topology/solvability.cc.o"
+  "CMakeFiles/lacon_topology.dir/topology/solvability.cc.o.d"
+  "CMakeFiles/lacon_topology.dir/topology/tasks.cc.o"
+  "CMakeFiles/lacon_topology.dir/topology/tasks.cc.o.d"
+  "liblacon_topology.a"
+  "liblacon_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

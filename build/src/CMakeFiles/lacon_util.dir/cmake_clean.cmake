@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacon_util.dir/util/table.cc.o"
+  "CMakeFiles/lacon_util.dir/util/table.cc.o.d"
+  "liblacon_util.a"
+  "liblacon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

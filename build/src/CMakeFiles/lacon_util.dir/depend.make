@@ -1,0 +1,2 @@
+# Empty dependencies file for lacon_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iis_model_test.dir/iis_model_test.cc.o"
+  "CMakeFiles/iis_model_test.dir/iis_model_test.cc.o.d"
+  "iis_model_test"
+  "iis_model_test.pdb"
+  "iis_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iis_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

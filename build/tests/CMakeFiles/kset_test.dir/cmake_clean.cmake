@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kset_test.dir/kset_test.cc.o"
+  "CMakeFiles/kset_test.dir/kset_test.cc.o.d"
+  "kset_test"
+  "kset_test.pdb"
+  "kset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

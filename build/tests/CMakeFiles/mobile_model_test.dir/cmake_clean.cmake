@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_model_test.dir/mobile_model_test.cc.o"
+  "CMakeFiles/mobile_model_test.dir/mobile_model_test.cc.o.d"
+  "mobile_model_test"
+  "mobile_model_test.pdb"
+  "mobile_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

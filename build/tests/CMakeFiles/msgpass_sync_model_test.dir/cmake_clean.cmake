@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgpass_sync_model_test.dir/msgpass_sync_model_test.cc.o"
+  "CMakeFiles/msgpass_sync_model_test.dir/msgpass_sync_model_test.cc.o.d"
+  "msgpass_sync_model_test"
+  "msgpass_sync_model_test.pdb"
+  "msgpass_sync_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgpass_sync_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharedmem_model_test.dir/sharedmem_model_test.cc.o"
+  "CMakeFiles/sharedmem_model_test.dir/sharedmem_model_test.cc.o.d"
+  "sharedmem_model_test"
+  "sharedmem_model_test.pdb"
+  "sharedmem_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharedmem_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_model_test.dir/snapshot_model_test.cc.o"
+  "CMakeFiles/snapshot_model_test.dir/snapshot_model_test.cc.o.d"
+  "snapshot_model_test"
+  "snapshot_model_test.pdb"
+  "snapshot_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

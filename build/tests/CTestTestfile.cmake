@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/mobile_model_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_model_test[1]_include.cmake")
+include("/root/repo/build/tests/sharedmem_model_test[1]_include.cmake")
+include("/root/repo/build/tests/msgpass_model_test[1]_include.cmake")
+include("/root/repo/build/tests/valence_test[1]_include.cmake")
+include("/root/repo/build/tests/bivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/lemmas_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/covering_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/async_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/iis_model_test[1]_include.cmake")
+include("/root/repo/build/tests/kset_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/msgpass_sync_model_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_model_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/adopt_commit_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
