@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
   lacon::print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "analysis/reports.hpp"
+
 #include "engine/bivalence.hpp"
 #include "engine/spec.hpp"
 #include "models/synchronous/sync_model.hpp"
@@ -112,5 +114,6 @@ int main(int argc, char** argv) {
   lacon::print_early_deciding_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
   return 0;
 }

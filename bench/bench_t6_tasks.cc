@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "analysis/reports.hpp"
+
 #include "topology/solvability.hpp"
 #include "topology/tasks.hpp"
 #include "util/table.hpp"
@@ -87,5 +89,6 @@ int main(int argc, char** argv) {
   lacon::print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
   return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "analysis/reports.hpp"
+
 #include "protocols/benor.hpp"
 #include "protocols/coordinator.hpp"
 #include "protocols/early_deciding.hpp"
@@ -151,5 +153,6 @@ int main(int argc, char** argv) {
   lacon::print_async_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+
+#include "analysis/reports.hpp"
 #include <memory>
 
 #include "core/decision_rule.hpp"
@@ -94,5 +96,6 @@ int main(int argc, char** argv) {
   lacon::print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
   return 0;
 }

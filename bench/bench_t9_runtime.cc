@@ -1,0 +1,181 @@
+// T9 — The parallel analysis runtime (src/runtime/).
+//
+// Serial-vs-parallel wall clock for the three ported hot paths — frontier
+// expansion, the ~s pair sweep, per-initial-state valence classification —
+// together with a determinism audit: each workload's complete analysis
+// output (connectivity verdict, s-diameter, per-level state counts, valence
+// tags) is rendered to a string under 1 worker and under the configured
+// maximum and must be byte-identical. On a >= 4-core machine the pair-sweep
+// row is the acceptance workload for the >= 2x speedup criterion; worker
+// counts are capped to the hardware so a single-core host degenerates to a
+// (still byte-identical) 1-vs-1 comparison.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "analysis/reports.hpp"
+#include "engine/explore.hpp"
+#include "engine/valence.hpp"
+#include "relation/similarity.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+unsigned max_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return runtime::parse_worker_env(std::getenv("LACON_THREADS"), hw);
+}
+
+// The audit workload: explore, sweep ~s over the deepest level, classify
+// Con_0. Returns the full analysis output as a printable string.
+std::string run_workload(ModelKind kind, int n, int depth,
+                         std::string* timings) {
+  const int t = 1;
+  auto rule = min_after_round(2);
+  auto model = make_model(kind, n, t, *rule);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto levels = reachable_by_depth(*model, depth);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto& deepest = levels.back();
+  const bool conn = similarity_connected(*model, deepest);
+  const auto diam = s_diameter(*model, deepest);
+  const auto t2 = std::chrono::steady_clock::now();
+  ValenceEngine engine(*model, depth + 1, default_exactness(kind));
+  const auto infos = engine.classify_all(model->initial_states());
+  const auto t3 = std::chrono::steady_clock::now();
+
+  if (timings != nullptr) {
+    const auto ms = [](auto a, auto b) {
+      return cell(std::chrono::duration<double, std::milli>(b - a).count(),
+                  1);
+    };
+    *timings = ms(t0, t1) + " / " + ms(t1, t2) + " / " + ms(t2, t3);
+  }
+
+  std::string out = model_kind_name(kind) + " n=" + std::to_string(n);
+  out += " levels=";
+  for (const auto& level : levels) {
+    out += std::to_string(level.size()) + ",";
+  }
+  out += " deepest_conn=" + std::string(conn ? "y" : "n");
+  out += " s_diam=" + (diam ? std::to_string(*diam) : std::string("inf"));
+  out += " tags=";
+  for (const ValenceInfo& v : infos) {
+    out += v.bivalent() ? 'b' : (v.value() == 0 ? '0' : '1');
+    out += v.exact ? '!' : '?';
+  }
+  return out;
+}
+
+void print_table() {
+  const unsigned workers = max_workers();
+  Table table({"workload", "serial ms (explore/sweep/valence)",
+               "parallel ms (w=" + std::to_string(workers) + ")",
+               "identical output"});
+  struct Row {
+    ModelKind kind;
+    int n;
+    int depth;
+  };
+  for (const Row& row : {Row{ModelKind::kMobile, 4, 2},
+                         Row{ModelKind::kSharedMem, 3, 2},
+                         Row{ModelKind::kSync, 4, 2}}) {
+    std::string serial_ms, parallel_ms, serial_out, parallel_out;
+    {
+      runtime::WorkerCountOverride serial(1);
+      serial_out = run_workload(row.kind, row.n, row.depth, &serial_ms);
+    }
+    {
+      runtime::WorkerCountOverride parallel(workers);
+      parallel_out = run_workload(row.kind, row.n, row.depth, &parallel_ms);
+    }
+    table.add_row({model_kind_name(row.kind) + " n=" + std::to_string(row.n),
+                   serial_ms, parallel_ms,
+                   cell(serial_out == parallel_out)});
+    if (serial_out != parallel_out) {
+      std::fprintf(stderr,
+                   "T9 DETERMINISM VIOLATION\n serial:   %s\n parallel: %s\n",
+                   serial_out.c_str(), parallel_out.c_str());
+    }
+  }
+  std::fputs(table.to_string("T9: parallel runtime, serial vs parallel")
+                 .c_str(),
+             stdout);
+}
+
+// Acceptance workload: the ~s pair sweep over a deep mobile-model level.
+void BM_SimilaritySweep(benchmark::State& state) {
+  runtime::WorkerCountOverride workers(
+      static_cast<unsigned>(state.range(0)));
+  auto rule = never_decide();
+  auto model = make_model(ModelKind::kMobile, 4, 1, *rule);
+  const auto X = reachable_states(*model, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity_graph(*model, X).edge_count());
+  }
+  state.counters["states"] = static_cast<double>(X.size());
+}
+
+void BM_Explore(benchmark::State& state) {
+  runtime::WorkerCountOverride workers(
+      static_cast<unsigned>(state.range(0)));
+  auto rule = never_decide();
+  for (auto _ : state) {
+    auto model = make_model(ModelKind::kMobile, 4, 1, *rule);
+    benchmark::DoNotOptimize(reachable_states(*model, 2).size());
+  }
+}
+
+void BM_ValenceClassify(benchmark::State& state) {
+  runtime::WorkerCountOverride workers(
+      static_cast<unsigned>(state.range(0)));
+  auto rule = min_after_round(2);
+  for (auto _ : state) {
+    auto model = make_model(ModelKind::kSharedMem, 3, 1, *rule);
+    ValenceEngine engine(*model, 3,
+                         default_exactness(ModelKind::kSharedMem));
+    benchmark::DoNotOptimize(
+        engine.classify_all(model->initial_states()).size());
+  }
+}
+
+void register_worker_sweep(const char* name,
+                           void (*fn)(benchmark::State&)) {
+  const unsigned cap = max_workers();
+  for (unsigned w = 1; w <= cap; w *= 2) {
+    benchmark::RegisterBenchmark(
+        (std::string(name) + "/workers:" + std::to_string(w)).c_str(), fn)
+        ->Arg(static_cast<int>(w))
+        ->Unit(benchmark::kMillisecond);
+  }
+  if ((cap & (cap - 1)) != 0) {  // cap itself if not a power of two
+    benchmark::RegisterBenchmark(
+        (std::string(name) + "/workers:" + std::to_string(cap)).c_str(), fn)
+        ->Arg(static_cast<int>(cap))
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::print_table();
+  lacon::register_worker_sweep("BM_SimilaritySweep",
+                               lacon::BM_SimilaritySweep);
+  lacon::register_worker_sweep("BM_Explore", lacon::BM_Explore);
+  lacon::register_worker_sweep("BM_ValenceClassify",
+                               lacon::BM_ValenceClassify);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::fputs(lacon::runtime_report().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every bench binary and records machine-readable results, one JSON
+# file per experiment, so the perf trajectory across PRs is diffable:
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# defaults: BUILD_DIR=build, OUT_DIR=bench_results. Each bench writes
+# OUT_DIR/BENCH_<tag>.json via google-benchmark's --benchmark_out (the
+# experiment tables still go to stdout, captured as BENCH_<tag>.txt).
+# Extra arguments for the bench binaries can be passed via BENCH_ARGS,
+# e.g. BENCH_ARGS=--benchmark_min_time=0.01 for a smoke run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+BENCH_ARGS="${BENCH_ARGS:-}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+status=0
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  tag="${name#bench_}"
+  echo "=== $name -> $OUT_DIR/BENCH_$tag.json"
+  if ! "$bench" \
+      --benchmark_out="$OUT_DIR/BENCH_$tag.json" \
+      --benchmark_out_format=json \
+      ${BENCH_ARGS} \
+      | tee "$OUT_DIR/BENCH_$tag.txt"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+exit $status

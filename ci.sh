@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI matrix: plain RelWithDebInfo, ThreadSanitizer and AddressSanitizer
+# builds, each running the tier-1 test suite. TSan is mandatory for the
+# parallel runtime: the layer cache, both interning arenas and the valence
+# memo are shared across workers, and the equivalence tests in
+# tests/runtime_test.cc drive them with 4 workers.
+#
+#   ./ci.sh            # all three configurations
+#   ./ci.sh tsan       # just one: plain | tsan | asan
+#
+# LACON_THREADS is exported (default 4) so the parallel paths genuinely
+# multi-thread even on small CI machines.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+JOBS="${JOBS:-$(nproc)}"
+export LACON_THREADS="${LACON_THREADS:-4}"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local dir="build-ci-$name"
+  echo "=== [$name] configure (LACON_SANITIZE='$sanitize')"
+  cmake -B "$dir" -S . -DLACON_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== [$name] build"
+  cmake --build "$dir" -j "$JOBS" > /dev/null
+  echo "=== [$name] ctest"
+  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+}
+
+configs=("${1:-all}")
+if [[ "${configs[0]}" == "all" ]]; then configs=(plain tsan asan); fi
+
+for c in "${configs[@]}"; do
+  case "$c" in
+    plain) run_config plain "" ;;
+    tsan)  run_config tsan thread ;;
+    asan)  run_config asan address ;;
+    *) echo "unknown config '$c' (plain|tsan|asan|all)" >&2; exit 2 ;;
+  esac
+done
+echo "=== CI matrix OK: ${configs[*]}"

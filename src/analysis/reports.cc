@@ -1,5 +1,9 @@
 #include "analysis/reports.hpp"
 
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/table.hpp"
+
 #include "models/mobile/mobile_model.hpp"
 #include "models/msgpass/msgpass_model.hpp"
 #include "models/sharedmem/sharedmem_model.hpp"
@@ -119,6 +123,23 @@ std::vector<NamedCheck> run_lemma_suite(ModelKind kind, int n, int t,
                    check_lemma_6_2(*model, depth, horizon, mode)});
   }
   return out;
+}
+
+std::string runtime_report() {
+  Table table({"stat", "kind", "value", "calls"});
+  table.add_row({"runtime.workers", "config",
+                 cell(static_cast<long long>(runtime::worker_count())), "-"});
+  for (const runtime::StatSample& s : runtime::Stats::global().snapshot()) {
+    if (s.is_timer) {
+      table.add_row({s.name, "timer",
+                     cell(static_cast<double>(s.value) * 1e-6, 3) + " ms",
+                     cell(static_cast<long long>(s.count))});
+    } else {
+      table.add_row(
+          {s.name, "counter", cell(static_cast<long long>(s.value)), "-"});
+    }
+  }
+  return table.to_string("Runtime stats (lacon::runtime)");
 }
 
 }  // namespace lacon

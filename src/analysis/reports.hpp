@@ -45,4 +45,10 @@ std::vector<NamedCheck> run_lemma_suite(ModelKind kind, int n, int t,
                                         int depth, int horizon,
                                         const DecisionRule& rule);
 
+// Renders the runtime instrumentation registry (runtime/stats.hpp) — the
+// configured worker count plus every counter and timer the parallel hot
+// paths recorded since the last reset — as a table. The bench harnesses
+// print this after their experiment tables.
+std::string runtime_report();
+
 }  // namespace lacon

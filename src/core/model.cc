@@ -35,33 +35,43 @@ LayeredModel::LayeredModel(int n, const DecisionRule& rule,
 }
 
 const std::vector<StateId>& LayeredModel::initial_states() {
-  if (initial_built_) return initial_states_;
-  for (const auto& inputs : initial_inputs_) {
-    GlobalState s;
-    s.env = initial_env();
-    s.locals.reserve(static_cast<std::size_t>(n_));
-    for (ProcessId i = 0; i < n_; ++i) {
-      s.locals.push_back(views_.initial(i, inputs[static_cast<std::size_t>(i)]));
+  std::call_once(initial_once_, [this] {
+    for (const auto& inputs : initial_inputs_) {
+      GlobalState s;
+      s.env = initial_env();
+      s.locals.reserve(static_cast<std::size_t>(n_));
+      for (ProcessId i = 0; i < n_; ++i) {
+        s.locals.push_back(
+            views_.initial(i, inputs[static_cast<std::size_t>(i)]));
+      }
+      // No process has decided initially: d_i = ⊥ in Con_0 by definition.
+      s.decisions.assign(static_cast<std::size_t>(n_), kUndecided);
+      initial_states_.push_back(intern(std::move(s)));
     }
-    // No process has decided initially: d_i = ⊥ in Con_0 by definition.
-    s.decisions.assign(static_cast<std::size_t>(n_), kUndecided);
-    initial_states_.push_back(intern(std::move(s)));
-  }
-  // Input assignments are distinct, so the ids are too; keep them sorted for
-  // deterministic iteration.
-  std::sort(initial_states_.begin(), initial_states_.end());
-  initial_built_ = true;
+    // Input assignments are distinct, so the ids are too; keep them sorted
+    // for deterministic iteration.
+    std::sort(initial_states_.begin(), initial_states_.end());
+  });
   return initial_states_;
 }
 
 const std::vector<StateId>& LayeredModel::layer(StateId x) {
-  auto it = layer_cache_.find(x);
-  if (it != layer_cache_.end()) return it->second;
+  LayerShard& shard =
+      layer_shards_[static_cast<std::size_t>(x) % kLayerShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(x);
+    if (it != shard.map.end()) return it->second;
+  }
+  // Compute outside the lock so distinct states in one shard expand
+  // concurrently. A racing computation of the same layer produces the same
+  // vector (interning is content-addressed); emplace keeps the first copy.
   std::vector<StateId> succ = compute_layer(x);
   std::sort(succ.begin(), succ.end());
   succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
   assert(!succ.empty() && "a successor function never returns an empty set");
-  return layer_cache_.emplace(x, std::move(succ)).first->second;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.emplace(x, std::move(succ)).first->second;
 }
 
 ProcessSet LayeredModel::failed_at(StateId) const { return {}; }

@@ -10,8 +10,10 @@
 // and the synchronous t+1 lower bound.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,9 +48,14 @@ class LayeredModel {
   virtual int max_faulty() const { return 1; }
 
   // The initial states (Con_0, or D_0 for a general decision problem).
+  // Thread-safe (built once under a flag).
   const std::vector<StateId>& initial_states();
 
-  // S(x): the layer of x, deduplicated, in a deterministic order. Cached.
+  // S(x): the layer of x, deduplicated, in a deterministic order. Cached in
+  // a sharded, striped-mutex map, so concurrent layer computations from the
+  // parallel runtime are safe; racing computations of the same layer are
+  // idempotent because interning is content-addressed. The returned
+  // reference stays valid for the model's lifetime.
   const std::vector<StateId>& layer(StateId x);
 
   // The processes failed at x (faulty in *every* run through x). The three
@@ -90,14 +97,20 @@ class LayeredModel {
   Value updated_decision(ProcessId i, Value current, ViewId new_view);
 
  private:
+  static constexpr std::size_t kLayerShards = 16;
+  struct LayerShard {
+    std::mutex mu;
+    std::unordered_map<StateId, std::vector<StateId>> map;
+  };
+
   int n_;
   const DecisionRule* rule_;
   std::vector<std::vector<Value>> initial_inputs_;
   ViewArena views_;
   StateArena arena_;
   std::vector<StateId> initial_states_;
-  bool initial_built_ = false;
-  std::unordered_map<StateId, std::vector<StateId>> layer_cache_;
+  std::once_flag initial_once_;
+  std::array<LayerShard, kLayerShards> layer_shards_;
 };
 
 // All binary input assignments for n processes (the paper's Con_0 inputs).

@@ -18,10 +18,10 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
 }
 
 StateId StateArena::intern(GlobalState s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  const StateId id = static_cast<StateId>(states_.size());
-  states_.push_back(s);
+  const StateId id = static_cast<StateId>(states_.push_back(s));
   index_.emplace(std::move(s), id);
   return id;
 }

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
+#include "runtime/stable_vector.hpp"
 #include "util/hash.hpp"
 
 namespace lacon {
@@ -31,6 +33,11 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j);
 // Interns GlobalStates; equal states receive equal StateIds. This makes the
 // paper's state-equality arguments — e.g. x(j,[0]) == x(j',[0]) in the mobile
 // model, or the permutation-layering diamond — checkable as id equality.
+//
+// Thread-safety: intern() may be called concurrently (the parallel runtime's
+// layer computations do); interning is content-addressed, so racing interns
+// of equal states agree on the id. state() is lock-free and safe for any id
+// the caller received through intern() or another happens-before edge.
 class StateArena {
  public:
   StateId intern(GlobalState s);
@@ -49,7 +56,8 @@ class StateArena {
     }
   };
 
-  std::vector<GlobalState> states_;
+  mutable std::mutex mu_;  // guards index_ and appends to states_
+  runtime::StableVector<GlobalState> states_;
   std::unordered_map<GlobalState, StateId, Hash> index_;
 };
 

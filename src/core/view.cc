@@ -24,18 +24,23 @@ ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
 }
 
 ViewId ViewArena::intern(ViewNode node) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(node);
   if (it != index_.end()) return it->second;
-  const ViewId id = static_cast<ViewId>(nodes_.size());
-  nodes_.push_back(node);
+  const ViewId id = static_cast<ViewId>(nodes_.push_back(node));
   index_.emplace(std::move(node), id);
   return id;
 }
 
 const std::vector<Value>& ViewArena::known_inputs(ViewId id) {
-  auto it = known_inputs_cache_.find(id);
-  if (it != known_inputs_cache_.end()) return it->second;
-
+  {
+    std::lock_guard<std::mutex> lock(known_mu_);
+    auto it = known_inputs_cache_.find(id);
+    if (it != known_inputs_cache_.end()) return it->second;
+  }
+  // Compute outside the lock: the recursion below re-enters known_inputs.
+  // Racing computations of the same view are idempotent; the emplace at the
+  // end keeps whichever copy was inserted first.
   const ViewNode& v = node(id);
   std::vector<Value> known;
   if (v.prev == kNoView) {
@@ -53,6 +58,7 @@ const std::vector<Value>& ViewArena::known_inputs(ViewId id) {
       }
     }
   }
+  std::lock_guard<std::mutex> lock(known_mu_);
   return known_inputs_cache_.emplace(id, std::move(known)).first->second;
 }
 

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
+#include "runtime/stable_vector.hpp"
 #include "util/hash.hpp"
 
 namespace lacon {
@@ -45,6 +47,12 @@ struct ViewNode {
 };
 
 // Interns ViewNodes; equal nodes receive equal ViewIds.
+//
+// Thread-safety: initial()/extend()/known_inputs() may be called
+// concurrently (the parallel runtime's layer computations do). Interning is
+// content-addressed, so racing interns of equal nodes agree on the id;
+// node() and to_string() are lock-free reads, safe for any id received
+// through an intern call or another happens-before edge.
 class ViewArena {
  public:
   explicit ViewArena(int n);
@@ -89,8 +97,10 @@ class ViewArena {
   ViewId intern(ViewNode node);
 
   int n_;
-  std::vector<ViewNode> nodes_;
+  std::mutex mu_;  // guards index_ and appends to nodes_
+  runtime::StableVector<ViewNode> nodes_;
   std::unordered_map<ViewNode, ViewId, NodeHash> index_;
+  std::mutex known_mu_;  // guards known_inputs_cache_
   std::unordered_map<ViewId, std::vector<Value>> known_inputs_cache_;
 };
 

@@ -2,23 +2,43 @@
 
 #include <unordered_set>
 
+#include "runtime/parallel.hpp"
+#include "runtime/stats.hpp"
+
 namespace lacon {
 
 std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
                                                      int depth) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("explore.expand_time"));
+
   std::vector<std::vector<StateId>> levels;
   levels.push_back(model.initial_states());
   std::unordered_set<StateId> seen(levels[0].begin(), levels[0].end());
   for (int d = 0; d < depth; ++d) {
+    const std::vector<StateId>& frontier = levels.back();
+    // Phase 1 (parallel): expand every frontier state, filling the model's
+    // layer cache. The per-state work — computing S(x) and interning its
+    // states and views — dominates the whole exploration; with one worker
+    // this phase is skipped and the serial merge below does the expansion.
+    if (runtime::worker_count() > 1) {
+      runtime::parallel_for(frontier.size(),
+                            [&](std::size_t i) { model.layer(frontier[i]); });
+    }
+    // Phase 2 (serial, canonical): merge layers in frontier order, so the
+    // discovery order — and with it every level's content — is a function
+    // of the cached layers alone, not of thread scheduling.
     std::vector<StateId> next;
-    for (StateId x : levels.back()) {
+    for (StateId x : frontier) {
       for (StateId y : model.layer(x)) {
         if (seen.insert(y).second) next.push_back(y);
       }
     }
+    stats.counter("explore.layers_expanded").add(frontier.size());
     if (next.empty()) break;
     levels.push_back(std::move(next));
   }
+  stats.counter("explore.states_discovered").add(seen.size());
   return levels;
 }
 

@@ -1,6 +1,10 @@
 #include "engine/valence.hpp"
 
 #include <cassert>
+#include <memory>
+
+#include "runtime/parallel.hpp"
+#include "runtime/stats.hpp"
 
 namespace lacon {
 
@@ -42,25 +46,29 @@ ValenceInfo ValenceEngine::valence(StateId x) {
 }
 
 ValenceInfo ValenceEngine::compute(Memo& memo, StateId x, int budget) {
-  auto it = memo.find(x);
-  if (it != memo.end()) {
-    // A bivalent result is maximal; otherwise only reuse results computed
-    // with at least the currently requested lookahead.
-    if (it->second.info.bivalent() || it->second.horizon >= budget) {
-      return it->second.info;
+  MemoShard& shard = memo.shards[static_cast<std::size_t>(x) % kMemoShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(x);
+    if (it != shard.map.end()) {
+      // A bivalent result is maximal; otherwise only reuse results computed
+      // with at least the currently requested lookahead.
+      if (it->second.info.bivalent() || it->second.horizon >= budget) {
+        return it->second.info;
+      }
     }
   }
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
 
   ValenceInfo info = decided_valences(model_, x);
   if (info.bivalent() || quiescent(model_, x)) {
     info.exact = true;
-    memo[x] = Entry{budget, info};
+    memoize(memo, x, budget, info);
     return info;
   }
   if (budget == 0) {
     info.exact = false;
-    memo[x] = Entry{0, info};
+    memoize(memo, x, 0, info);
     return info;
   }
 
@@ -75,8 +83,28 @@ ValenceInfo ValenceEngine::compute(Memo& memo, StateId x, int budget) {
       break;
     }
   }
-  memo[x] = Entry{budget, info};
+  memoize(memo, x, budget, info);
   return info;
+}
+
+void ValenceEngine::memoize(Memo& memo, StateId x, int budget,
+                            const ValenceInfo& info) {
+  MemoShard& shard = memo.shards[static_cast<std::size_t>(x) % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[x];  // default horizon -1: always overwritten
+  if (e.info.bivalent() && !info.bivalent()) return;
+  if (budget >= e.horizon || info.bivalent()) e = Entry{budget, info};
+}
+
+std::vector<ValenceInfo> ValenceEngine::classify_all(
+    const std::vector<StateId>& X) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("valence.classify_time"));
+  stats.counter("valence.states_classified").add(X.size());
+  std::vector<ValenceInfo> out(X.size());
+  runtime::parallel_for(X.size(),
+                        [&](std::size_t i) { out[i] = valence(X[i]); });
+  return out;
 }
 
 bool ValenceEngine::shared_valence(StateId x, StateId y) {
@@ -86,12 +114,14 @@ bool ValenceEngine::shared_valence(StateId x, StateId y) {
 }
 
 Graph ValenceEngine::valence_graph(const std::vector<StateId>& X) {
-  // Precompute valences once; the graph is then a pure bitmask product.
-  std::vector<ValenceInfo> infos;
-  infos.reserve(X.size());
-  for (StateId x : X) infos.push_back(valence(x));
-  return Graph::from_relation(X.size(), [&](std::size_t a, std::size_t b) {
-    return (infos[a].v0 && infos[b].v0) || (infos[a].v1 && infos[b].v1);
+  // Precompute valences once (in parallel); the graph is then a pure
+  // bitmask product. The shared_ptr keeps the infos alive inside the
+  // by-value relation callable.
+  auto infos = std::make_shared<std::vector<ValenceInfo>>(classify_all(X));
+  return Graph::from_relation(X.size(), [infos](std::size_t a,
+                                                std::size_t b) {
+    return ((*infos)[a].v0 && (*infos)[b].v0) ||
+           ((*infos)[a].v1 && (*infos)[b].v1);
   });
 }
 

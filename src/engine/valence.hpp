@@ -26,7 +26,10 @@
 //    point across consecutive horizons is reported as exact.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +67,15 @@ class ValenceEngine {
 
   ValenceInfo valence(StateId x);
 
+  // Classifies every state of X, in X order, on the parallel runtime. The
+  // memo is shared across the concurrent classifications (their explored
+  // subtrees overlap heavily), which is safe: each memo entry is a pure
+  // function of its state and lookahead. Exact results are identical for
+  // every worker count; inexact (budget-truncated) ones can witness more
+  // valences through a warmer memo, exactly as a different serial call
+  // order already could.
+  std::vector<ValenceInfo> classify_all(const std::vector<StateId>& X);
+
   // x ~v y : both are w-valent for some w (Definition 3.1).
   bool shared_valence(StateId x, StateId y);
 
@@ -78,23 +90,37 @@ class ValenceEngine {
 
   LayeredModel& model() noexcept { return model_; }
   int horizon() const noexcept { return horizon_; }
-  std::size_t evaluations() const noexcept { return evaluations_; }
+  std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     int horizon = -1;
     ValenceInfo info;
   };
-  using Memo = std::unordered_map<StateId, Entry>;
+  // The memo is sharded with striped mutexes so classify_all's concurrent
+  // explorations share results without contending on one lock.
+  static constexpr std::size_t kMemoShards = 16;
+  struct MemoShard {
+    std::mutex mu;
+    std::unordered_map<StateId, Entry> map;
+  };
+  struct Memo {
+    std::array<MemoShard, kMemoShards> shards;
+  };
 
   ValenceInfo compute(Memo& memo, StateId x, int budget);
+  // Stores (budget, info) for x unless the memo already holds a stronger
+  // entry (deeper lookahead, or bivalent which is maximal).
+  void memoize(Memo& memo, StateId x, int budget, const ValenceInfo& info);
 
   LayeredModel& model_;
   int horizon_;
   Exactness mode_;
   Memo memo_;       // lookahead = horizon_
   Memo memo_deep_;  // lookahead = horizon_ + 1 (kConvergence only)
-  std::size_t evaluations_ = 0;
+  std::atomic<std::size_t> evaluations_{0};
 };
 
 // True when every process that is non-failed at x has decided (the run tree

@@ -15,8 +15,11 @@ SyncModel::SyncModel(int n, int t, const DecisionRule& rule,
 }
 
 ProcessSet SyncModel::omission_evidence(ViewId view) const {
-  auto it = evidence_cache_.find(view);
-  if (it != evidence_cache_.end()) return ProcessSet(it->second);
+  {
+    std::lock_guard<std::mutex> lock(evidence_mu_);
+    auto it = evidence_cache_.find(view);
+    if (it != evidence_cache_.end()) return ProcessSet(it->second);
+  }
   // The model is non-const in spirit (caches layers) but view lookup is
   // read-only; const_cast keeps failed_at const as the interface requires.
   const ViewArena& arena = const_cast<SyncModel*>(this)->views();
@@ -25,9 +28,13 @@ ProcessSet SyncModel::omission_evidence(ViewId view) const {
   for (const Obs& o : node.obs) {
     if (o.view == kNoView) evidence.insert(o.source);
   }
+  // Compute outside the lock: the recursion below re-enters this function,
+  // and racing recomputation is idempotent (the result is a pure function
+  // of the view).
   if (node.prev != kNoView) {
     evidence = evidence | omission_evidence(node.prev);
   }
+  std::lock_guard<std::mutex> lock(evidence_mu_);
   evidence_cache_.emplace(view, evidence.mask());
   return evidence;
 }

@@ -26,6 +26,7 @@
 // is why such states are univalent (proof of Lemma 6.2).
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 
 #include "core/model.hpp"
@@ -78,7 +79,8 @@ class SyncModel final : public LayeredModel {
 
  private:
   // The senders whose omissions are recorded anywhere in this view's
-  // history (its own chain of phases). Memoized.
+  // history (its own chain of phases). Memoized; safe to call from
+  // concurrent compute_layer() invocations.
   ProcessSet omission_evidence(ViewId view) const;
 
   std::vector<StateId> one_per_round_layer(StateId x);
@@ -86,6 +88,7 @@ class SyncModel final : public LayeredModel {
 
   int t_;
   SyncLayering layering_;
+  mutable std::mutex evidence_mu_;
   mutable std::unordered_map<ViewId, std::uint64_t> evidence_cache_;
 };
 

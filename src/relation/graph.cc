@@ -4,23 +4,83 @@
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <utility>
+
+#include "runtime/parallel.hpp"
+#include "runtime/stats.hpp"
 
 namespace lacon {
 
 namespace {
+
 constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+
+// Unordered pairs (a, b), a < b, of {0..size-1} are flattened
+// lexicographically; row a starts at pair index a*(2*size - a - 1)/2.
+std::size_t pair_row_start(std::size_t size, std::size_t a) {
+  return a * (2 * size - a - 1) / 2;
+}
+
+// The row containing flattened pair index k: the largest a with
+// row_start(a) <= k.
+std::size_t pair_row_of(std::size_t size, std::size_t k) {
+  std::size_t lo = 0, hi = size - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (pair_row_start(size, mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
 }  // namespace
 
 Graph::Graph(std::size_t size) : adjacency_(size) {}
 
-Graph Graph::from_relation(
-    std::size_t size,
-    const std::function<bool(std::size_t, std::size_t)>& related) {
+Graph Graph::from_relation(std::size_t size,
+                           std::function<bool(std::size_t, std::size_t)>
+                               related) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("relation.pair_sweep_time"));
+  const std::size_t pairs = size < 2 ? 0 : size * (size - 1) / 2;
+  stats.counter("relation.pairs_evaluated").add(pairs);
+
+  using Edge = std::pair<std::size_t, std::size_t>;
+  // Each ordered chunk of the flattened pair-index space yields its edges in
+  // lexicographic (a, b) order; concatenating the chunks in order therefore
+  // reproduces exactly the serial sweep's edge sequence.
+  const std::vector<std::vector<Edge>> chunks =
+      runtime::parallel_map_chunks<std::vector<Edge>>(
+          pairs, [&](std::size_t begin, std::size_t end) {
+            std::vector<Edge> out;
+            std::size_t a = pair_row_of(size, begin);
+            std::size_t b = a + 1 + (begin - pair_row_start(size, a));
+            for (std::size_t k = begin; k < end; ++k) {
+              if (related(a, b)) out.emplace_back(a, b);
+              if (++b == size) {
+                ++a;
+                b = a + 1;
+              }
+            }
+            return out;
+          });
+
   Graph g(size);
-  for (std::size_t a = 0; a < size; ++a) {
-    for (std::size_t b = a + 1; b < size; ++b) {
-      if (related(a, b)) g.add_edge(a, b);
+  std::vector<std::size_t> degree(size, 0);
+  for (const auto& chunk : chunks) {
+    for (const Edge& e : chunk) {
+      ++degree[e.first];
+      ++degree[e.second];
     }
+  }
+  for (std::size_t v = 0; v < size; ++v) {
+    g.adjacency_[v].reserve(degree[v]);
+  }
+  for (const auto& chunk : chunks) {
+    for (const Edge& e : chunk) g.add_edge(e.first, e.second);
   }
   return g;
 }

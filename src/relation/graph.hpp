@@ -16,10 +16,15 @@ class Graph {
   explicit Graph(std::size_t size);
 
   // Builds the graph of a symmetric relation by evaluating `related` on all
-  // unordered pairs.
-  static Graph from_relation(
-      std::size_t size,
-      const std::function<bool(std::size_t, std::size_t)>& related);
+  // unordered pairs. The sweep runs on the parallel runtime: the flattened
+  // pair-index space is split into ordered chunks whose edge lists merge in
+  // chunk order, so the resulting graph — adjacency order included — is
+  // identical for every worker count. `related` must be safe to invoke
+  // concurrently (all in-tree relations are read-only over the model); it is
+  // taken by value so the sweep holds its own copy for the tasks' lifetime.
+  static Graph from_relation(std::size_t size,
+                             std::function<bool(std::size_t, std::size_t)>
+                                 related);
 
   void add_edge(std::size_t a, std::size_t b);
 

@@ -1,0 +1,97 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace lacon::runtime::detail {
+
+namespace {
+
+// Shared by the submitting thread and the drain tasks; owned via shared_ptr
+// so a task that is dequeued after the parallel section already finished
+// (every chunk claimed by other threads) still has valid state to look at.
+struct BatchState {
+  std::function<void(std::size_t, std::size_t, std::size_t)> fn;
+  std::size_t n = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+};
+
+void chunk_bounds(const BatchState& state, std::size_t c, std::size_t& begin,
+                  std::size_t& end) {
+  const std::size_t base = state.n / state.num_chunks;
+  const std::size_t rem = state.n % state.num_chunks;
+  begin = c * base + std::min(c, rem);
+  end = begin + base + (c < rem ? 1 : 0);
+}
+
+// Claims and runs chunks until none are left. Chunks claimed after a
+// failure are skipped (but still counted) so the section can finish early.
+void drain(const std::shared_ptr<BatchState>& state) {
+  std::size_t c;
+  while ((c = state->next.fetch_add(1, std::memory_order_relaxed)) <
+         state->num_chunks) {
+    if (!state->failed.load(std::memory_order_relaxed)) {
+      try {
+        std::size_t begin, end;
+        chunk_bounds(*state, c, begin, end);
+        state->fn(c, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    state->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+std::size_t chunk_count(std::size_t n) {
+  const unsigned workers = worker_count();
+  if (workers <= 1 || n < 2) return n == 0 ? 0 : 1;
+  // A few chunks per worker smooths uneven per-item cost without drowning
+  // the section in scheduling overhead.
+  return std::min<std::size_t>(n, static_cast<std::size_t>(workers) * 4);
+}
+
+void for_chunks(std::size_t n, std::size_t num_chunks,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& fn) {
+  if (n == 0 || num_chunks == 0) return;
+  if (num_chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  auto state = std::make_shared<BatchState>();
+  state->fn = fn;
+  state->n = n;
+  state->num_chunks = num_chunks;
+
+  const std::size_t helpers =
+      std::min<std::size_t>(pool.workers() - 1, num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([state] { drain(state); });
+  }
+  drain(state);
+  // Help with whatever is queued (possibly other sections' chunks) instead
+  // of blocking, so nested parallel sections cannot deadlock the pool.
+  while (state->done.load(std::memory_order_acquire) < num_chunks) {
+    if (!pool.run_one()) std::this_thread::yield();
+  }
+  if (state->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(state->error_mu);
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace lacon::runtime::detail

@@ -1,0 +1,99 @@
+// parallel_for / parallel_reduce facade over the work-stealing pool.
+//
+// Determinism contract: work is partitioned into ordered, contiguous chunks
+// and per-chunk results are merged in chunk order, so any function built on
+// these facades computes bit-for-bit the same result for every worker count
+// — only the wall-clock interleaving differs. (Callers that intern into the
+// shared arenas may observe different *identifier* assignment across worker
+// counts; everything the analysis layer reports is content-determined, see
+// DESIGN.md "Runtime & threading model".)
+//
+// With worker_count() == 1 — the LACON_THREADS=1 configuration and the
+// default on single-core hosts — every facade degenerates to the plain
+// serial loop on the calling thread: no tasks, no locks, no divergence from
+// the pre-runtime behaviour.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace lacon::runtime {
+
+namespace detail {
+
+// Runs fn(chunk_index, begin, end) over `num_chunks` contiguous chunks of
+// [0, n), distributing chunks across the pool and helping from the calling
+// thread until all chunks completed. fn must be safe to invoke concurrently.
+void for_chunks(std::size_t n, std::size_t num_chunks,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& fn);
+
+// The chunk count used for `n` items at the current worker count: enough
+// chunks per worker to smooth uneven per-item cost, but never more chunks
+// than items.
+std::size_t chunk_count(std::size_t n);
+
+}  // namespace detail
+
+// Applies body(i) to every i in [0, n). Serial (and in index order) when the
+// worker count is 1 or n < 2; otherwise unordered across chunks.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  const std::size_t chunks = detail::chunk_count(n);
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  detail::for_chunks(
+      n, chunks,
+      [&body](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+// Maps each ordered chunk of [0, n) to a value and returns the per-chunk
+// values in chunk order. `chunk_body(begin, end)` must be safe to invoke
+// concurrently; the merged vector is identical for every worker count
+// whenever chunk_body is deterministic per chunk.
+template <typename R, typename ChunkBody>
+std::vector<R> parallel_map_chunks(std::size_t n, ChunkBody&& chunk_body) {
+  const std::size_t chunks = n == 0 ? 0 : detail::chunk_count(n);
+  std::vector<R> results(chunks);
+  if (chunks == 0) return results;
+  if (chunks == 1) {
+    results[0] = chunk_body(std::size_t{0}, n);
+    return results;
+  }
+  detail::for_chunks(n, chunks,
+                     [&](std::size_t c, std::size_t begin, std::size_t end) {
+                       results[c] = chunk_body(begin, end);
+                     });
+  return results;
+}
+
+// Reduces map(i) over [0, n). `init` must be an identity of `reduce` (it
+// seeds every chunk). Chunks fold locally left-to-right and the per-chunk
+// results fold in chunk order, so even non-commutative reductions are
+// deterministic across worker counts.
+template <typename R, typename Map, typename Reduce>
+R parallel_reduce(std::size_t n, R init, Map&& map, Reduce&& reduce) {
+  std::vector<R> partial = parallel_map_chunks<R>(
+      n, [&](std::size_t begin, std::size_t end) {
+        R acc = init;
+        for (std::size_t i = begin; i < end; ++i) {
+          acc = reduce(std::move(acc), map(i));
+        }
+        return acc;
+      });
+  R total = std::move(init);
+  for (R& p : partial) total = reduce(std::move(total), std::move(p));
+  return total;
+}
+
+}  // namespace lacon::runtime

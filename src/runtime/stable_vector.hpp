@@ -1,0 +1,102 @@
+// StableVector<T>: append-only chunked storage with lock-free reads.
+//
+// The interning arenas (core/view.hpp, core/state.hpp) hand out dense ids
+// and are read on every hot-path operation — agree_modulo alone reads two
+// GlobalStates per evaluated ~s pair. Under the parallel runtime those
+// reads race with appends from concurrent layer computations, and a
+// std::vector would both invalidate references on growth and trip TSan on
+// its internal bookkeeping. StableVector fixes the storage into 1024-element
+// chunks hung off a two-level directory of atomic pointers: elements never
+// move, readers take zero locks, and the only synchronisation requirement
+// is the arenas' own invariant that an id is published (through the intern
+// mutex or a join) before anyone reads it.
+//
+// Writers must serialize push_back externally (the arenas' intern mutex
+// does); readers need no synchronisation beyond having received the index
+// through a happens-before edge with its push_back.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace lacon::runtime {
+
+template <typename T>
+class StableVector {
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  static constexpr std::size_t kTableBits = 8;
+  static constexpr std::size_t kTableSize = std::size_t{1} << kTableBits;
+
+  struct Table {
+    std::atomic<T*> chunks[kTableSize] = {};
+  };
+
+ public:
+  static constexpr std::size_t kMaxSize = kTableSize * kTableSize * kChunkSize;
+
+  StableVector() = default;
+  ~StableVector() {
+    for (std::size_t t = 0; t < kTableSize; ++t) {
+      Table* table = tables_[t].load(std::memory_order_relaxed);
+      if (table == nullptr) continue;
+      for (std::size_t c = 0; c < kTableSize; ++c) {
+        delete[] table->chunks[c].load(std::memory_order_relaxed);
+      }
+      delete table;
+    }
+  }
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  // Appends a value and returns its index. Callers must serialize.
+  std::size_t push_back(T value) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    assert(i < kMaxSize && "StableVector capacity exhausted");
+    T* chunk = chunk_for(i);
+    chunk[i & kChunkMask] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+  const T& operator[](std::size_t i) const {
+    assert(i < size());
+    const Table* table =
+        tables_[i >> (kChunkBits + kTableBits)].load(std::memory_order_acquire);
+    const T* chunk =
+        table->chunks[(i >> kChunkBits) & (kTableSize - 1)].load(
+            std::memory_order_acquire);
+    return chunk[i & kChunkMask];
+  }
+
+ private:
+  T* chunk_for(std::size_t i) {
+    const std::size_t t = i >> (kChunkBits + kTableBits);
+    Table* table = tables_[t].load(std::memory_order_relaxed);
+    if (table == nullptr) {
+      table = new Table();
+      tables_[t].store(table, std::memory_order_release);
+    }
+    const std::size_t c = (i >> kChunkBits) & (kTableSize - 1);
+    T* chunk = table->chunks[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kChunkSize]();
+      table->chunks[c].store(chunk, std::memory_order_release);
+    }
+    return chunk;
+  }
+
+  std::atomic<Table*> tables_[kTableSize] = {};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace lacon::runtime

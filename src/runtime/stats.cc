@@ -1,0 +1,54 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+
+namespace lacon::runtime {
+
+Stats& Stats::global() {
+  static Stats* instance = new Stats();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter& Stats::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Timer& Stats::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<StatSample> Stats::snapshot() const {
+  std::vector<StatSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + timers_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back(StatSample{name, false, c->value(), 0});
+  }
+  for (const auto& [name, t] : timers_) {
+    out.push_back(StatSample{name, true, t->nanos(), t->count()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatSample& a, const StatSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Stats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace lacon::runtime

@@ -1,0 +1,110 @@
+// Runtime instrumentation: named counters and wall-clock timers.
+//
+// Every subsystem that was ported onto the parallel runtime (frontier
+// expansion, the ~s/~v pair sweeps, valence classification) reports into the
+// process-wide `Stats::global()` registry. Counters and timers are cheap
+// (relaxed atomics on the hot path; the registry lock is only taken on first
+// lookup of a name), so they stay enabled in release builds; a snapshot can
+// be rendered at any point — the bench harnesses print one after their
+// tables via `lacon::runtime_report()` (analysis/reports.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lacon::runtime {
+
+// A monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Accumulated wall-clock time plus an invocation count.
+class Timer {
+ public:
+  void record(std::chrono::nanoseconds elapsed) noexcept {
+    nanos_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
+                     std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t nanos() const noexcept {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// RAII helper: records the elapsed time into `timer` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    timer_.record(std::chrono::steady_clock::now() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// One row of a stats snapshot.
+struct StatSample {
+  std::string name;
+  bool is_timer = false;
+  std::uint64_t value = 0;  // counter value, or accumulated nanoseconds
+  std::uint64_t count = 0;  // timer invocation count (0 for counters)
+};
+
+// The registry. `counter()`/`timer()` return references that stay valid for
+// the registry's lifetime, so hot paths look a name up once and keep the
+// reference.
+class Stats {
+ public:
+  static Stats& global();
+
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  // All samples, sorted by name (counters and timers interleaved).
+  std::vector<StatSample> snapshot() const;
+
+  // Zeroes every counter and timer; registered names persist.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+}  // namespace lacon::runtime

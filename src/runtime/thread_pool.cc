@@ -1,0 +1,175 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+namespace lacon::runtime {
+
+namespace {
+
+std::mutex& config_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+unsigned g_override = 0;          // guarded by config_mu()
+ThreadPool* g_pool = nullptr;     // guarded by config_mu()
+
+unsigned env_worker_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return parse_worker_env(std::getenv("LACON_THREADS"), hw);
+}
+
+unsigned worker_count_locked() {
+  return g_override != 0 ? g_override : env_worker_count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  const std::size_t spawned = workers_ - 1;
+  deques_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  threads_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (deques_.empty()) {  // serial pool: no worker threads, run inline
+    task();
+    return;
+  }
+  const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                        deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[q]->mu);
+    deques_[q]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::pop_front(std::size_t q, std::function<void()>& task) {
+  Deque& d = *deques_[q];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.tasks.empty()) return false;
+  task = std::move(d.tasks.front());
+  d.tasks.pop_front();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::steal_back(std::size_t thief, std::function<void()>& task) {
+  const std::size_t count = deques_.size();
+  for (std::size_t i = 1; i < count; ++i) {
+    Deque& d = *deques_[(thief + i) % count];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) continue;
+    task = std::move(d.tasks.back());
+    d.tasks.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  for (std::size_t q = 0; q < deques_.size(); ++q) {
+    Deque& d = *deques_[q];
+    {
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (d.tasks.empty()) continue;
+      task = std::move(d.tasks.back());
+      d.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (pop_front(self, task) || steal_back(self, task)) {
+      task();
+      task = nullptr;  // drop captured state before idling
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+unsigned parse_worker_env(const char* text, unsigned fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (*text < '0' || *text > '9') return fallback;  // strtoul accepts "-3"
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0) return fallback;
+  return static_cast<unsigned>(value > 256 ? 256 : value);
+}
+
+unsigned worker_count() {
+  std::lock_guard<std::mutex> lock(config_mu());
+  return worker_count_locked();
+}
+
+void set_worker_count(unsigned workers) {
+  ThreadPool* doomed = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(config_mu());
+    g_override = workers;
+    if (g_pool != nullptr && g_pool->workers() != worker_count_locked()) {
+      doomed = std::exchange(g_pool, nullptr);
+    }
+  }
+  delete doomed;  // joins the old workers outside the config lock
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(config_mu());
+  const unsigned want = worker_count_locked();
+  if (g_pool == nullptr || g_pool->workers() != want) {
+    delete g_pool;
+    g_pool = nullptr;  // keep state sane if the constructor throws
+    g_pool = new ThreadPool(want);
+  }
+  return *g_pool;
+}
+
+WorkerCountOverride::WorkerCountOverride(unsigned workers) {
+  {
+    std::lock_guard<std::mutex> lock(config_mu());
+    previous_ = g_override;
+  }
+  set_worker_count(workers);
+}
+
+WorkerCountOverride::~WorkerCountOverride() { set_worker_count(previous_); }
+
+}  // namespace lacon::runtime

@@ -1,0 +1,101 @@
+// A small work-stealing thread pool shared by the analysis runtime.
+//
+// Each worker owns a deque: it pushes and pops work at the front and steals
+// from the back of other workers' deques when its own runs dry. External
+// submitters distribute tasks round-robin across the worker deques. Threads
+// that wait for a batch of tasks (see parallel.hpp) help drain the queues
+// instead of blocking, so nested parallel sections cannot deadlock.
+//
+// The process-wide pool is sized by the LACON_THREADS environment variable
+// (default: std::thread::hardware_concurrency). A worker count of 1 means
+// fully serial execution: the parallel facades then run inline on the
+// calling thread and the pool spawns no threads at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lacon::runtime {
+
+class ThreadPool {
+ public:
+  // `workers` is the parallelism degree. The pool spawns `workers - 1`
+  // threads; the caller of a parallel section acts as the remaining worker.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const noexcept { return workers_; }
+
+  // Enqueues a task. Tasks must not block waiting for other queued tasks
+  // except via `run_one()`-style helping (parallel.hpp does this correctly).
+  void submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread, if any is available (the
+  // caller first drains its own deque, then steals). Returns false when
+  // every deque was empty.
+  bool run_one();
+
+  // Blocks until a task is available or `stop` was requested. Used by the
+  // worker loop; waiting helpers should prefer run_one() + yield.
+  void worker_loop(std::size_t self);
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool pop_front(std::size_t q, std::function<void()>& task);
+  bool steal_back(std::size_t thief, std::function<void()>& task);
+
+  unsigned workers_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> next_queue_{0};  // round-robin submit cursor
+  std::atomic<std::size_t> pending_{0};     // queued-but-untaken tasks
+  bool stop_ = false;  // guarded by idle_mu_
+};
+
+// Parses a LACON_THREADS-style value: a positive integer, clamped to
+// [1, 256]. Returns `fallback` when `text` is null, empty or malformed.
+unsigned parse_worker_env(const char* text, unsigned fallback);
+
+// The configured parallelism degree: LACON_THREADS if set and valid,
+// otherwise hardware_concurrency (at least 1). An explicit
+// set_worker_count() overrides both until reset.
+unsigned worker_count();
+
+// Overrides the worker count and rebuilds the global pool. Must not be
+// called while parallel sections are executing; intended for tests, benches
+// and command-line flags. `workers == 0` restores the environment default.
+void set_worker_count(unsigned workers);
+
+// The process-wide pool, created on first use with worker_count() workers.
+ThreadPool& global_pool();
+
+// RAII worker-count override used by tests and the serial-vs-parallel
+// equivalence harness.
+class WorkerCountOverride {
+ public:
+  explicit WorkerCountOverride(unsigned workers);
+  ~WorkerCountOverride();
+  WorkerCountOverride(const WorkerCountOverride&) = delete;
+  WorkerCountOverride& operator=(const WorkerCountOverride&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
+}  // namespace lacon::runtime
