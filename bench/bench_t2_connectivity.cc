@@ -5,14 +5,87 @@
 // valence connected. Timings: connectivity checks.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/reports.hpp"
 #include "relation/similarity.hpp"
+#include "relation/similarity_index.hpp"
+#include "runtime/stats.hpp"
 #include "util/table.hpp"
 
 namespace lacon {
 namespace {
+
+bool graphs_identical(const Graph& a, const Graph& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+// Indexed-vs-naive ablation over Con_0: for each model and n, the number of
+// pairs each strategy evaluates (relation.pairs_evaluated deltas), wall
+// time, and a byte-identity check of the two graphs. The mobile rows grow n
+// well past what the naive sweep's timings invite — that is the point.
+void print_index_ablation() {
+  Table table({"model", "n", "|X|", "naive pairs", "indexed pairs",
+               "pairs ratio", "naive ms", "indexed ms", "identical"});
+  auto& pairs = runtime::Stats::global().counter("relation.pairs_evaluated");
+  auto rule = never_decide();
+  struct Cfg {
+    ModelKind kind;
+    int n;
+  };
+  const Cfg cfgs[] = {{ModelKind::kMobile, 5},    {ModelKind::kMobile, 6},
+                      {ModelKind::kMobile, 7},    {ModelKind::kMobile, 8},
+                      {ModelKind::kSharedMem, 5}, {ModelKind::kMsgPass, 3},
+                      {ModelKind::kSync, 5}};
+  for (const Cfg& cfg : cfgs) {
+    const int t = cfg.kind == ModelKind::kSync ? cfg.n - 2 : 1;
+    auto model = make_model(cfg.kind, cfg.n, t, *rule);
+    const auto& con0 = model->initial_states();
+    using Clock = std::chrono::steady_clock;
+
+    const std::uint64_t pairs0 = pairs.value();
+    const auto t0 = Clock::now();
+    const Graph naive = similarity_graph_naive(*model, con0);
+    const auto t1 = Clock::now();
+    const std::uint64_t naive_pairs = pairs.value() - pairs0;
+    const Graph indexed = similarity_graph_indexed(*model, con0);
+    const auto t2 = Clock::now();
+    const std::uint64_t indexed_pairs = pairs.value() - pairs0 - naive_pairs;
+
+    const auto ms = [](auto d) {
+      return std::chrono::duration<double, std::milli>(d).count();
+    };
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.1fx",
+                  indexed_pairs == 0
+                      ? 0.0
+                      : static_cast<double>(naive_pairs) /
+                            static_cast<double>(indexed_pairs));
+    char naive_ms[32], indexed_ms[32];
+    std::snprintf(naive_ms, sizeof naive_ms, "%.2f", ms(t1 - t0));
+    std::snprintf(indexed_ms, sizeof indexed_ms, "%.2f", ms(t2 - t1));
+    table.add_row({model_kind_name(cfg.kind),
+                   cell(static_cast<long long>(cfg.n)),
+                   cell(static_cast<long long>(con0.size())),
+                   cell(static_cast<long long>(naive_pairs)),
+                   cell(static_cast<long long>(indexed_pairs)), ratio,
+                   naive_ms, indexed_ms,
+                   cell(graphs_identical(naive, indexed))});
+  }
+  std::fputs(table
+                 .to_string("T2b: similarity-index ablation on Con_0 "
+                            "(naive sweep vs erase-one fingerprint index)")
+                 .c_str(),
+             stdout);
+}
 
 void print_table() {
   Table table({"model", "n", "Con0 ~s conn", "s-diam", "Con0 ~v conn",
@@ -86,6 +159,7 @@ BENCHMARK_CAPTURE(BM_Con0ValenceConnectivity, sharedmem,
 
 int main(int argc, char** argv) {
   lacon::print_table();
+  lacon::print_index_ablation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -6,6 +6,8 @@
 // the bound (the bound is loose — that is expected and reported).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -15,6 +17,8 @@
 #include "engine/explore.hpp"
 #include "models/synchronous/sync_model.hpp"
 #include "relation/similarity.hpp"
+#include "relation/similarity_index.hpp"
+#include "runtime/stats.hpp"
 #include "topology/solvability.hpp"
 #include "util/table.hpp"
 
@@ -103,6 +107,67 @@ void print_table() {
     }
   }
   std::fputs(layer_table.to_string("T5b: layer s-diameters d_Y^m").c_str(),
+             stdout);
+
+  // Indexed-vs-naive ablation on the graded reachable levels — the largest
+  // similarity graphs this bench touches. Reports the pair counts each
+  // strategy feeds relation.pairs_evaluated, wall time of the graph build,
+  // and a byte-identity check.
+  Table ablation({"n", "t", "round m", "|X|", "naive pairs", "indexed pairs",
+                  "pairs ratio", "naive ms", "indexed ms", "identical"});
+  auto& pairs = runtime::Stats::global().counter("relation.pairs_evaluated");
+  for (const Config cfg : {Config{3, 1}, Config{4, 2}, Config{5, 2}}) {
+    SyncModel model(cfg.n, cfg.t, *rule, {}, SyncLayering::kOnePerRound);
+    const auto levels = graded_levels(model, cfg.t);
+    for (std::size_t m = 0; m < levels.size(); ++m) {
+      using Clock = std::chrono::steady_clock;
+      const std::uint64_t pairs0 = pairs.value();
+      const auto t0 = Clock::now();
+      const Graph naive = similarity_graph_naive(model, levels[m]);
+      const auto t1 = Clock::now();
+      const std::uint64_t naive_pairs = pairs.value() - pairs0;
+      const Graph indexed = similarity_graph_indexed(model, levels[m]);
+      const auto t2 = Clock::now();
+      const std::uint64_t indexed_pairs =
+          pairs.value() - pairs0 - naive_pairs;
+      const auto ms = [](auto d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+      };
+      const bool identical = [&] {
+        if (naive.size() != indexed.size() ||
+            naive.edge_count() != indexed.edge_count()) {
+          return false;
+        }
+        for (std::size_t v = 0; v < naive.size(); ++v) {
+          const auto nn = naive.neighbors(v);
+          const auto ni = indexed.neighbors(v);
+          if (!std::equal(nn.begin(), nn.end(), ni.begin(), ni.end())) {
+            return false;
+          }
+        }
+        return true;
+      }();
+      char ratio[32], naive_ms[32], indexed_ms[32];
+      std::snprintf(ratio, sizeof ratio, "%.1fx",
+                    indexed_pairs == 0
+                        ? 0.0
+                        : static_cast<double>(naive_pairs) /
+                              static_cast<double>(indexed_pairs));
+      std::snprintf(naive_ms, sizeof naive_ms, "%.2f", ms(t1 - t0));
+      std::snprintf(indexed_ms, sizeof indexed_ms, "%.2f", ms(t2 - t1));
+      ablation.add_row({cell(static_cast<long long>(cfg.n)),
+                        cell(static_cast<long long>(cfg.t)),
+                        cell(static_cast<long long>(m)),
+                        cell(static_cast<long long>(levels[m].size())),
+                        cell(static_cast<long long>(naive_pairs)),
+                        cell(static_cast<long long>(indexed_pairs)), ratio,
+                        naive_ms, indexed_ms, cell(identical)});
+    }
+  }
+  std::fputs(ablation
+                 .to_string("T5c: similarity-index ablation on graded "
+                            "levels (naive sweep vs fingerprint index)")
+                 .c_str(),
              stdout);
 }
 

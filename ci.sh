@@ -26,6 +26,16 @@ run_config() {
   cmake --build "$dir" -j "$JOBS" > /dev/null
   echo "=== [$name] ctest"
   ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+  if [[ "$name" == "plain" ]]; then
+    # Perf trajectory: a small-size bench pass on the unsanitized build,
+    # emitting one BENCH_*.json per experiment into bench_results/. Compare
+    # against the committed reference under bench/baseline/ (regenerate it
+    # with the same smoke budget when a PR intentionally moves performance).
+    echo "=== [$name] bench smoke (BENCH_*.json -> bench_results/)"
+    BENCH_ARGS="--benchmark_min_time=0.01x" bench/run_all.sh "$dir" \
+        bench_results > /dev/null
+    ls bench_results/BENCH_*.json >/dev/null
+  fi
 }
 
 configs=("${1:-all}")

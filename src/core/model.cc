@@ -76,6 +76,29 @@ const std::vector<StateId>& LayeredModel::layer(StateId x) {
 
 ProcessSet LayeredModel::failed_at(StateId) const { return {}; }
 
+std::uint64_t LayeredModel::similarity_fingerprint(StateId x,
+                                                   ProcessId j) const {
+  const GlobalState& s = state(x);
+  std::uint64_t h = hash_range(s.env, 0x73696d666970ULL);  // "simfip"
+  for (ProcessId i = 0; i < n_; ++i) {
+    if (i == j) continue;
+    const auto idx = static_cast<std::size_t>(i);
+    h = hash_combine(h, static_cast<std::uint64_t>(s.locals[idx]));
+    h = hash_combine(h, static_cast<std::uint64_t>(s.decisions[idx]));
+  }
+  return h;
+}
+
+std::string LayeredModel::env_to_string(StateId x) const {
+  const GlobalState& s = state(x);
+  std::string out;
+  for (std::int64_t w : s.env) {
+    out += std::to_string(w);
+    out += ',';
+  }
+  return out;
+}
+
 Value LayeredModel::updated_decision(ProcessId i, Value current,
                                      ViewId new_view) {
   if (current != kUndecided) return current;  // d_i is write-once

@@ -66,6 +66,7 @@ class LayeredModel {
 
   const GlobalState& state(StateId id) const { return arena_.state(id); }
   ViewArena& views() noexcept { return views_; }
+  const ViewArena& views() const noexcept { return views_; }
   const DecisionRule& rule() const noexcept { return *rule_; }
 
   std::size_t num_states() const noexcept { return arena_.size(); }
@@ -81,6 +82,25 @@ class LayeredModel {
   virtual bool agree_modulo(StateId x, StateId y, ProcessId j) const {
     return lacon::agree_modulo(state(x), state(y), j);
   }
+
+  // Erase-j fingerprint: a 64-bit hash of exactly the material agree_modulo
+  // compares — the environment plus every process local state except j's.
+  // Soundness contract (the similarity index relies on it): whenever
+  // agree_modulo(x, y, j) holds, similarity_fingerprint(x, j) ==
+  // similarity_fingerprint(y, j); otherwise the index silently drops edges.
+  // A model overriding agree_modulo to attribute environment words to
+  // process j (the message-passing mailbox reading) must override this too
+  // and mask the same words.
+  virtual std::uint64_t similarity_fingerprint(StateId x, ProcessId j) const;
+
+  // Canonical, id-free rendering of x's environment component. The default
+  // prints the raw words — canonical only for models whose environment
+  // holds plain scalars. Models whose environment embeds interned ViewIds
+  // (shared-memory/snapshot registers, in-transit messages) override this
+  // to render view *terms*: raw ids may differ across worker counts
+  // (threads race to intern first), so output compared across runs must go
+  // through this, never through s.env directly.
+  virtual std::string env_to_string(StateId x) const;
 
  protected:
   // Computes S(x); implementations should return successors in a

@@ -18,11 +18,13 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
 }
 
 StateId StateArena::intern(GlobalState s) {
+  const std::uint64_t h = content_hash(s);  // once, outside the lock
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(s);
+  auto it = index_.find(Key{h, &s});
   if (it != index_.end()) return it->second;
-  const StateId id = static_cast<StateId>(states_.push_back(s));
-  index_.emplace(std::move(s), id);
+  const auto idx = states_.push_back(std::move(s));
+  const StateId id = static_cast<StateId>(idx);
+  index_.emplace(Key{h, &states_[idx]}, id);
   return id;
 }
 

@@ -38,6 +38,11 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j);
 // layer computations do); interning is content-addressed, so racing interns
 // of equal states agree on the id. state() is lock-free and safe for any id
 // the caller received through intern() or another happens-before edge.
+//
+// The index entries carry the content hash computed once per intern() call
+// and point at the arena-resident state (StableVector never moves elements),
+// so probing neither re-hashes the full env/locals/decisions vectors nor
+// stores a second copy of every interned state.
 class StateArena {
  public:
   StateId intern(GlobalState s);
@@ -46,19 +51,32 @@ class StateArena {
   }
   std::size_t size() const noexcept { return states_.size(); }
 
+  static std::uint64_t content_hash(const GlobalState& s) noexcept {
+    std::uint64_t h = hash_range(s.env, 0x6c61636f6eULL);
+    h = hash_range(s.locals, h);
+    h = hash_range(s.decisions, h);
+    return h;
+  }
+
  private:
-  struct Hash {
-    std::size_t operator()(const GlobalState& s) const noexcept {
-      std::uint64_t h = hash_range(s.env, 0x6c61636f6eULL);
-      h = hash_range(s.locals, h);
-      h = hash_range(s.decisions, h);
-      return static_cast<std::size_t>(h);
+  struct Key {
+    std::uint64_t hash = 0;
+    const GlobalState* state = nullptr;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.hash == b.hash && *a.state == *b.state;
     }
   };
 
   mutable std::mutex mu_;  // guards index_ and appends to states_
   runtime::StableVector<GlobalState> states_;
-  std::unordered_map<GlobalState, StateId, Hash> index_;
+  std::unordered_map<Key, StateId, KeyHash, KeyEq> index_;
 };
 
 }  // namespace lacon

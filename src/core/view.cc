@@ -24,11 +24,13 @@ ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
 }
 
 ViewId ViewArena::intern(ViewNode node) {
+  const std::uint64_t h = content_hash(node);  // once, outside the lock
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(node);
+  auto it = index_.find(Key{h, &node});
   if (it != index_.end()) return it->second;
-  const ViewId id = static_cast<ViewId>(nodes_.push_back(node));
-  index_.emplace(std::move(node), id);
+  const auto idx = nodes_.push_back(std::move(node));
+  const ViewId id = static_cast<ViewId>(idx);
+  index_.emplace(Key{h, &nodes_[idx]}, id);
   return id;
 }
 

@@ -78,19 +78,35 @@ class ViewArena {
   // "p1@2<p0@1<...>, -,- >".
   std::string to_string(ViewId id) const;
 
+  static std::uint64_t content_hash(const ViewNode& v) noexcept {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(v.owner),
+                                   static_cast<std::uint64_t>(v.round));
+    h = hash_combine(h, static_cast<std::uint64_t>(v.input));
+    h = hash_combine(h, static_cast<std::uint64_t>(v.prev));
+    h = hash_combine(h, v.obs.size());
+    for (const Obs& o : v.obs) {
+      h = hash_combine(h, static_cast<std::uint64_t>(o.source));
+      h = hash_combine(h, static_cast<std::uint64_t>(o.view));
+    }
+    return h;
+  }
+
  private:
-  struct NodeHash {
-    std::size_t operator()(const ViewNode& v) const noexcept {
-      std::uint64_t h = hash_combine(static_cast<std::uint64_t>(v.owner),
-                                     static_cast<std::uint64_t>(v.round));
-      h = hash_combine(h, static_cast<std::uint64_t>(v.input));
-      h = hash_combine(h, static_cast<std::uint64_t>(v.prev));
-      h = hash_combine(h, v.obs.size());
-      for (const Obs& o : v.obs) {
-        h = hash_combine(h, static_cast<std::uint64_t>(o.source));
-        h = hash_combine(h, static_cast<std::uint64_t>(o.view));
-      }
-      return static_cast<std::size_t>(h);
+  // Index entries cache the node's content hash and point at the
+  // arena-resident node (StableVector storage is stable), mirroring
+  // StateArena: one hash per intern() call, no duplicate key copies.
+  struct Key {
+    std::uint64_t hash = 0;
+    const ViewNode* node = nullptr;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.hash == b.hash && *a.node == *b.node;
     }
   };
 
@@ -99,7 +115,7 @@ class ViewArena {
   int n_;
   std::mutex mu_;  // guards index_ and appends to nodes_
   runtime::StableVector<ViewNode> nodes_;
-  std::unordered_map<ViewNode, ViewId, NodeHash> index_;
+  std::unordered_map<Key, ViewId, KeyHash, KeyEq> index_;
   std::mutex known_mu_;  // guards known_inputs_cache_
   std::unordered_map<ViewId, std::vector<Value>> known_inputs_cache_;
 };

@@ -131,9 +131,14 @@ CheckResult check_lemma_3_3(LayeredModel& model, int depth, int horizon,
     return false;
   };
   for (const auto& level : reachable_by_depth(model, depth)) {
+    // The similar pairs of the level come from the fingerprint-indexed
+    // similarity graph instead of an O(|level|^2) agree_modulo sweep; its
+    // neighbor rows are ascending, so pairs arrive in the same (a, b)
+    // order the naive double loop visited.
+    const Graph sim = similarity_graph(model, level);
     for (std::size_t a = 0; a < level.size(); ++a) {
-      for (std::size_t b = a + 1; b < level.size(); ++b) {
-        if (!similar(model, level[a], level[b])) continue;
+      for (std::size_t b : sim.neighbors(a)) {
+        if (b <= a) continue;
         if (!crashable_witness(level[a], level[b])) continue;
         ++result.checked;
         const ValenceInfo va = engine.valence(level[a]);

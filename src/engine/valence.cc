@@ -1,7 +1,7 @@
 #include "engine/valence.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
@@ -114,15 +114,32 @@ bool ValenceEngine::shared_valence(StateId x, StateId y) {
 }
 
 Graph ValenceEngine::valence_graph(const std::vector<StateId>& X) {
-  // Precompute valences once (in parallel); the graph is then a pure
-  // bitmask product. The shared_ptr keeps the infos alive inside the
-  // by-value relation callable.
-  auto infos = std::make_shared<std::vector<ValenceInfo>>(classify_all(X));
-  return Graph::from_relation(X.size(), [infos](std::size_t a,
-                                                std::size_t b) {
-    return ((*infos)[a].v0 && (*infos)[b].v0) ||
-           ((*infos)[a].v1 && (*infos)[b].v1);
-  });
+  // Over a fixed classification, ~v is the union of two cliques: the states
+  // that can reach a 0-decision and those that can reach a 1-decision. Both
+  // member lists are ascending in X order, so emitting each clique's pairs
+  // directly, then sorting and deduplicating (bivalent states sit in both
+  // cliques), reproduces the lexicographic edge sequence of the old
+  // O(|X|^2) relation sweep without evaluating a single pair predicate.
+  const std::vector<ValenceInfo> infos = classify_all(X);
+  std::vector<Graph::Vertex> v0, v1;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (infos[i].v0) v0.push_back(static_cast<Graph::Vertex>(i));
+    if (infos[i].v1) v1.push_back(static_cast<Graph::Vertex>(i));
+  }
+  std::vector<Graph::Edge> edges;
+  edges.reserve((v0.size() * (v0.size() + 1) +
+                 v1.size() * (v1.size() + 1)) / 2);
+  for (const auto& clique : {v0, v1}) {
+    for (std::size_t a = 0; a < clique.size(); ++a) {
+      for (std::size_t b = a + 1; b < clique.size(); ++b) {
+        edges.emplace_back(clique[a], clique[b]);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  runtime::Stats::global().counter("valence.clique_edges").add(edges.size());
+  return Graph::from_sorted_edges(X.size(), std::move(edges));
 }
 
 bool ValenceEngine::valence_connected(const std::vector<StateId>& X) {

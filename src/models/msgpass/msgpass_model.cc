@@ -25,6 +25,27 @@ ViewId message_view(std::int64_t packed) {
   return static_cast<ViewId>(packed & 0xffffffffLL);
 }
 
+std::uint64_t mailbox_masked_fingerprint(const GlobalState& s, int n,
+                                         ProcessId j) {
+  std::uint64_t h = 0x73696d666970ULL;  // same seed as the base fingerprint
+  std::uint64_t kept = 0;
+  for (std::int64_t m : s.env) {
+    if (message_receiver(m) == j) continue;
+    h = hash_combine(h, static_cast<std::uint64_t>(m));
+    ++kept;
+  }
+  // Trailing length tag: equal filtered sequences (content and count) are
+  // exactly what agree_modulo's filtered linear comparison accepts.
+  h = hash_combine(h, kept);
+  for (ProcessId i = 0; i < n; ++i) {
+    if (i == j) continue;
+    const auto idx = static_cast<std::size_t>(i);
+    h = hash_combine(h, static_cast<std::uint64_t>(s.locals[idx]));
+    h = hash_combine(h, static_cast<std::uint64_t>(s.decisions[idx]));
+  }
+  return h;
+}
+
 namespace {
 
 // All layer actions of the permutation layering for n processes.
@@ -167,6 +188,29 @@ bool MsgPassModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
     ++it_y;
   }
   return it_x == sx.env.end() && it_y == sy.env.end();
+}
+
+std::uint64_t MsgPassModel::similarity_fingerprint(StateId x,
+                                                   ProcessId j) const {
+  return mailbox_masked_fingerprint(state(x), n(), j);
+}
+
+std::string transit_env_to_string(const ViewArena& views,
+                                  const GlobalState& s) {
+  std::string out;
+  for (std::int64_t m : s.env) {
+    out += std::to_string(message_sender(m));
+    out += "->";
+    out += std::to_string(message_receiver(m));
+    out += ':';
+    out += views.to_string(message_view(m));
+    out += ',';
+  }
+  return out;
+}
+
+std::string MsgPassModel::env_to_string(StateId x) const {
+  return transit_env_to_string(views(), state(x));
 }
 
 std::vector<StateId> MsgPassModel::compute_layer(StateId x) {

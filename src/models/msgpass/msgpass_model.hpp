@@ -58,6 +58,8 @@ class MsgPassModel final : public LayeredModel {
   StateId apply_schedule(StateId x, const Schedule& schedule);
 
   bool agree_modulo(StateId x, StateId y, ProcessId j) const override;
+  std::uint64_t similarity_fingerprint(StateId x, ProcessId j) const override;
+  std::string env_to_string(StateId x) const override;
 
   // All layer actions for this model size (the three types above).
   const std::vector<Schedule>& schedules() const { return schedules_; }
@@ -68,6 +70,19 @@ class MsgPassModel final : public LayeredModel {
  private:
   std::vector<Schedule> schedules_;
 };
+
+// The erase-j fingerprint under the mailbox reading of agree-modulo shared
+// by both message-passing models: hashes the in-transit messages *not*
+// addressed to j (j's mailbox belongs to j's local state) plus every
+// process local state except j's. Filtered-equal envs hash equal, so the
+// fingerprint contract of LayeredModel::similarity_fingerprint holds.
+std::uint64_t mailbox_masked_fingerprint(const GlobalState& s, int n,
+                                         ProcessId j);
+
+// Renders the in-transit messages as "sender->receiver:<view term>" — the
+// id-free env_to_string shared by both message-passing models.
+std::string transit_env_to_string(const ViewArena& views,
+                                  const GlobalState& s);
 
 // Message encoding helpers (exposed for tests).
 std::int64_t pack_message(ProcessId sender, ProcessId receiver, ViewId view);

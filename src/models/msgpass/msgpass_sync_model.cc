@@ -143,6 +143,15 @@ bool MsgPassSyncModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
   return it_x == sx.env.end() && it_y == sy.env.end();
 }
 
+std::uint64_t MsgPassSyncModel::similarity_fingerprint(StateId x,
+                                                       ProcessId j) const {
+  return mailbox_masked_fingerprint(state(x), n(), j);
+}
+
+std::string MsgPassSyncModel::env_to_string(StateId x) const {
+  return transit_env_to_string(views(), state(x));
+}
+
 std::vector<StateId> MsgPassSyncModel::compute_layer(StateId x) {
   std::vector<StateId> succ;
   succ.reserve(static_cast<std::size_t>(n() * (n() + 2)));

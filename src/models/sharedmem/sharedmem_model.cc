@@ -91,6 +91,16 @@ StateId SharedMemModel::apply_absent(StateId x, ProcessId j) {
   return intern(std::move(next));
 }
 
+std::string SharedMemModel::env_to_string(StateId x) const {
+  const GlobalState& s = state(x);
+  std::string out;
+  for (std::int64_t r : s.env) {
+    out += r == kNoView ? "-" : views().to_string(static_cast<ViewId>(r));
+    out += ',';
+  }
+  return out;
+}
+
 std::vector<StateId> SharedMemModel::compute_layer(StateId x) {
   std::vector<StateId> succ;
   succ.reserve(static_cast<std::size_t>(n() * (n() + 2)));

@@ -39,6 +39,9 @@ class SharedMemModel final : public LayeredModel {
   // x(j, A): j is absent for the round.
   StateId apply_absent(StateId x, ProcessId j);
 
+  // Registers hold interned ViewIds; render them as view terms.
+  std::string env_to_string(StateId x) const override;
+
  protected:
   std::vector<StateId> compute_layer(StateId x) override;
 

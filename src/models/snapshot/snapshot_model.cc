@@ -60,6 +60,16 @@ StateId SnapshotModel::apply_partition(StateId x,
   return intern(std::move(next));
 }
 
+std::string SnapshotModel::env_to_string(StateId x) const {
+  const GlobalState& s = state(x);
+  std::string out;
+  for (std::int64_t r : s.env) {
+    out += r == kNoView ? "-" : views().to_string(static_cast<ViewId>(r));
+    out += ',';
+  }
+  return out;
+}
+
 std::vector<StateId> SnapshotModel::compute_layer(StateId x) {
   std::vector<StateId> succ;
   // Full participation ...

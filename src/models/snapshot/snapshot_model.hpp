@@ -33,6 +33,9 @@ class SnapshotModel final : public LayeredModel {
   // the partition participate (others keep their state and register).
   StateId apply_partition(StateId x, const OrderedPartition& partition);
 
+  // Registers hold interned ViewIds; render them as view terms.
+  std::string env_to_string(StateId x) const override;
+
  protected:
   std::vector<StateId> compute_layer(StateId x) override;
 

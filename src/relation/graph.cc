@@ -38,7 +38,9 @@ std::size_t pair_row_of(std::size_t size, std::size_t k) {
 
 }  // namespace
 
-Graph::Graph(std::size_t size) : adjacency_(size) {}
+Graph::Graph(std::size_t size) : size_(size) {
+  assert(size < std::numeric_limits<Vertex>::max());
+}
 
 Graph Graph::from_relation(std::size_t size,
                            std::function<bool(std::size_t, std::size_t)>
@@ -48,7 +50,6 @@ Graph Graph::from_relation(std::size_t size,
   const std::size_t pairs = size < 2 ? 0 : size * (size - 1) / 2;
   stats.counter("relation.pairs_evaluated").add(pairs);
 
-  using Edge = std::pair<std::size_t, std::size_t>;
   // Each ordered chunk of the flattened pair-index space yields its edges in
   // lexicographic (a, b) order; concatenating the chunks in order therefore
   // reproduces exactly the serial sweep's edge sequence.
@@ -59,7 +60,10 @@ Graph Graph::from_relation(std::size_t size,
             std::size_t a = pair_row_of(size, begin);
             std::size_t b = a + 1 + (begin - pair_row_start(size, a));
             for (std::size_t k = begin; k < end; ++k) {
-              if (related(a, b)) out.emplace_back(a, b);
+              if (related(a, b)) {
+                out.emplace_back(static_cast<Vertex>(a),
+                                 static_cast<Vertex>(b));
+              }
               if (++b == size) {
                 ++a;
                 b = a + 1;
@@ -68,31 +72,56 @@ Graph Graph::from_relation(std::size_t size,
             return out;
           });
 
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  std::vector<Edge> edges;
+  edges.reserve(total);
+  for (const auto& chunk : chunks) {
+    edges.insert(edges.end(), chunk.begin(), chunk.end());
+  }
+  return from_sorted_edges(size, std::move(edges));
+}
+
+Graph Graph::from_sorted_edges(std::size_t size, std::vector<Edge> edges) {
+  assert(std::is_sorted(edges.begin(), edges.end()));
   Graph g(size);
-  std::vector<std::size_t> degree(size, 0);
-  for (const auto& chunk : chunks) {
-    for (const Edge& e : chunk) {
-      ++degree[e.first];
-      ++degree[e.second];
-    }
-  }
-  for (std::size_t v = 0; v < size; ++v) {
-    g.adjacency_[v].reserve(degree[v]);
-  }
-  for (const auto& chunk : chunks) {
-    for (const Edge& e : chunk) g.add_edge(e.first, e.second);
-  }
+  g.edge_list_ = std::move(edges);
+  g.ensure_csr();
   return g;
 }
 
 void Graph::add_edge(std::size_t a, std::size_t b) {
   assert(a < size() && b < size() && a != b);
-  adjacency_[a].push_back(b);
-  adjacency_[b].push_back(a);
-  ++edges_;
+  edge_list_.emplace_back(static_cast<Vertex>(a), static_cast<Vertex>(b));
+  csr_stale_ = true;
+}
+
+void Graph::ensure_csr() const {
+  if (!csr_stale_) return;
+  offsets_.assign(size_ + 1, 0);
+  for (const Edge& e : edge_list_) {
+    ++offsets_[e.first + 1];
+    ++offsets_[e.second + 1];
+  }
+  for (std::size_t v = 0; v < size_; ++v) offsets_[v + 1] += offsets_[v];
+  csr_.resize(2 * edge_list_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edge_list_) {
+    csr_[cursor[e.first]++] = e.second;
+    csr_[cursor[e.second]++] = e.first;
+  }
+  csr_stale_ = false;
+}
+
+std::span<const Graph::Vertex> Graph::neighbors(std::size_t v) const {
+  ensure_csr();
+  return std::span<const Vertex>(csr_.data() + offsets_[v],
+                                 offsets_[v + 1] - offsets_[v]);
 }
 
 std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
+  // Callers hold a finalized CSR (ensure_csr() ran before any parallel
+  // fan-out), so this reads offsets_/csr_ directly.
   std::vector<std::size_t> dist(size(), kUnreached);
   std::queue<std::size_t> queue;
   dist[source] = 0;
@@ -100,7 +129,8 @@ std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
   while (!queue.empty()) {
     const std::size_t v = queue.front();
     queue.pop();
-    for (std::size_t w : adjacency_[v]) {
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const std::size_t w = csr_[i];
       if (dist[w] == kUnreached) {
         dist[w] = dist[v] + 1;
         queue.push(w);
@@ -112,12 +142,14 @@ std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
 
 bool Graph::connected() const {
   if (size() <= 1) return true;
+  ensure_csr();
   const std::vector<std::size_t> dist = bfs_distances(0);
   return std::none_of(dist.begin(), dist.end(),
                       [](std::size_t d) { return d == kUnreached; });
 }
 
 std::vector<std::size_t> Graph::components() const {
+  ensure_csr();
   std::vector<std::size_t> label(size(), kUnreached);
   std::size_t next = 0;
   for (std::size_t v = 0; v < size(); ++v) {
@@ -129,7 +161,7 @@ std::vector<std::size_t> Graph::components() const {
     while (!queue.empty()) {
       const std::size_t u = queue.front();
       queue.pop();
-      for (std::size_t w : adjacency_[u]) {
+      for (std::size_t w : neighbors(u)) {
         if (label[w] == kUnreached) {
           label[w] = mine;
           queue.push(w);
@@ -142,18 +174,36 @@ std::vector<std::size_t> Graph::components() const {
 
 std::optional<std::size_t> Graph::diameter() const {
   if (size() == 0) return std::nullopt;
+  ensure_csr();
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("relation.diameter_time"));
+  stats.counter("relation.diameter_sources").add(size());
+  // Per-chunk eccentricity maxima, merged by max — commutative, so the
+  // result is the same for every worker count. kUnreached marks a
+  // disconnected chunk and dominates the merge.
+  const std::vector<std::size_t> partial =
+      runtime::parallel_map_chunks<std::size_t>(
+          size(), [&](std::size_t begin, std::size_t end) {
+            std::size_t best = 0;
+            for (std::size_t v = begin; v < end; ++v) {
+              const std::vector<std::size_t> dist = bfs_distances(v);
+              for (std::size_t d : dist) {
+                if (d == kUnreached) return kUnreached;
+                best = std::max(best, d);
+              }
+            }
+            return best;
+          });
   std::size_t best = 0;
-  for (std::size_t v = 0; v < size(); ++v) {
-    const std::vector<std::size_t> dist = bfs_distances(v);
-    for (std::size_t d : dist) {
-      if (d == kUnreached) return std::nullopt;
-      best = std::max(best, d);
-    }
+  for (std::size_t p : partial) {
+    if (p == kUnreached) return std::nullopt;
+    best = std::max(best, p);
   }
   return best;
 }
 
 std::optional<std::size_t> Graph::distance(std::size_t a, std::size_t b) const {
+  ensure_csr();
   const std::vector<std::size_t> dist = bfs_distances(a);
   if (dist[b] == kUnreached) return std::nullopt;
   return dist[b];
@@ -162,12 +212,13 @@ std::optional<std::size_t> Graph::distance(std::size_t a, std::size_t b) const {
 std::vector<std::size_t> Graph::shortest_path(std::size_t a,
                                               std::size_t b) const {
   // BFS from b so we can walk a -> b by strictly decreasing distance.
+  ensure_csr();
   const std::vector<std::size_t> dist = bfs_distances(b);
   if (dist[a] == kUnreached) return {};
   std::vector<std::size_t> path = {a};
   std::size_t cur = a;
   while (cur != b) {
-    for (std::size_t w : adjacency_[cur]) {
+    for (std::size_t w : neighbors(cur)) {
       if (dist[w] + 1 == dist[cur]) {
         cur = w;
         path.push_back(w);

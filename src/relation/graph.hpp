@@ -4,15 +4,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace lacon {
 
-// An undirected graph on vertices 0..size-1 stored as adjacency lists.
+// An undirected graph on vertices 0..size-1. Edges accumulate in an
+// insertion-ordered edge list; queries read a CSR layout (an offsets array
+// into one flat neighbor array) materialized lazily from that list. The CSR
+// neighbor order reproduces the classic push-back adjacency-list order
+// exactly — edge (a, b) appends b to a's row and a to b's row, in edge-list
+// order — so graphs built from the same edge sequence are byte-identical
+// regardless of layout history.
+//
+// Thread-safety: building (add_edge) and the *first* query finalize shared
+// state and must not race with other accesses; afterwards all queries are
+// const reads and safe to run concurrently (diameter() exploits this by
+// fanning the all-sources BFS out over the parallel runtime).
 class Graph {
  public:
+  using Vertex = std::uint32_t;
+  using Edge = std::pair<Vertex, Vertex>;
+
   explicit Graph(std::size_t size);
 
   // Builds the graph of a symmetric relation by evaluating `related` on all
@@ -26,13 +43,18 @@ class Graph {
                              std::function<bool(std::size_t, std::size_t)>
                                  related);
 
+  // Builds the graph from an explicit list of unordered edges (a < b),
+  // already sorted (a, b)-lexicographically and deduplicated — the order
+  // from_relation's full sweep produces. The similarity index and the
+  // valence clique builder use this to bypass the pair sweep entirely while
+  // producing byte-identical graphs.
+  static Graph from_sorted_edges(std::size_t size, std::vector<Edge> edges);
+
   void add_edge(std::size_t a, std::size_t b);
 
-  std::size_t size() const noexcept { return adjacency_.size(); }
-  const std::vector<std::size_t>& neighbors(std::size_t v) const {
-    return adjacency_[v];
-  }
-  std::size_t edge_count() const noexcept { return edges_; }
+  std::size_t size() const noexcept { return size_; }
+  std::span<const Vertex> neighbors(std::size_t v) const;
+  std::size_t edge_count() const noexcept { return edge_list_.size(); }
 
   bool connected() const;
 
@@ -40,8 +62,11 @@ class Graph {
   // order.
   std::vector<std::size_t> components() const;
 
-  // Diameter of the graph: the largest BFS eccentricity. nullopt when the
-  // graph is disconnected (infinite diameter) or empty.
+  // Diameter of the graph: the largest BFS eccentricity, computed by an
+  // all-sources BFS parallelized over source chunks (max-merge is
+  // order-independent, so the result is deterministic for every worker
+  // count). nullopt when the graph is disconnected (infinite diameter) or
+  // empty.
   std::optional<std::size_t> diameter() const;
 
   // Length of a shortest path between a and b; nullopt if not connected.
@@ -51,10 +76,16 @@ class Graph {
   std::vector<std::size_t> shortest_path(std::size_t a, std::size_t b) const;
 
  private:
+  // Rebuilds offsets_/csr_ from edge_list_ if edges were added since the
+  // last build. Counting pass over degrees, prefix-sum, cursor fill.
+  void ensure_csr() const;
   std::vector<std::size_t> bfs_distances(std::size_t source) const;
 
-  std::vector<std::vector<std::size_t>> adjacency_;
-  std::size_t edges_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Edge> edge_list_;
+  mutable bool csr_stale_ = true;
+  mutable std::vector<std::size_t> offsets_;  // size_ + 1 row boundaries
+  mutable std::vector<Vertex> csr_;           // 2 * edge_count() entries
 };
 
 }  // namespace lacon

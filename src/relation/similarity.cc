@@ -1,17 +1,24 @@
 #include "relation/similarity.hpp"
 
+#include "relation/similarity_index.hpp"
+
 namespace lacon {
 
 std::optional<ProcessId> similarity_witness(LayeredModel& model, StateId x,
                                             StateId y) {
   const ProcessSet failed_both = model.failed_at(x) | model.failed_at(y);
   const int n = model.n();
+  // Condition (ii) needs a process i != j non-failed in both states; the
+  // candidate pool is loop-invariant. No survivors at all means no witness
+  // can qualify, whatever agree_modulo says.
+  const ProcessSet alive = ProcessSet::all(n) - failed_both;
+  if (alive.empty()) return std::nullopt;
+  const bool many_alive = alive.size() >= 2;
   for (ProcessId j = 0; j < n; ++j) {
-    if (!model.agree_modulo(x, y, j)) continue;
-    // Need a process i != j non-failed in both states.
-    ProcessSet others = ProcessSet::all(n) - failed_both;
-    others.erase(j);
-    if (!others.empty()) return j;
+    // With >= 2 survivors some i != j is always alive; with exactly one, j
+    // must not be that survivor.
+    if (!many_alive && alive.contains(j)) continue;
+    if (model.agree_modulo(x, y, j)) return j;
   }
   return std::nullopt;
 }
@@ -21,9 +28,10 @@ bool similar(LayeredModel& model, StateId x, StateId y) {
 }
 
 Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X) {
-  return Graph::from_relation(X.size(), [&](std::size_t a, std::size_t b) {
-    return similar(model, X[a], X[b]);
-  });
+  if (similarity_strategy() == SimilarityStrategy::kNaive) {
+    return similarity_graph_naive(model, X);
+  }
+  return similarity_graph_indexed(model, X);
 }
 
 bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X) {

@@ -21,7 +21,9 @@ bool similar(LayeredModel& model, StateId x, StateId y);
 std::optional<ProcessId> similarity_witness(LayeredModel& model, StateId x,
                                             StateId y);
 
-// The graph (X, ~s).
+// The graph (X, ~s). Built through the erase-one fingerprint index
+// (relation/similarity_index.hpp) unless LACON_SIMILARITY=naive selects the
+// quadratic reference sweep; both strategies produce byte-identical graphs.
 Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X);
 
 bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X);

@@ -1,0 +1,110 @@
+#include "relation/similarity_index.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "relation/similarity.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/stats.hpp"
+
+namespace lacon {
+
+SimilarityStrategy similarity_strategy() {
+  const char* env = std::getenv("LACON_SIMILARITY");
+  if (env != nullptr && std::strcmp(env, "naive") == 0) {
+    return SimilarityStrategy::kNaive;
+  }
+  return SimilarityStrategy::kIndexed;
+}
+
+Graph similarity_graph_naive(LayeredModel& model,
+                             const std::vector<StateId>& X) {
+  return Graph::from_relation(X.size(), [&](std::size_t a, std::size_t b) {
+    return similar(model, X[a], X[b]);
+  });
+}
+
+Graph similarity_graph_indexed(LayeredModel& model,
+                               const std::vector<StateId>& X) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("relation.index_time"));
+  const std::size_t m = X.size();
+  if (m < 2) return Graph(m);
+  const int n = model.n();
+  const auto nu = static_cast<std::size_t>(n);
+
+  // Fingerprint table, one row per state — embarrassingly parallel.
+  std::vector<std::uint64_t> fp(m * nu);
+  runtime::parallel_for(m, [&](std::size_t i) {
+    for (ProcessId j = 0; j < n; ++j) {
+      fp[i * nu + static_cast<std::size_t>(j)] =
+          model.similarity_fingerprint(X[i], j);
+    }
+  });
+
+  // Bucket states by (erased coordinate, fingerprint): sorting the
+  // (fingerprint, index) column groups equal fingerprints contiguously.
+  // Every pair with agree_modulo(x, y, j) true lands in j's bucket of their
+  // common fingerprint, so the union over j covers all ~s edges.
+  std::uint64_t buckets = 0;
+  std::vector<Graph::Edge> candidates;
+  std::vector<std::pair<std::uint64_t, Graph::Vertex>> column(m);
+  for (ProcessId j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      column[i] = {fp[i * nu + static_cast<std::size_t>(j)],
+                   static_cast<Graph::Vertex>(i)};
+    }
+    std::sort(column.begin(), column.end());
+    for (std::size_t lo = 0; lo < m;) {
+      std::size_t hi = lo + 1;
+      while (hi < m && column[hi].first == column[lo].first) ++hi;
+      if (hi - lo >= 2) {
+        ++buckets;
+        for (std::size_t a = lo; a < hi; ++a) {
+          for (std::size_t b = a + 1; b < hi; ++b) {
+            candidates.emplace_back(std::min(column[a].second,
+                                             column[b].second),
+                                    std::max(column[a].second,
+                                             column[b].second));
+          }
+        }
+      }
+      lo = hi;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  stats.counter("relation.index_buckets").add(buckets);
+  stats.counter("relation.index_candidates").add(candidates.size());
+  stats.counter("relation.pairs_evaluated").add(candidates.size());
+
+  // Confirm candidates with the exact relation, in ordered chunks: the
+  // candidate list is (a, b)-lexicographically sorted, so concatenating the
+  // per-chunk survivors reproduces exactly the naive sweep's edge sequence.
+  const std::vector<std::vector<Graph::Edge>> chunks =
+      runtime::parallel_map_chunks<std::vector<Graph::Edge>>(
+          candidates.size(), [&](std::size_t begin, std::size_t end) {
+            std::vector<Graph::Edge> out;
+            for (std::size_t k = begin; k < end; ++k) {
+              const auto [a, b] = candidates[k];
+              if (similar(model, X[a], X[b])) out.push_back(candidates[k]);
+            }
+            return out;
+          });
+  std::size_t confirmed = 0;
+  for (const auto& chunk : chunks) confirmed += chunk.size();
+  stats.counter("relation.index_confirmed").add(confirmed);
+  stats.counter("relation.index_rejected").add(candidates.size() - confirmed);
+
+  std::vector<Graph::Edge> edges;
+  edges.reserve(confirmed);
+  for (const auto& chunk : chunks) {
+    edges.insert(edges.end(), chunk.begin(), chunk.end());
+  }
+  return Graph::from_sorted_edges(m, std::move(edges));
+}
+
+}  // namespace lacon

@@ -1,0 +1,47 @@
+// Signature-indexed construction of the similarity graph (X, ~s).
+//
+// The naive sweep evaluates agree_modulo on all |X|(|X|-1)/2 pairs. But
+// ~s is an equality-modulo-one-coordinate relation: x ~s y requires a
+// process j with agree_modulo(x, y, j), and agree_modulo truth implies
+// equality of the erase-j fingerprints (LayeredModel::similarity_fingerprint,
+// a 64-bit hash of everything agree_modulo compares). So hashing each state
+// once per erased coordinate and bucketing by (j, fingerprint) yields a
+// candidate set that provably contains every ~s edge; each candidate is then
+// confirmed with the exact relation (hash collisions must not create edges)
+// and the confirmed edges, sorted (a, b)-lexicographically and deduplicated,
+// rebuild the *byte-identical* graph the naive sweep produces — at
+// O(|X| * n) hashing plus bucket-local verification instead of O(|X|^2).
+//
+// Strategy selection: LACON_SIMILARITY=naive forces the quadratic sweep
+// (cross-checking, ablation benches); anything else — including unset —
+// uses the index. relation/similarity.hpp's similarity_graph() dispatches.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "relation/graph.hpp"
+
+namespace lacon {
+
+enum class SimilarityStrategy { kIndexed, kNaive };
+
+// The strategy selected by the LACON_SIMILARITY environment variable,
+// re-read on every call so tests and benches can toggle it at runtime.
+SimilarityStrategy similarity_strategy();
+
+// The graph (X, ~s) via the erase-one fingerprint index. Counters:
+//   relation.index_buckets     (j, fingerprint) groups holding >= 2 states
+//   relation.index_candidates  unique candidate pairs from shared buckets
+//   relation.index_confirmed   candidates that are real ~s edges
+//   relation.index_rejected    candidates discarded by the exact check
+// Candidate confirmation also feeds relation.pairs_evaluated, making the
+// naive-vs-indexed pair-count ablation directly comparable.
+Graph similarity_graph_indexed(LayeredModel& model,
+                               const std::vector<StateId>& X);
+
+// The quadratic reference sweep (Graph::from_relation over similar()).
+Graph similarity_graph_naive(LayeredModel& model,
+                             const std::vector<StateId>& X);
+
+}  // namespace lacon

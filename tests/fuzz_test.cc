@@ -5,8 +5,12 @@
 // wilder protocol family than the hand-written catalog.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/reports.hpp"
+#include "engine/explore.hpp"
 #include "engine/spec.hpp"
+#include "relation/similarity_index.hpp"
 #include "util/hash.hpp"
 
 namespace lacon {
@@ -99,6 +103,33 @@ TEST(FuzzInvariants, SimilaritySymmetric) {
         for (ProcessId j = 0; j < 3; ++j) {
           EXPECT_EQ(model->agree_modulo(layer[a], layer[b], j),
                     model->agree_modulo(layer[b], layer[a], j));
+        }
+      }
+    }
+  }
+}
+
+// The fingerprint index must agree with the naive sweep edge-for-edge on
+// the wild decision vectors fuzz rules produce (decisions participate in
+// agree_modulo and therefore in the fingerprints). All four models.
+TEST(FuzzInvariants, IndexedSimilarityEqualsNaiveSweep) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const FuzzRule rule(seed);
+    for (ModelKind kind : {ModelKind::kMobile, ModelKind::kSharedMem,
+                           ModelKind::kMsgPass, ModelKind::kSync}) {
+      const int depth = kind == ModelKind::kMsgPass ? 1 : 2;
+      auto model = make_model(kind, 3, 1, rule);
+      for (const auto& level : reachable_by_depth(*model, depth)) {
+        const Graph naive = similarity_graph_naive(*model, level);
+        const Graph indexed = similarity_graph_indexed(*model, level);
+        ASSERT_EQ(naive.size(), indexed.size());
+        ASSERT_EQ(naive.edge_count(), indexed.edge_count())
+            << model_kind_name(kind) << " seed " << seed;
+        for (std::size_t v = 0; v < naive.size(); ++v) {
+          const auto nn = naive.neighbors(v);
+          const auto ni = indexed.neighbors(v);
+          ASSERT_TRUE(std::equal(nn.begin(), nn.end(), ni.begin(), ni.end()))
+              << model_kind_name(kind) << " seed " << seed << " vertex " << v;
         }
       }
     }

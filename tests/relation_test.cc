@@ -1,14 +1,34 @@
-// Unit tests for src/relation: graph algorithms and the similarity relation.
+// Unit tests for src/relation: graph algorithms, the similarity relation and
+// the fingerprint-indexed similarity graph.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "analysis/reports.hpp"
 #include "core/decision_rule.hpp"
+#include "engine/explore.hpp"
 #include "models/mobile/mobile_model.hpp"
+#include "models/msgpass/msgpass_model.hpp"
+#include "models/msgpass/msgpass_sync_model.hpp"
 #include "relation/graph.hpp"
 #include "relation/similarity.hpp"
+#include "relation/similarity_index.hpp"
 #include "util/rng.hpp"
 
 namespace lacon {
 namespace {
+
+// Edge-for-edge equality: same vertices, same edges, same adjacency order.
+bool graphs_identical(const Graph& a, const Graph& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
 
 TEST(Graph, EmptyAndSingletonAreConnected) {
   EXPECT_TRUE(Graph(0).connected());
@@ -132,6 +152,134 @@ TEST(Similarity, SelfSimilarityHoldsViaAnyWitness) {
   for (StateId x : con0) {
     EXPECT_TRUE(similar(model, x, x));
   }
+}
+
+// --- CSR layout ---
+
+TEST(Graph, NeighborRowsPreserveInsertionOrder) {
+  // The CSR rows must reproduce the classic push-back adjacency order:
+  // edge (a, b) appends b to a's row and a to b's row, in edge order.
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto row = g.neighbors(2);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[1], 1u);
+  EXPECT_EQ(row[2], 3u);
+  // Queries after further edge insertions see the refreshed layout.
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(Graph, FromSortedEdgesMatchesFromRelation) {
+  const auto related = [](std::size_t a, std::size_t b) {
+    return (a + b) % 3 == 0;
+  };
+  const Graph swept = Graph::from_relation(24, related);
+  std::vector<Graph::Edge> edges;
+  for (std::size_t a = 0; a < 24; ++a) {
+    for (std::size_t b = a + 1; b < 24; ++b) {
+      if (related(a, b)) {
+        edges.emplace_back(static_cast<Graph::Vertex>(a),
+                           static_cast<Graph::Vertex>(b));
+      }
+    }
+  }
+  const Graph direct = Graph::from_sorted_edges(24, std::move(edges));
+  EXPECT_TRUE(graphs_identical(swept, direct));
+}
+
+// --- Fingerprint-indexed similarity graph ---
+
+TEST(SimilarityIndex, StrategyKnobReadsEnvironment) {
+  ASSERT_EQ(setenv("LACON_SIMILARITY", "naive", 1), 0);
+  EXPECT_EQ(similarity_strategy(), SimilarityStrategy::kNaive);
+  ASSERT_EQ(setenv("LACON_SIMILARITY", "indexed", 1), 0);
+  EXPECT_EQ(similarity_strategy(), SimilarityStrategy::kIndexed);
+  ASSERT_EQ(unsetenv("LACON_SIMILARITY"), 0);
+  EXPECT_EQ(similarity_strategy(), SimilarityStrategy::kIndexed);
+}
+
+// The index must reproduce the naive sweep's graph *exactly* — same edges,
+// same adjacency order — on every model, including the synchronous one
+// whose states record failures (exercising the witness liveness condition)
+// and the message-passing ones with overridden fingerprints.
+TEST(SimilarityIndex, IndexedEqualsNaiveAcrossModelsAndDepths) {
+  struct Cfg {
+    ModelKind kind;
+    int n;
+    int t;
+    int depth;
+  };
+  const Cfg cfgs[] = {
+      {ModelKind::kMobile, 3, 1, 2},    {ModelKind::kMobile, 4, 1, 1},
+      {ModelKind::kSharedMem, 3, 1, 1}, {ModelKind::kMsgPass, 3, 1, 1},
+      {ModelKind::kSync, 3, 1, 2},      {ModelKind::kSync, 4, 2, 1},
+  };
+  auto rule = min_after_round(2);
+  for (const Cfg& cfg : cfgs) {
+    auto model = make_model(cfg.kind, cfg.n, cfg.t, *rule);
+    for (const auto& level : reachable_by_depth(*model, cfg.depth)) {
+      const Graph naive = similarity_graph_naive(*model, level);
+      const Graph indexed = similarity_graph_indexed(*model, level);
+      EXPECT_TRUE(graphs_identical(naive, indexed))
+          << model->name() << " n=" << cfg.n << " |X|=" << level.size();
+    }
+  }
+}
+
+// Soundness contract of the msgpass fingerprint overrides: agree_modulo
+// truth implies fingerprint equality (for every erased coordinate), so the
+// index can never drop a ~s edge.
+template <typename Model>
+void check_fingerprint_contract(Model& model, int depth) {
+  const std::vector<StateId> states = reachable_states(model, depth);
+  for (StateId x : states) {
+    for (StateId y : states) {
+      for (ProcessId j = 0; j < model.n(); ++j) {
+        if (model.agree_modulo(x, y, j)) {
+          ASSERT_EQ(model.similarity_fingerprint(x, j),
+                    model.similarity_fingerprint(y, j))
+              << model.name() << " states " << x << "," << y << " mod " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityIndex, MsgPassFingerprintRespectsAgreeModulo) {
+  auto rule = min_after_round(2);
+  MsgPassModel model(3, *rule);
+  check_fingerprint_contract(model, 1);
+}
+
+TEST(SimilarityIndex, MsgPassSyncFingerprintRespectsAgreeModulo) {
+  auto rule = min_after_round(2);
+  MsgPassSyncModel model(3, *rule);
+  check_fingerprint_contract(model, 2);
+}
+
+// The mailbox masking is not vacuous: two states whose in-transit messages
+// differ only inside j's mailbox must agree modulo j and share the erase-j
+// fingerprint, while differing at every other erased coordinate.
+TEST(SimilarityIndex, MailboxMaskedFingerprintIgnoresOwnMailbox) {
+  auto rule = never_decide();
+  MsgPassModel model(3, *rule);
+  const StateId x0 = model.initial_states().front();
+  // Full round [0,1,2] vs. the same with {0,1} concurrent: the paper's
+  // Section 5.1 chain — they agree modulo 1 only.
+  const StateId a = model.apply_schedule(
+      x0, Schedule{{0, -1}, {1, -1}, {2, -1}});
+  const StateId b = model.apply_schedule(x0, Schedule{{0, 1}, {2, -1}});
+  ASSERT_TRUE(model.agree_modulo(a, b, 1));
+  EXPECT_EQ(model.similarity_fingerprint(a, 1),
+            model.similarity_fingerprint(b, 1));
+  EXPECT_FALSE(model.agree_modulo(a, b, 0));
+  EXPECT_NE(model.similarity_fingerprint(a, 0),
+            model.similarity_fingerprint(b, 0));
 }
 
 }  // namespace

@@ -227,7 +227,10 @@ TEST(RuntimeReport, MentionsWorkersAndStats) {
 bool graphs_equal(const Graph& a, const Graph& b) {
   if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
   for (std::size_t v = 0; v < a.size(); ++v) {
-    if (a.neighbors(v) != b.neighbors(v)) return false;  // order included
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    // Order included: the CSR rows must match element for element.
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
   }
   return true;
 }
@@ -266,8 +269,9 @@ TEST(FromRelation, TinySizes) {
 // orders still agree on these.
 std::string state_fingerprint(LayeredModel& model, StateId x) {
   const GlobalState& s = model.state(x);
-  std::string out = "env[";
-  for (std::int64_t w : s.env) out += std::to_string(w) + ",";
+  // env_to_string, not s.env: the shared-memory/message-passing envs embed
+  // interned ViewIds, whose numeric values race across worker counts.
+  std::string out = "env[" + model.env_to_string(x);
   out += "] views[";
   for (ViewId v : s.locals) out += model.views().to_string(v) + ";";
   out += "] d[";
