@@ -9,6 +9,8 @@
 // plus google-benchmark timings of layer enumeration.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -84,7 +86,9 @@ BENCHMARK_CAPTURE(BM_LayerEnumeration, sync, ModelKind::kSync)->Arg(3)->Arg(5);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -5,6 +5,8 @@
 // valence connected. Timings: connectivity checks.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -158,8 +160,10 @@ BENCHMARK_CAPTURE(BM_Con0ValenceConnectivity, sharedmem,
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
   lacon::print_index_ablation();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -5,6 +5,8 @@
 // interned states and valence evaluations, and per-layer timing.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -61,7 +63,9 @@ BENCHMARK_CAPTURE(BM_ExtendBivalentRun, msgpass, ModelKind::kMsgPass)->Arg(3);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -7,6 +7,8 @@
 //   * the early-deciding variant decides by min(f+2, t+1).
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -110,8 +112,10 @@ BENCHMARK(BM_FloodSetWorstCase)->Arg(1)->Arg(3)->Arg(5);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_lower_bound_table();
   lacon::print_early_deciding_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

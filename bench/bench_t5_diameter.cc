@@ -6,6 +6,8 @@
 // the bound (the bound is loose — that is expected and reported).
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -193,7 +195,9 @@ BENCHMARK(BM_DiameterBoundRecurrence);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -5,6 +5,8 @@
 // the known column for every row.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -86,7 +88,9 @@ BENCHMARK(BM_ThickGraphConstruction);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -8,6 +8,8 @@
 //     starvation scheduler.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -149,8 +151,10 @@ BENCHMARK(BM_BenOrRun)->Arg(4)->Arg(8);
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_sync_table();
   lacon::print_async_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

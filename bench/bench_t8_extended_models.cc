@@ -6,6 +6,8 @@
 // of them is the paper's headline: one analysis, many models.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <cstdio>
 
 #include "analysis/reports.hpp"
@@ -93,7 +95,9 @@ BENCHMARK_CAPTURE(BM_ExtendedBivalentRun, snapshot, "M^snap/IS");
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

@@ -11,6 +11,8 @@
 // (still byte-identical) 1-vs-1 comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -168,12 +170,14 @@ void register_worker_sweep(const char* name,
 }  // namespace lacon
 
 int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
   lacon::print_table();
   lacon::register_worker_sweep("BM_SimilaritySweep",
                                lacon::BM_SimilaritySweep);
   lacon::register_worker_sweep("BM_Explore", lacon::BM_Explore);
   lacon::register_worker_sweep("BM_ValenceClassify",
                                lacon::BM_ValenceClassify);
+  lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::fputs(lacon::runtime_report().c_str(), stdout);

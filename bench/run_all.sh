@@ -24,8 +24,11 @@ fi
 mkdir -p "$OUT_DIR"
 
 status=0
+ran=0
+failed=()
 for bench in "$BUILD_DIR"/bench/bench_*; do
   [[ -x "$bench" ]] || continue
+  ran=$((ran + 1))
   name="$(basename "$bench")"
   tag="${name#bench_}"
   echo "=== $name -> $OUT_DIR/BENCH_$tag.json"
@@ -36,6 +39,15 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
       | tee "$OUT_DIR/BENCH_$tag.txt"; then
     echo "FAILED: $name" >&2
     status=1
+    failed+=("$name")
   fi
 done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "error: no bench binaries found under $BUILD_DIR/bench" >&2
+  exit 1
+fi
+if [[ "$status" -ne 0 ]]; then
+  echo "bench failures (${#failed[@]}/$ran): ${failed[*]}" >&2
+fi
 exit $status

@@ -25,15 +25,34 @@ run_config() {
   echo "=== [$name] build"
   cmake --build "$dir" -j "$JOBS" > /dev/null
   echo "=== [$name] ctest"
-  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+  # --timeout is a per-test backstop on top of the TIMEOUT properties set in
+  # tests/CMakeLists.txt: a hung test fails loudly instead of wedging CI.
+  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure --timeout 300
+  if [[ "$name" == "tsan" || "$name" == "asan" ]]; then
+    # Fault-injection soak: re-run the runtime-facing suites with a seeded
+    # fault plan so the injected-failure paths (task-body throws, simulated
+    # allocation failure, budget trips) execute under the sanitizer. The
+    # seed/rate env knobs only parameterize the dedicated FaultSoak tests;
+    # the deterministic equivalence tests in the same binaries ignore them.
+    echo "=== [$name] fault-injection soak" \
+         "(seed=${LACON_FAULT_SEED:-20260805} rate=${LACON_FAULT_RATE:-0.05})"
+    for soak_bin in guard_test runtime_test fuzz_test; do
+      LACON_FAULT_SEED="${LACON_FAULT_SEED:-20260805}" \
+      LACON_FAULT_RATE="${LACON_FAULT_RATE:-0.05}" \
+        "$dir/tests/$soak_bin" --gtest_brief=1
+    done
+  fi
   if [[ "$name" == "plain" ]]; then
     # Perf trajectory: a small-size bench pass on the unsanitized build,
     # emitting one BENCH_*.json per experiment into bench_results/. Compare
     # against the committed reference under bench/baseline/ (regenerate it
     # with the same smoke budget when a PR intentionally moves performance).
     echo "=== [$name] bench smoke (BENCH_*.json -> bench_results/)"
-    BENCH_ARGS="--benchmark_min_time=0.01x" bench/run_all.sh "$dir" \
-        bench_results > /dev/null
+    if ! BENCH_ARGS="--benchmark_min_time=0.01x" bench/run_all.sh "$dir" \
+        bench_results > /dev/null; then
+      echo "=== [$name] bench smoke FAILED" >&2
+      exit 1
+    fi
     ls bench_results/BENCH_*.json >/dev/null
   fi
 }

@@ -1,5 +1,6 @@
 #include "analysis/reports.hpp"
 
+#include "runtime/guard.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/table.hpp"
@@ -129,6 +130,21 @@ std::string runtime_report() {
   Table table({"stat", "kind", "value", "calls"});
   table.add_row({"runtime.workers", "config",
                  cell(static_cast<long long>(runtime::worker_count())), "-"});
+  const guard::GuardSpec& spec = guard::process_guard_spec();
+  if (spec.limited()) {
+    if (spec.budget_ms > 0) {
+      table.add_row({"guard.budget_ms", "config",
+                     cell(static_cast<long long>(spec.budget_ms)), "-"});
+    }
+    if (spec.max_states > 0) {
+      table.add_row({"guard.max_states", "config",
+                     cell(static_cast<long long>(spec.max_states)), "-"});
+    }
+    if (spec.max_bytes > 0) {
+      table.add_row({"guard.max_bytes", "config",
+                     cell(static_cast<long long>(spec.max_bytes)), "-"});
+    }
+  }
   for (const runtime::StatSample& s : runtime::Stats::global().snapshot()) {
     if (s.is_timer) {
       table.add_row({s.name, "timer",

@@ -72,6 +72,12 @@ class LayeredModel {
   std::size_t num_states() const noexcept { return arena_.size(); }
   std::size_t num_views() const noexcept { return views_.size(); }
 
+  // Approximate bytes held by the state arena and the view DAG combined;
+  // what a Guard's memory budget is measured against.
+  std::size_t memory_footprint() const noexcept {
+    return arena_.approx_bytes() + views_.approx_bytes();
+  }
+
   // True if x and y agree modulo j (environment and all local states except
   // j's are equal). Virtual because a model may attribute parts of the
   // environment encoding to individual processes: the asynchronous

@@ -2,7 +2,21 @@
 
 #include <cassert>
 
+#include "runtime/fault.hpp"
+
 namespace lacon {
+
+namespace {
+
+// Estimated heap cost of one interned state: the node itself, its vector
+// payloads, and a flat allowance for the index entry + allocator overhead.
+std::size_t state_footprint(const GlobalState& s) noexcept {
+  return sizeof(GlobalState) + s.env.capacity() * sizeof(std::int64_t) +
+         s.locals.capacity() * sizeof(ViewId) +
+         s.decisions.capacity() * sizeof(Value) + 64;
+}
+
+}  // namespace
 
 bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
   assert(x.locals.size() == y.locals.size());
@@ -18,10 +32,12 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
 }
 
 StateId StateArena::intern(GlobalState s) {
+  fault::maybe_throw_alloc_fault();
   const std::uint64_t h = content_hash(s);  // once, outside the lock
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(Key{h, &s});
   if (it != index_.end()) return it->second;
+  approx_bytes_.fetch_add(state_footprint(s), std::memory_order_relaxed);
   const auto idx = states_.push_back(std::move(s));
   const StateId id = static_cast<StateId>(idx);
   index_.emplace(Key{h, &states_[idx]}, id);

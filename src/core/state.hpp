@@ -7,6 +7,7 @@
 // vector of words (register contents, in-transit messages, failed set, ...).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -51,6 +52,13 @@ class StateArena {
   }
   std::size_t size() const noexcept { return states_.size(); }
 
+  // Approximate heap footprint of the interned states (node structs plus
+  // their vector payloads; index overhead estimated per entry). Monotone;
+  // the guard's memory budget reads this at depth boundaries.
+  std::size_t approx_bytes() const noexcept {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
   static std::uint64_t content_hash(const GlobalState& s) noexcept {
     std::uint64_t h = hash_range(s.env, 0x6c61636f6eULL);
     h = hash_range(s.locals, h);
@@ -77,6 +85,7 @@ class StateArena {
   mutable std::mutex mu_;  // guards index_ and appends to states_
   runtime::StableVector<GlobalState> states_;
   std::unordered_map<Key, StateId, KeyHash, KeyEq> index_;
+  std::atomic<std::size_t> approx_bytes_{0};
 };
 
 }  // namespace lacon

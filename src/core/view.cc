@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "runtime/fault.hpp"
+
 namespace lacon {
 
 ViewArena::ViewArena(int n) : n_(n) { assert(n >= 2 && n < 62); }
@@ -24,10 +26,13 @@ ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
 }
 
 ViewId ViewArena::intern(ViewNode node) {
+  fault::maybe_throw_alloc_fault();
   const std::uint64_t h = content_hash(node);  // once, outside the lock
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(Key{h, &node});
   if (it != index_.end()) return it->second;
+  approx_bytes_.fetch_add(sizeof(ViewNode) + node.obs.capacity() * sizeof(Obs) + 64,
+                          std::memory_order_relaxed);
   const auto idx = nodes_.push_back(std::move(node));
   const ViewId id = static_cast<ViewId>(idx);
   index_.emplace(Key{h, &nodes_[idx]}, id);

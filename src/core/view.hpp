@@ -11,6 +11,7 @@
 // relation — is integer equality.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -70,6 +71,12 @@ class ViewArena {
   const ViewNode& node(ViewId id) const { return nodes_[static_cast<std::size_t>(id)]; }
   std::size_t size() const noexcept { return nodes_.size(); }
 
+  // Approximate heap footprint of the interned view DAG (see
+  // StateArena::approx_bytes). Monotone, relaxed reads.
+  std::size_t approx_bytes() const noexcept {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
   // The inputs this view knows about: entry j is process j's input if it is
   // determined by the view, kUnknownInput otherwise. Memoized.
   const std::vector<Value>& known_inputs(ViewId id);
@@ -116,6 +123,7 @@ class ViewArena {
   std::mutex mu_;  // guards index_ and appends to nodes_
   runtime::StableVector<ViewNode> nodes_;
   std::unordered_map<Key, ViewId, KeyHash, KeyEq> index_;
+  std::atomic<std::size_t> approx_bytes_{0};
   std::mutex known_mu_;  // guards known_inputs_cache_
   std::unordered_map<ViewId, std::vector<Value>> known_inputs_cache_;
 };

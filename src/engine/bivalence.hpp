@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/valence.hpp"
+#include "runtime/guard.hpp"
 
 namespace lacon {
 
@@ -26,6 +27,9 @@ struct BivalentRunResult {
   // Diagnostic when the construction stops early (e.g. no bivalent initial
   // state, or a layer with no bivalent member).
   std::string stuck_reason;
+  // kNone unless a guard stopped the construction; the run built so far is
+  // still a valid bivalent prefix.
+  guard::TruncationReason truncation = guard::TruncationReason::kNone;
 };
 
 // Extends a bivalent run to `depth` layers. The valence engine's horizon
@@ -35,5 +39,15 @@ BivalentRunResult extend_bivalent_run(ValenceEngine& engine, int depth);
 // Same construction but starting from a given bivalent state.
 BivalentRunResult extend_bivalent_run_from(ValenceEngine& engine,
                                            StateId start, int depth);
+
+// Guarded variants: the guard is checked (including the state/memory
+// budget) before each depth step; a trip returns the bivalent prefix built
+// so far with `truncation` set. An injected allocation failure inside the
+// step degrades to a kStateBudget truncation the same way.
+BivalentRunResult extend_bivalent_run(ValenceEngine& engine, int depth,
+                                      const guard::Guard& g);
+BivalentRunResult extend_bivalent_run_from(ValenceEngine& engine,
+                                           StateId start, int depth,
+                                           const guard::Guard& g);
 
 }  // namespace lacon

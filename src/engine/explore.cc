@@ -2,44 +2,89 @@
 
 #include <unordered_set>
 
+#include "runtime/fault.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
 
 namespace lacon {
 
-std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
-                                                     int depth) {
+guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
+    LayeredModel& model, int depth, const guard::Guard& g) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("explore.expand_time"));
 
-  std::vector<std::vector<StateId>> levels;
-  levels.push_back(model.initial_states());
-  std::unordered_set<StateId> seen(levels[0].begin(), levels[0].end());
+  guard::Partial<std::vector<std::vector<StateId>>> out;
+  try {
+    out.value.push_back(model.initial_states());
+  } catch (const fault::InjectedAllocError&) {
+    if (g.never_trips()) throw;  // inert guard: behave like the raw call
+    g.note_memory_exhausted();
+    out.truncation = g.reason();
+    return out;  // not even Con_0 materialized: empty value, completed 0
+  }
+  std::unordered_set<StateId> seen(out.value[0].begin(), out.value[0].end());
   for (int d = 0; d < depth; ++d) {
-    const std::vector<StateId>& frontier = levels.back();
+    // Depth boundary: the one place the state/memory budget is evaluated.
+    // The arena population here is scheduling-independent, so a budget trip
+    // truncates at the same depth for every worker count.
+    if (g.check(model.num_states(), model.memory_footprint()) !=
+        guard::TruncationReason::kNone) {
+      break;
+    }
+    const std::vector<StateId>& frontier = out.value.back();
     // Phase 1 (parallel): expand every frontier state, filling the model's
     // layer cache. The per-state work — computing S(x) and interning its
-    // states and views — dominates the whole exploration; with one worker
-    // this phase is skipped and the serial merge below does the expansion.
-    if (runtime::worker_count() > 1) {
-      runtime::parallel_for(frontier.size(),
-                            [&](std::size_t i) { model.layer(frontier[i]); });
+    // states and views — dominates the whole exploration, so this is also
+    // where the guard is probed per state; a trip means the cache may be
+    // missing layers, in which case the merge below must not run (it would
+    // recompute them serially, unguarded).
+    if (g.never_trips()) {
+      if (runtime::worker_count() > 1) {
+        runtime::parallel_for(frontier.size(),
+                              [&](std::size_t i) { model.layer(frontier[i]); });
+      }
+    } else {
+      const std::size_t filled = runtime::parallel_for_guarded(
+          g, frontier.size(),
+          [&](std::size_t i) { model.layer(frontier[i]); });
+      if (filled < frontier.size() || g.tripped()) break;
     }
     // Phase 2 (serial, canonical): merge layers in frontier order, so the
     // discovery order — and with it every level's content — is a function
-    // of the cached layers alone, not of thread scheduling.
+    // of the cached layers alone, not of thread scheduling. A trip mid-merge
+    // discards the partial level: truncation is level-granular.
     std::vector<StateId> next;
-    for (StateId x : frontier) {
-      for (StateId y : model.layer(x)) {
-        if (seen.insert(y).second) next.push_back(y);
+    bool aborted = false;
+    try {
+      for (StateId x : frontier) {
+        if (g.tripped()) {
+          aborted = true;
+          break;
+        }
+        for (StateId y : model.layer(x)) {
+          if (seen.insert(y).second) next.push_back(y);
+        }
       }
+    } catch (const fault::InjectedAllocError&) {
+      if (g.never_trips()) throw;  // inert guard: behave like the raw call
+      g.note_memory_exhausted();
+      aborted = true;
     }
+    if (aborted) break;
     stats.counter("explore.layers_expanded").add(frontier.size());
-    if (next.empty()) break;
-    levels.push_back(std::move(next));
+    if (next.empty()) break;  // quiescent: complete, not truncated
+    out.value.push_back(std::move(next));
   }
   stats.counter("explore.states_discovered").add(seen.size());
-  return levels;
+  out.truncation = g.reason();
+  out.completed = out.value.empty() ? 0 : out.value.size() - 1;
+  return out;
+}
+
+std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
+                                                     int depth) {
+  guard::ScopedGuard scoped(guard::process_guard_spec());
+  return reachable_by_depth(model, depth, scoped.get()).value;
 }
 
 std::vector<StateId> reachable_states(LayeredModel& model, int depth) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "runtime/guard.hpp"
 
 namespace lacon {
 
@@ -13,6 +14,18 @@ namespace lacon {
 // (connectivity of deep layers, diameter growth) get every state.
 std::vector<std::vector<StateId>> reachable_by_depth(LayeredModel& model,
                                                      int depth);
+
+// Guarded exploration. The guard is probed per frontier state during the
+// parallel expansion and the state/memory budget is evaluated against the
+// arena population at every depth boundary; a trip truncates to *complete
+// levels only* — the returned value never contains a partially-discovered
+// level. `completed` is the depth reached (value.size() - 1). Budget
+// truncation is deterministic across worker counts: the arena population at
+// a depth boundary does not depend on thread scheduling, so a budget of k
+// states truncates at the same depth with the same levels under
+// LACON_THREADS=1 and under 16 workers.
+guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
+    LayeredModel& model, int depth, const guard::Guard& g);
 
 // Flattened version of reachable_by_depth.
 std::vector<StateId> reachable_states(LayeredModel& model, int depth);

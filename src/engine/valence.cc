@@ -96,15 +96,30 @@ void ValenceEngine::memoize(Memo& memo, StateId x, int budget,
   if (budget >= e.horizon || info.bivalent()) e = Entry{budget, info};
 }
 
-std::vector<ValenceInfo> ValenceEngine::classify_all(
-    const std::vector<StateId>& X) {
+guard::Partial<std::vector<ValenceInfo>> ValenceEngine::classify_all(
+    const std::vector<StateId>& X, const guard::Guard& g) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("valence.classify_time"));
-  stats.counter("valence.states_classified").add(X.size());
-  std::vector<ValenceInfo> out(X.size());
-  runtime::parallel_for(X.size(),
-                        [&](std::size_t i) { out[i] = valence(X[i]); });
+  guard::Partial<std::vector<ValenceInfo>> out;
+  out.value.resize(X.size());
+  out.completed = runtime::parallel_for_guarded(
+      g, X.size(), [&](std::size_t i) { out.value[i] = valence(X[i]); });
+  out.value.resize(out.completed);
+  out.truncation = g.reason();
+  stats.counter("valence.states_classified").add(out.completed);
   return out;
+}
+
+std::vector<ValenceInfo> ValenceEngine::classify_all(
+    const std::vector<StateId>& X) {
+  guard::ScopedGuard scoped(guard::process_guard_spec());
+  guard::Partial<std::vector<ValenceInfo>> partial =
+      classify_all(X, scoped.get());
+  // Pad a truncated classification back to X.size(): positional consumers
+  // (valence_graph) index infos[i] across all of X, and a default entry —
+  // inexact, no witnessed valences — is the honest "don't know".
+  partial.value.resize(X.size());
+  return std::move(partial.value);
 }
 
 bool ValenceEngine::shared_valence(StateId x, StateId y) {

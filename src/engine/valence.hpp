@@ -36,6 +36,7 @@
 
 #include "core/model.hpp"
 #include "relation/graph.hpp"
+#include "runtime/guard.hpp"
 
 namespace lacon {
 
@@ -75,6 +76,14 @@ class ValenceEngine {
   // valences through a warmer memo, exactly as a different serial call
   // order already could.
   std::vector<ValenceInfo> classify_all(const std::vector<StateId>& X);
+
+  // Guarded classification: the guard is probed before each state; a trip
+  // truncates to a valid prefix of X (value.size() == completed <= X.size(),
+  // entry i still the full valence of X[i]). The unguarded overload pads a
+  // truncated result back to X.size() with default (inexact, no-valence)
+  // entries so positional consumers like valence_graph stay index-aligned.
+  guard::Partial<std::vector<ValenceInfo>> classify_all(
+      const std::vector<StateId>& X, const guard::Guard& g);
 
   // x ~v y : both are w-valent for some w (Definition 3.1).
   bool shared_valence(StateId x, StateId y);

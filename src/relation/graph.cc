@@ -172,7 +172,58 @@ std::vector<std::size_t> Graph::components() const {
   return label;
 }
 
+guard::Partial<std::optional<std::size_t>> Graph::diameter(
+    const guard::Guard& g) const {
+  guard::Partial<std::optional<std::size_t>> out;
+  if (size() == 0) {
+    out.value = std::nullopt;
+    return out;
+  }
+  ensure_csr();
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("relation.diameter_time"));
+  // Record every source's eccentricity, then fold only the completed prefix:
+  // a truncated value depends on [0, completed) alone, never on which
+  // straggler sources also happened to finish.
+  std::vector<std::size_t> ecc(size(), 0);
+  const std::size_t done =
+      runtime::parallel_for_guarded(g, size(), [&](std::size_t v) {
+        const std::vector<std::size_t> dist = bfs_distances(v);
+        std::size_t best = 0;
+        for (std::size_t d : dist) {
+          if (d == kUnreached) {
+            best = kUnreached;
+            break;
+          }
+          best = std::max(best, d);
+        }
+        ecc[v] = best;
+      });
+  stats.counter("relation.diameter_sources").add(done);
+  out.completed = done;
+  out.truncation = g.reason();
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < done; ++v) {
+    if (ecc[v] == kUnreached) {
+      // One full BFS that misses a vertex proves disconnection; the answer
+      // cannot change, so report it complete.
+      out.value = std::nullopt;
+      out.truncation = guard::TruncationReason::kNone;
+      out.completed = size();
+      return out;
+    }
+    best = std::max(best, ecc[v]);
+  }
+  if (done > 0) out.value = best;  // no sources finished -> no bound at all
+  return out;
+}
+
 std::optional<std::size_t> Graph::diameter() const {
+  const guard::GuardSpec& spec = guard::process_guard_spec();
+  if (spec.limited()) {
+    guard::ScopedGuard scoped(spec);
+    return diameter(scoped.get()).value;
+  }
   if (size() == 0) return std::nullopt;
   ensure_csr();
   auto& stats = runtime::Stats::global();

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/guard.hpp"
+
 namespace lacon {
 
 // An undirected graph on vertices 0..size-1. Edges accumulate in an
@@ -68,6 +70,15 @@ class Graph {
   // count). nullopt when the graph is disconnected (infinite diameter) or
   // empty.
   std::optional<std::size_t> diameter() const;
+
+  // Guarded diameter. `completed` counts BFS sources fully evaluated (a
+  // contiguous prefix of the vertex space); a truncated result's engaged
+  // value is the eccentricity maximum over exactly those sources — a lower
+  // bound on the true diameter. If any completed source proves the graph
+  // disconnected the answer (nullopt) is conclusive and the result is
+  // reported complete even if the guard also tripped.
+  guard::Partial<std::optional<std::size_t>> diameter(
+      const guard::Guard& g) const;
 
   // Length of a shortest path between a and b; nullopt if not connected.
   std::optional<std::size_t> distance(std::size_t a, std::size_t b) const;

@@ -27,20 +27,50 @@ bool similar(LayeredModel& model, StateId x, StateId y) {
   return similarity_witness(model, x, y).has_value();
 }
 
-Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X) {
+guard::Partial<Graph> similarity_graph(LayeredModel& model,
+                                       const std::vector<StateId>& X,
+                                       const guard::Guard& g) {
   if (similarity_strategy() == SimilarityStrategy::kNaive) {
-    return similarity_graph_naive(model, X);
+    guard::Partial<Graph> out{Graph(X.size())};
+    // Pre-check only: the quadratic reference sweep stays unguarded inside
+    // (it exists to cross-check the index, not to run under budgets).
+    if (g.tripped()) {
+      out.truncation = g.reason();
+      return out;
+    }
+    out.value = similarity_graph_naive(model, X);
+    out.completed = X.size() < 2 ? 0 : X.size() * (X.size() - 1) / 2;
+    out.truncation = g.reason();
+    return out;
   }
-  return similarity_graph_indexed(model, X);
+  return similarity_graph_indexed(model, X, g);
+}
+
+Graph similarity_graph(LayeredModel& model, const std::vector<StateId>& X) {
+  guard::ScopedGuard scoped(guard::process_guard_spec());
+  return similarity_graph(model, X, scoped.get()).value;
 }
 
 bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X) {
   return similarity_graph(model, X).connected();
 }
 
+guard::Partial<std::optional<std::size_t>> s_diameter(
+    LayeredModel& model, const std::vector<StateId>& X,
+    const guard::Guard& g) {
+  guard::Partial<Graph> graph = similarity_graph(model, X, g);
+  if (!graph.complete()) {
+    guard::Partial<std::optional<std::size_t>> out;
+    out.truncation = graph.truncation;
+    return out;
+  }
+  return graph.value.diameter(g);
+}
+
 std::optional<std::size_t> s_diameter(LayeredModel& model,
                                       const std::vector<StateId>& X) {
-  return similarity_graph(model, X).diameter();
+  guard::ScopedGuard scoped(guard::process_guard_spec());
+  return s_diameter(model, X, scoped.get()).value;
 }
 
 }  // namespace lacon

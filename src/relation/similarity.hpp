@@ -11,6 +11,7 @@
 
 #include "core/model.hpp"
 #include "relation/graph.hpp"
+#include "runtime/guard.hpp"
 
 namespace lacon {
 
@@ -31,5 +32,22 @@ bool similarity_connected(LayeredModel& model, const std::vector<StateId>& X);
 // s-diameter of X; nullopt when (X, ~s) is disconnected.
 std::optional<std::size_t> s_diameter(LayeredModel& model,
                                       const std::vector<StateId>& X);
+
+// Guarded graph build. With the indexed strategy (the default) truncation
+// is candidate-granular, see similarity_graph_indexed; under the naive
+// reference sweep the guard is only consulted before the sweep starts (the
+// quadratic ablation path stays deliberately simple), so a mid-sweep trip
+// surfaces after it finishes.
+guard::Partial<Graph> similarity_graph(LayeredModel& model,
+                                       const std::vector<StateId>& X,
+                                       const guard::Guard& g);
+
+// Guarded s-diameter: graph build then diameter under the same guard. If
+// the build itself was truncated, the value is disengaged (a diameter of a
+// partial graph would bound nothing) and `completed` is 0; otherwise the
+// semantics are Graph::diameter(g)'s.
+guard::Partial<std::optional<std::size_t>> s_diameter(
+    LayeredModel& model, const std::vector<StateId>& X,
+    const guard::Guard& g);
 
 }  // namespace lacon

@@ -1,6 +1,8 @@
 #include "relation/similarity_index.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -13,8 +15,15 @@ namespace lacon {
 
 SimilarityStrategy similarity_strategy() {
   const char* env = std::getenv("LACON_SIMILARITY");
-  if (env != nullptr && std::strcmp(env, "naive") == 0) {
-    return SimilarityStrategy::kNaive;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "indexed") == 0) {
+    return SimilarityStrategy::kIndexed;
+  }
+  if (std::strcmp(env, "naive") == 0) return SimilarityStrategy::kNaive;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "lacon: unknown LACON_SIMILARITY='%s', using 'indexed'\n",
+                 env);
   }
   return SimilarityStrategy::kIndexed;
 }
@@ -26,32 +35,50 @@ Graph similarity_graph_naive(LayeredModel& model,
   });
 }
 
-Graph similarity_graph_indexed(LayeredModel& model,
-                               const std::vector<StateId>& X) {
+guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
+                                               const std::vector<StateId>& X,
+                                               const guard::Guard& g) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("relation.index_time"));
   const std::size_t m = X.size();
-  if (m < 2) return Graph(m);
+  guard::Partial<Graph> out{Graph(m)};
+  if (m < 2) {
+    out.completed = 0;
+    out.truncation = g.reason();
+    return out;
+  }
   const int n = model.n();
   const auto nu = static_cast<std::size_t>(n);
 
-  // Fingerprint table, one row per state — embarrassingly parallel.
+  // Fingerprint table, one row per state — embarrassingly parallel. A trip
+  // here leaves nothing usable (candidates need every row), so the result
+  // degrades to the empty graph.
   std::vector<std::uint64_t> fp(m * nu);
-  runtime::parallel_for(m, [&](std::size_t i) {
-    for (ProcessId j = 0; j < n; ++j) {
-      fp[i * nu + static_cast<std::size_t>(j)] =
-          model.similarity_fingerprint(X[i], j);
-    }
-  });
+  const std::size_t hashed =
+      runtime::parallel_for_guarded(g, m, [&](std::size_t i) {
+        for (ProcessId j = 0; j < n; ++j) {
+          fp[i * nu + static_cast<std::size_t>(j)] =
+              model.similarity_fingerprint(X[i], j);
+        }
+      });
+  if (hashed < m) {
+    out.truncation = g.reason();
+    return out;
+  }
 
   // Bucket states by (erased coordinate, fingerprint): sorting the
   // (fingerprint, index) column groups equal fingerprints contiguously.
   // Every pair with agree_modulo(x, y, j) true lands in j's bucket of their
-  // common fingerprint, so the union over j covers all ~s edges.
+  // common fingerprint, so the union over j covers all ~s edges. Probed per
+  // erased coordinate — the bucketing is serial but O(n) passes long.
   std::uint64_t buckets = 0;
   std::vector<Graph::Edge> candidates;
   std::vector<std::pair<std::uint64_t, Graph::Vertex>> column(m);
   for (ProcessId j = 0; j < n; ++j) {
+    if (g.tripped()) {
+      out.truncation = g.reason();
+      return out;
+    }
     for (std::size_t i = 0; i < m; ++i) {
       column[i] = {fp[i * nu + static_cast<std::size_t>(j)],
                    static_cast<Graph::Vertex>(i)};
@@ -79,32 +106,44 @@ Graph similarity_graph_indexed(LayeredModel& model,
                    candidates.end());
   stats.counter("relation.index_buckets").add(buckets);
   stats.counter("relation.index_candidates").add(candidates.size());
-  stats.counter("relation.pairs_evaluated").add(candidates.size());
 
   // Confirm candidates with the exact relation, in ordered chunks: the
   // candidate list is (a, b)-lexicographically sorted, so concatenating the
-  // per-chunk survivors reproduces exactly the naive sweep's edge sequence.
-  const std::vector<std::vector<Graph::Edge>> chunks =
-      runtime::parallel_map_chunks<std::vector<Graph::Edge>>(
-          candidates.size(), [&](std::size_t begin, std::size_t end) {
-            std::vector<Graph::Edge> out;
+  // per-chunk survivors reproduces exactly the naive sweep's edge sequence;
+  // under truncation the survivors of the confirmed candidate prefix do.
+  const runtime::PartialChunks<std::vector<Graph::Edge>> chunks =
+      runtime::parallel_map_chunks_guarded<std::vector<Graph::Edge>>(
+          g, candidates.size(), [&](std::size_t begin, std::size_t end) {
+            std::vector<Graph::Edge> chunk_edges;
             for (std::size_t k = begin; k < end; ++k) {
               const auto [a, b] = candidates[k];
-              if (similar(model, X[a], X[b])) out.push_back(candidates[k]);
+              if (similar(model, X[a], X[b])) {
+                chunk_edges.push_back(candidates[k]);
+              }
             }
-            return out;
+            return chunk_edges;
           });
+  stats.counter("relation.pairs_evaluated").add(chunks.completed);
   std::size_t confirmed = 0;
-  for (const auto& chunk : chunks) confirmed += chunk.size();
+  for (const auto& chunk : chunks.values) confirmed += chunk.size();
   stats.counter("relation.index_confirmed").add(confirmed);
-  stats.counter("relation.index_rejected").add(candidates.size() - confirmed);
+  stats.counter("relation.index_rejected").add(chunks.completed - confirmed);
 
   std::vector<Graph::Edge> edges;
   edges.reserve(confirmed);
-  for (const auto& chunk : chunks) {
+  for (const auto& chunk : chunks.values) {
     edges.insert(edges.end(), chunk.begin(), chunk.end());
   }
-  return Graph::from_sorted_edges(m, std::move(edges));
+  out.value = Graph::from_sorted_edges(m, std::move(edges));
+  out.completed = chunks.completed;
+  out.truncation = g.reason();
+  return out;
+}
+
+Graph similarity_graph_indexed(LayeredModel& model,
+                               const std::vector<StateId>& X) {
+  guard::ScopedGuard scoped(guard::process_guard_spec());
+  return similarity_graph_indexed(model, X, scoped.get()).value;
 }
 
 }  // namespace lacon

@@ -13,14 +13,17 @@
 // O(|X| * n) hashing plus bucket-local verification instead of O(|X|^2).
 //
 // Strategy selection: LACON_SIMILARITY=naive forces the quadratic sweep
-// (cross-checking, ablation benches); anything else — including unset —
-// uses the index. relation/similarity.hpp's similarity_graph() dispatches.
+// (cross-checking, ablation benches), LACON_SIMILARITY=indexed (or unset)
+// uses the index; any other value earns a one-line stderr warning and falls
+// back to the index. relation/similarity.hpp's similarity_graph()
+// dispatches.
 #pragma once
 
 #include <vector>
 
 #include "core/model.hpp"
 #include "relation/graph.hpp"
+#include "runtime/guard.hpp"
 
 namespace lacon {
 
@@ -39,6 +42,15 @@ SimilarityStrategy similarity_strategy();
 // naive-vs-indexed pair-count ablation directly comparable.
 Graph similarity_graph_indexed(LayeredModel& model,
                                const std::vector<StateId>& X);
+
+// Guarded index build. `completed` counts confirmed candidate pairs: a
+// truncated value is the graph of the confirmed prefix of the (sorted,
+// deduplicated) candidate sequence — a subgraph of the full (X, ~s) whose
+// edge list is a prefix of the canonical edge sequence. A trip during the
+// fingerprint or bucketing phase yields an empty graph with completed == 0.
+guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
+                                               const std::vector<StateId>& X,
+                                               const guard::Guard& g);
 
 // The quadratic reference sweep (Graph::from_relation over similar()).
 Graph similarity_graph_naive(LayeredModel& model,

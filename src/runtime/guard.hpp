@@ -1,0 +1,188 @@
+// Resource governance and cooperative cancellation (lacon::guard).
+//
+// Every analysis this repository runs — reachable_by_depth over the layered
+// run tree, the similarity index, all-sources diameter, valence
+// classification — is exponential in process count and depth. A Guard bounds
+// such a computation with a wall-clock deadline, a state/memory budget (read
+// off the StateArena/ViewArena accounting) and a cooperative cancellation
+// token, and the engine layers return Partial<T> results instead of hanging
+// or aborting: the value computed so far, how far the computation got, and
+// an explicit TruncationReason.
+//
+// Where the checks happen, and what is deterministic:
+//
+//  * Engine layers (explore, valence classification, bivalent-run
+//    construction, the similarity index, diameter) call Guard::check() at
+//    depth/level/phase boundaries — exactly the preemption points the
+//    paper's layering structure provides: a run tree truncated at a layer
+//    boundary is still a well-defined prefix of the model.
+//  * The parallel facades (runtime/parallel.hpp, *_guarded) probe
+//    Guard::tripped() at chunk and item boundaries, preserving the
+//    ordered-chunk determinism contract: the surviving region is always a
+//    contiguous prefix [0, completed) of the index space, so the *content*
+//    of a truncated result is canonical for every worker count.
+//  * The state budget is evaluated only at depth boundaries, where the
+//    arena population is itself deterministic across worker counts —
+//    a budget-truncated exploration therefore truncates at the same depth,
+//    with the same levels, under LACON_THREADS=1 and under 16 workers.
+//    Deadline and cancellation trips are inherently timing-dependent, but
+//    truncate at the same *granularity* (a level boundary yields a complete
+//    level or none of it), so any two runs agree on every level both
+//    completed.
+//
+// A Guard is sticky: the first trip records its reason and every later
+// probe reports tripped, so one guard governs a whole pipeline of calls
+// ("stop everything downstream too"). Guards are intentionally
+// non-copyable; share one by reference, or share a CancelToken.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace lacon::guard {
+
+enum class TruncationReason : std::uint8_t {
+  kNone = 0,      // ran to completion
+  kDeadline,      // wall-clock budget exhausted
+  kStateBudget,   // state/memory budget exhausted (incl. injected
+                  // allocation failure, see runtime/fault.hpp)
+  kCancelled,     // the CancelToken was cancelled
+};
+
+const char* to_string(TruncationReason reason) noexcept;
+
+// A possibly-truncated result. `completed` counts whole units of work —
+// layers for the exploration, classified entries for classify_all, BFS
+// sources for diameter(), confirmed candidate pairs for the similarity
+// index — and `value` always reflects exactly those units: a truncated
+// exploration holds complete levels only, a truncated classification holds
+// a valid prefix.
+template <typename T>
+struct Partial {
+  T value{};
+  TruncationReason truncation = TruncationReason::kNone;
+  std::size_t completed = 0;
+
+  bool complete() const noexcept {
+    return truncation == TruncationReason::kNone;
+  }
+};
+
+// A shared cancellation flag. Copies observe the same flag, so a controller
+// thread can keep one copy and hand another to a Guard.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Guard {
+ public:
+  Guard() = default;
+
+  // The inert guard used by the unguarded engine entry points: never trips,
+  // never probes the fault plan. A process-wide singleton — safe precisely
+  // because it has no trippable state.
+  static const Guard& none() noexcept;
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  // Budget configuration (call before handing the guard to the engine).
+  Guard& with_deadline(std::chrono::milliseconds budget);
+  Guard& with_deadline_at(std::chrono::steady_clock::time_point deadline);
+  Guard& with_state_budget(std::size_t max_states);
+  Guard& with_memory_budget(std::size_t max_bytes);
+  Guard& with_token(CancelToken token);
+
+  // Cheap cooperative probe: deadline, cancellation and injected budget
+  // faults. The parallel facades call this at chunk/item boundaries; hot
+  // loops may call it per item (one steady_clock read). Sticky.
+  bool tripped() const;
+
+  // Full boundary check including the state/memory budget; engine layers
+  // call it at depth/level boundaries with the current arena population
+  // (LayeredModel::num_states() / memory_footprint()). Returns the sticky
+  // reason, kNone while still inside every budget.
+  TruncationReason check(std::size_t states_in_use,
+                         std::size_t bytes_in_use = 0) const;
+
+  // The first recorded trip, kNone if none.
+  TruncationReason reason() const noexcept {
+    return static_cast<TruncationReason>(
+        reason_.load(std::memory_order_acquire));
+  }
+
+  // Records an out-of-memory condition observed by the caller (the engine
+  // converts injected allocation failure into this). No-op on none().
+  void note_memory_exhausted() const {
+    trip(TruncationReason::kStateBudget);
+  }
+
+  // True for Guard::none(): no limit is configured and no fault probe will
+  // ever fire, so callers may take the unguarded fast path.
+  bool never_trips() const noexcept { return inert_; }
+
+  std::size_t max_states() const noexcept { return max_states_; }
+  std::size_t max_bytes() const noexcept { return max_bytes_; }
+
+ private:
+  struct InertTag {};
+  explicit Guard(InertTag) : inert_(true) {}
+
+  void trip(TruncationReason reason) const;
+
+  bool inert_ = false;
+  bool has_deadline_ = false;
+  bool has_token_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::size_t max_states_ = 0;  // 0 = unlimited
+  std::size_t max_bytes_ = 0;   // 0 = unlimited
+  CancelToken token_{};
+  mutable std::atomic<std::uint8_t> reason_{0};
+};
+
+// Process-wide budget specification applied by the unguarded engine entry
+// points: each top-level call materializes a fresh Guard from the spec (the
+// deadline counts from that call's start). Empty by default, so nothing
+// changes unless a harness configures it — the benches' --budget-ms /
+// --max-states flags do.
+struct GuardSpec {
+  std::int64_t budget_ms = 0;   // 0 = no deadline
+  std::size_t max_states = 0;   // 0 = unlimited
+  std::size_t max_bytes = 0;    // 0 = unlimited
+
+  bool limited() const noexcept {
+    return budget_ms > 0 || max_states > 0 || max_bytes > 0;
+  }
+};
+
+GuardSpec& process_guard_spec() noexcept;
+
+// A Guard configured from `spec` (deadline measured from now). With an
+// empty spec the guard is limit-free but still live (fault probes apply).
+class ScopedGuard {
+ public:
+  explicit ScopedGuard(const GuardSpec& spec);
+  const Guard& get() const noexcept {
+    return spec_.limited() ? guard_ : Guard::none();
+  }
+
+ private:
+  GuardSpec spec_;
+  Guard guard_;
+};
+
+}  // namespace lacon::guard

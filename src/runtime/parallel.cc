@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "runtime/fault.hpp"
 
 namespace lacon::runtime::detail {
 
@@ -13,12 +16,22 @@ namespace {
 // Shared by the submitting thread and the drain tasks; owned via shared_ptr
 // so a task that is dequeued after the parallel section already finished
 // (every chunk claimed by other threads) still has valid state to look at.
+//
+// fn returns the number of items it processed from its chunk; a guarded
+// body that stops early returns less than end - begin and the shortfall is
+// recorded in first_unprocessed.
 struct BatchState {
-  std::function<void(std::size_t, std::size_t, std::size_t)> fn;
+  std::function<std::size_t(std::size_t, std::size_t, std::size_t)> fn;
   std::size_t n = 0;
   std::size_t num_chunks = 0;
+  const guard::Guard* guard = nullptr;  // null for unguarded sections
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  // Smallest item index not processed by a guarded section (chunks are
+  // claimed in increasing index order and the trip flag is sticky, so every
+  // index below this WAS processed: the surviving region is a prefix).
+  std::atomic<std::size_t> first_unprocessed{
+      std::numeric_limits<std::size_t>::max()};
   std::mutex error_mu;
   std::exception_ptr error;
   std::atomic<bool> failed{false};
@@ -32,25 +45,85 @@ void chunk_bounds(const BatchState& state, std::size_t c, std::size_t& begin,
   end = begin + base + (c < rem ? 1 : 0);
 }
 
+void note_unprocessed(BatchState& state, std::size_t index) {
+  std::size_t cur = state.first_unprocessed.load(std::memory_order_relaxed);
+  while (index < cur && !state.first_unprocessed.compare_exchange_weak(
+                            cur, index, std::memory_order_relaxed)) {
+  }
+}
+
 // Claims and runs chunks until none are left. Chunks claimed after a
-// failure are skipped (but still counted) so the section can finish early.
+// failure — or, in guarded sections, after the guard tripped — are skipped
+// (but still counted) so the section can finish early.
 void drain(const std::shared_ptr<BatchState>& state) {
   std::size_t c;
   while ((c = state->next.fetch_add(1, std::memory_order_relaxed)) <
          state->num_chunks) {
-    if (!state->failed.load(std::memory_order_relaxed)) {
+    const bool skip =
+        state->failed.load(std::memory_order_relaxed) ||
+        (state->guard != nullptr && state->guard->tripped());
+    if (!skip) {
+      std::size_t begin = 0, end = 0;
+      chunk_bounds(*state, c, begin, end);
       try {
-        std::size_t begin, end;
-        chunk_bounds(*state, c, begin, end);
-        state->fn(c, begin, end);
+        fault::maybe_throw_task_fault();
+        const std::size_t processed = state->fn(c, begin, end);
+        if (processed < end - begin) {
+          note_unprocessed(*state, begin + processed);
+        }
+      } catch (const fault::InjectedAllocError&) {
+        if (state->guard != nullptr) {
+          // Simulated allocation failure inside a guarded section degrades
+          // to a state-budget truncation instead of unwinding the caller.
+          state->guard->note_memory_exhausted();
+          note_unprocessed(*state, begin);
+        } else {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->error) state->error = std::current_exception();
+          state->failed.store(true, std::memory_order_relaxed);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->error_mu);
         if (!state->error) state->error = std::current_exception();
         state->failed.store(true, std::memory_order_relaxed);
       }
+    } else if (state->guard != nullptr) {
+      std::size_t begin = 0, end = 0;
+      chunk_bounds(*state, c, begin, end);
+      note_unprocessed(*state, begin);
     }
     state->done.fetch_add(1, std::memory_order_acq_rel);
   }
+}
+
+std::size_t run_section(std::size_t n, std::size_t num_chunks,
+                        const std::function<std::size_t(
+                            std::size_t, std::size_t, std::size_t)>& fn,
+                        const guard::Guard* g) {
+  ThreadPool& pool = global_pool();
+  auto state = std::make_shared<BatchState>();
+  state->fn = fn;
+  state->n = n;
+  state->num_chunks = num_chunks;
+  state->guard = g;
+
+  const std::size_t helpers =
+      std::min<std::size_t>(pool.workers() - 1, num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([state] { drain(state); });
+  }
+  drain(state);
+  // Help with whatever is queued (possibly other sections' chunks) instead
+  // of blocking, so nested parallel sections cannot deadlock the pool.
+  while (state->done.load(std::memory_order_acquire) < num_chunks) {
+    if (!pool.run_one()) std::this_thread::yield();
+  }
+  if (state->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(state->error_mu);
+    std::rethrow_exception(state->error);
+  }
+  return std::min(state->first_unprocessed.load(std::memory_order_relaxed),
+                  n);
 }
 
 }  // namespace
@@ -68,30 +141,36 @@ void for_chunks(std::size_t n, std::size_t num_chunks,
                                          std::size_t)>& fn) {
   if (n == 0 || num_chunks == 0) return;
   if (num_chunks == 1) {
+    // Single-chunk sections still probe the task-body injection site, so
+    // fault soaks exercise this path under LACON_THREADS=1 too.
+    fault::maybe_throw_task_fault();
     fn(0, 0, n);
     return;
   }
-  ThreadPool& pool = global_pool();
-  auto state = std::make_shared<BatchState>();
-  state->fn = fn;
-  state->n = n;
-  state->num_chunks = num_chunks;
+  run_section(n, num_chunks,
+              [&fn](std::size_t c, std::size_t begin, std::size_t end) {
+                fn(c, begin, end);
+                return end - begin;
+              },
+              nullptr);
+}
 
-  const std::size_t helpers =
-      std::min<std::size_t>(pool.workers() - 1, num_chunks - 1);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    pool.submit([state] { drain(state); });
+std::size_t for_chunks_guarded(
+    const guard::Guard& g, std::size_t n, std::size_t num_chunks,
+    const std::function<std::size_t(std::size_t, std::size_t, std::size_t)>&
+        fn) {
+  if (n == 0 || num_chunks == 0) return 0;
+  if (num_chunks == 1) {
+    if (g.tripped()) return 0;
+    try {
+      fault::maybe_throw_task_fault();
+      return fn(0, 0, n);
+    } catch (const fault::InjectedAllocError&) {
+      g.note_memory_exhausted();
+      return 0;
+    }
   }
-  drain(state);
-  // Help with whatever is queued (possibly other sections' chunks) instead
-  // of blocking, so nested parallel sections cannot deadlock the pool.
-  while (state->done.load(std::memory_order_acquire) < num_chunks) {
-    if (!pool.run_one()) std::this_thread::yield();
-  }
-  if (state->failed.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(state->error_mu);
-    std::rethrow_exception(state->error);
-  }
+  return run_section(n, num_chunks, fn, &g);
 }
 
 }  // namespace lacon::runtime::detail

@@ -12,14 +12,26 @@
 // default on single-core hosts — every facade degenerates to the plain
 // serial loop on the calling thread: no tasks, no locks, no divergence from
 // the pre-runtime behaviour.
+//
+// The *_guarded variants accept a guard::Guard and probe it cooperatively
+// at item and chunk boundaries. Truncation preserves the ordered-chunk
+// contract: chunks are claimed in increasing index order and the trip flag
+// is sticky, so the processed region is always a contiguous prefix
+// [0, completed) of the index space — a truncated result never has holes,
+// and its content is canonical for every worker count. (Straggler chunks
+// claimed before the trip may also have run; their indices lie beyond
+// `completed` and their results are discarded by the guarded facades.)
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "runtime/fault.hpp"
+#include "runtime/guard.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace lacon::runtime {
@@ -32,6 +44,17 @@ namespace detail {
 void for_chunks(std::size_t n, std::size_t num_chunks,
                 const std::function<void(std::size_t, std::size_t,
                                          std::size_t)>& fn);
+
+// Guarded variant: fn returns the number of items it processed from
+// [begin, end); chunks claimed after the guard tripped are skipped. Returns
+// the length of the contiguous processed prefix of [0, n). An injected
+// allocation failure (runtime/fault.hpp) inside a chunk trips the guard's
+// state budget instead of propagating; any other exception propagates with
+// first-exception-wins semantics exactly like the unguarded path.
+std::size_t for_chunks_guarded(
+    const guard::Guard& g, std::size_t n, std::size_t num_chunks,
+    const std::function<std::size_t(std::size_t, std::size_t, std::size_t)>&
+        fn);
 
 // The chunk count used for `n` items at the current worker count: enough
 // chunks per worker to smooth uneven per-item cost, but never more chunks
@@ -47,6 +70,9 @@ void parallel_for(std::size_t n, Body&& body) {
   if (n == 0) return;
   const std::size_t chunks = detail::chunk_count(n);
   if (chunks <= 1) {
+    // Serial sections still probe the task-body injection site, so fault
+    // soaks exercise this path under LACON_THREADS=1 too.
+    fault::maybe_throw_task_fault();
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -54,6 +80,36 @@ void parallel_for(std::size_t n, Body&& body) {
       n, chunks,
       [&body](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+// Guarded parallel_for: probes g before every item and returns the length
+// of the processed prefix — every i in [0, returned) was processed exactly
+// once; indices beyond it at most once (parallel stragglers), never with
+// holes below the returned bound. Returns n iff the guard never tripped.
+template <typename Body>
+std::size_t parallel_for_guarded(const guard::Guard& g, std::size_t n,
+                                 Body&& body) {
+  if (g.never_trips()) {
+    parallel_for(n, std::forward<Body>(body));
+    return n;
+  }
+  if (n == 0) return 0;
+  const std::size_t chunks = detail::chunk_count(n);
+  return detail::for_chunks_guarded(
+      g, n, chunks,
+      [&body, &g](std::size_t, std::size_t begin,
+                  std::size_t end) -> std::size_t {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (g.tripped()) return i - begin;
+          try {
+            body(i);
+          } catch (const fault::InjectedAllocError&) {
+            g.note_memory_exhausted();
+            return i - begin;
+          }
+        }
+        return end - begin;
       });
 }
 
@@ -75,6 +131,50 @@ std::vector<R> parallel_map_chunks(std::size_t n, ChunkBody&& chunk_body) {
                        results[c] = chunk_body(begin, end);
                      });
   return results;
+}
+
+// Result of a guarded chunk map: the values of the fully-processed prefix
+// chunks, in chunk order; `completed` counts the items those chunks cover
+// (== n iff the guard never tripped). A chunk whose body only got partway
+// — or that was skipped after the trip — is dropped along with everything
+// after it, so `values` always describes a contiguous prefix of the index
+// space that is canonical for every worker count.
+template <typename R>
+struct PartialChunks {
+  std::vector<R> values;
+  std::size_t completed = 0;
+};
+
+template <typename R, typename ChunkBody>
+PartialChunks<R> parallel_map_chunks_guarded(const guard::Guard& g,
+                                             std::size_t n,
+                                             ChunkBody&& chunk_body) {
+  PartialChunks<R> out;
+  if (g.never_trips()) {
+    out.values = parallel_map_chunks<R>(n, std::forward<ChunkBody>(chunk_body));
+    out.completed = n;
+    return out;
+  }
+  const std::size_t chunks = n == 0 ? 0 : detail::chunk_count(n);
+  if (chunks == 0) return out;
+  std::vector<R> results(chunks);
+  const std::size_t prefix = detail::for_chunks_guarded(
+      g, n, chunks,
+      [&](std::size_t c, std::size_t begin, std::size_t end) -> std::size_t {
+        results[c] = chunk_body(begin, end);
+        return end - begin;
+      });
+  // Chunk bounds are arithmetic (same split as detail::for_chunks), so keep
+  // exactly the chunks whose end lies inside the processed prefix.
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = (c + 1) * base + std::min(c + 1, rem);
+    if (end > prefix) break;
+    out.completed = end;
+    out.values.push_back(std::move(results[c]));
+  }
+  return out;
 }
 
 // Reduces map(i) over [0, n). `init` must be an identity of `reduce` (it

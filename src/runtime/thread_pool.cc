@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -125,13 +127,37 @@ void ThreadPool::worker_loop(std::size_t self) {
   }
 }
 
+namespace {
+
+void warn_threads_once(const char* text, unsigned used) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr, "lacon: ignoring malformed LACON_THREADS='%s', using %u\n",
+               text, used);
+}
+
+}  // namespace
+
 unsigned parse_worker_env(const char* text, unsigned fallback) {
   if (text == nullptr || *text == '\0') return fallback;
-  if (*text < '0' || *text > '9') return fallback;  // strtoul accepts "-3"
+  if (*text < '0' || *text > '9') {  // strtoul accepts "-3" and "  7"
+    warn_threads_once(text, fallback);
+    return fallback;
+  }
   char* end = nullptr;
+  errno = 0;
   const unsigned long value = std::strtoul(text, &end, 10);
-  if (end == text || *end != '\0' || value == 0) return fallback;
-  return static_cast<unsigned>(value > 256 ? 256 : value);
+  if (end == text || *end != '\0' || value == 0 || errno == ERANGE) {
+    warn_threads_once(text, fallback);
+    return fallback;
+  }
+  if (value > 256) {
+    // A plausible-but-absurd count is clamped rather than discarded: the
+    // user clearly asked for "many".
+    warn_threads_once(text, 256);
+    return 256;
+  }
+  return static_cast<unsigned>(value);
 }
 
 unsigned worker_count() {

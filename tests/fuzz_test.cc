@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/reports.hpp"
 #include "engine/explore.hpp"
 #include "engine/spec.hpp"
+#include "relation/similarity.hpp"
 #include "relation/similarity_index.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/guard.hpp"
 #include "util/hash.hpp"
 
 namespace lacon {
@@ -132,6 +136,38 @@ TEST(FuzzInvariants, IndexedSimilarityEqualsNaiveSweep) {
               << model_kind_name(kind) << " seed " << seed << " vertex " << v;
         }
       }
+    }
+  }
+}
+
+// Fault soak: fuzz protocols explored under a seeded fault plan covering
+// every injection site. The guarded pipeline must stay crash-free and
+// every Partial it returns must be well-formed — complete levels only,
+// `completed` consistent with the value — no matter where the plan fires.
+// ci.sh re-runs this under TSan/ASan with LACON_FAULT_SEED /
+// LACON_FAULT_RATE overriding the defaults.
+TEST(FaultSoak, GuardedFuzzExplorationSurvivesInjection) {
+  fault::FaultConfig config{20260805, 0.02};
+  if (const auto env = fault::config_from_env()) config = *env;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const FuzzRule rule(seed);
+    for (ModelKind kind : {ModelKind::kMobile, ModelKind::kSharedMem}) {
+      fault::FaultScope scope(config.seed + seed, config.rate);
+      auto model = make_model(kind, 3, 1, rule);
+      guard::Guard g;
+      g.with_deadline(std::chrono::seconds(60));
+      guard::Partial<std::vector<std::vector<StateId>>> partial =
+          reachable_by_depth(*model, 3, g);
+      EXPECT_EQ(partial.completed,
+                partial.value.empty() ? 0 : partial.value.size() - 1)
+          << model_kind_name(kind) << " fuzz seed " << seed;
+      if (partial.value.empty()) continue;
+      std::vector<StateId> last = partial.value.back();
+      const auto sim = similarity_graph(*model, last, g);
+      EXPECT_EQ(sim.value.size(), last.size());
+      // The guard is sticky: once the exploration tripped, everything
+      // downstream under the same guard must report truncation too.
+      if (!partial.complete()) EXPECT_FALSE(sim.complete());
     }
   }
 }

@@ -1,0 +1,543 @@
+// lacon::guard — budgets, cooperative cancellation, graceful partial
+// results, deterministic fault injection.
+//
+// The load-bearing assertions are the determinism-of-truncation ones: a
+// budget-truncated exploration returns the *same* Partial (same depth, same
+// level contents) under LACON_THREADS=1 and under 4 workers, and a
+// deadline-truncated oversized exploration truncates at the same level
+// boundary in both configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/reports.hpp"
+#include "core/decision_rule.hpp"
+#include "engine/bivalence.hpp"
+#include "engine/explore.hpp"
+#include "engine/valence.hpp"
+#include "relation/graph.hpp"
+#include "relation/similarity.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/guard.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace lacon {
+namespace {
+
+using guard::CancelToken;
+using guard::Guard;
+using guard::Partial;
+using guard::TruncationReason;
+
+// Content-determined rendering of a state (raw ids race across worker
+// counts; the rendered terms do not) — mirrors runtime_test.cc.
+std::string state_fingerprint(LayeredModel& model, StateId x) {
+  const GlobalState& s = model.state(x);
+  std::string out = "env[" + model.env_to_string(x);
+  out += "] views[";
+  for (ViewId v : s.locals) out += model.views().to_string(v) + ";";
+  out += "] d[";
+  for (Value d : s.decisions) out += std::to_string(d) + ",";
+  return out + "]";
+}
+
+std::vector<std::vector<std::string>> level_fingerprints(
+    LayeredModel& model, const std::vector<std::vector<StateId>>& levels) {
+  std::vector<std::vector<std::string>> out;
+  for (const auto& level : levels) {
+    std::vector<std::string> prints;
+    for (StateId x : level) prints.push_back(state_fingerprint(model, x));
+    std::sort(prints.begin(), prints.end());
+    out.push_back(std::move(prints));
+  }
+  return out;
+}
+
+TEST(TruncationReasonTest, ToStringCoversEveryReason) {
+  EXPECT_STREQ("none", guard::to_string(TruncationReason::kNone));
+  EXPECT_STREQ("deadline", guard::to_string(TruncationReason::kDeadline));
+  EXPECT_STREQ("state_budget",
+               guard::to_string(TruncationReason::kStateBudget));
+  EXPECT_STREQ("cancelled", guard::to_string(TruncationReason::kCancelled));
+}
+
+TEST(GuardTest, DefaultGuardNeverTripsWithoutLimitsOrFaults) {
+  Guard g;
+  EXPECT_FALSE(g.never_trips());  // live, just unlimited
+  EXPECT_FALSE(g.tripped());
+  EXPECT_EQ(TruncationReason::kNone, g.check(1'000'000, 1'000'000'000));
+}
+
+TEST(GuardTest, InertGuardIgnoresEverything) {
+  const Guard& g = Guard::none();
+  EXPECT_TRUE(g.never_trips());
+  EXPECT_FALSE(g.tripped());
+  g.note_memory_exhausted();  // no-op by contract
+  EXPECT_EQ(TruncationReason::kNone, g.reason());
+}
+
+TEST(GuardTest, StateBudgetTripsAndIsSticky) {
+  Guard g;
+  g.with_state_budget(100);
+  EXPECT_EQ(TruncationReason::kNone, g.check(100));  // at the budget: fine
+  EXPECT_EQ(TruncationReason::kStateBudget, g.check(101));
+  // Sticky: later in-budget checks still report the recorded trip.
+  EXPECT_EQ(TruncationReason::kStateBudget, g.check(5));
+  EXPECT_TRUE(g.tripped());
+}
+
+TEST(GuardTest, MemoryBudgetTrips) {
+  Guard g;
+  g.with_memory_budget(1 << 20);
+  EXPECT_EQ(TruncationReason::kNone, g.check(0, 1 << 20));
+  EXPECT_EQ(TruncationReason::kStateBudget, g.check(0, (1 << 20) + 1));
+}
+
+TEST(GuardTest, DeadlineTrips) {
+  Guard g;
+  g.with_deadline(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(g.tripped());
+  EXPECT_EQ(TruncationReason::kDeadline, g.reason());
+}
+
+TEST(GuardTest, CancelTokenSharedAcrossCopies) {
+  CancelToken token;
+  Guard g;
+  g.with_token(token);
+  EXPECT_FALSE(g.tripped());
+  CancelToken copy = token;  // copies observe the same flag
+  copy.cancel();
+  EXPECT_TRUE(g.tripped());
+  EXPECT_EQ(TruncationReason::kCancelled, g.reason());
+}
+
+TEST(GuardTest, FirstTripWinsOverLaterReasons) {
+  CancelToken token;
+  Guard g;
+  g.with_token(token).with_state_budget(10);
+  token.cancel();
+  EXPECT_TRUE(g.tripped());
+  EXPECT_EQ(TruncationReason::kCancelled, g.check(1000));  // sticky reason
+}
+
+TEST(GuardSpecTest, ScopedGuardMaterializesSpec) {
+  guard::GuardSpec unlimited;
+  EXPECT_FALSE(unlimited.limited());
+  guard::ScopedGuard inert(unlimited);
+  EXPECT_TRUE(inert.get().never_trips());
+
+  guard::GuardSpec spec;
+  spec.max_states = 7;
+  EXPECT_TRUE(spec.limited());
+  guard::ScopedGuard scoped(spec);
+  EXPECT_FALSE(scoped.get().never_trips());
+  EXPECT_EQ(TruncationReason::kStateBudget, scoped.get().check(8));
+}
+
+TEST(PartialTest, CompleteIffNoTruncation) {
+  Partial<int> p;
+  EXPECT_TRUE(p.complete());
+  p.truncation = TruncationReason::kDeadline;
+  EXPECT_FALSE(p.complete());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault plans.
+
+TEST(FaultPlanTest, FiringScheduleIsAFunctionOfSeedSiteAndProbeIndex) {
+  fault::FaultPlan a(20260805, 0.5);
+  fault::FaultPlan b(20260805, 0.5);
+  std::vector<bool> fires_a, fires_b;
+  for (int k = 0; k < 64; ++k) {
+    fires_a.push_back(a.fire(fault::Site::kTaskBody));
+    fires_b.push_back(b.fire(fault::Site::kTaskBody));
+  }
+  EXPECT_EQ(fires_a, fires_b);
+  EXPECT_GT(a.fired(fault::Site::kTaskBody), 0u);  // rate 0.5 over 64 draws
+  EXPECT_LT(a.fired(fault::Site::kTaskBody), 64u);
+  EXPECT_EQ(64u, a.probes(fault::Site::kTaskBody));
+  // Different seed, different schedule (overwhelmingly likely over 64 draws).
+  fault::FaultPlan c(777, 0.5);
+  std::vector<bool> fires_c;
+  for (int k = 0; k < 64; ++k) fires_c.push_back(c.fire(fault::Site::kTaskBody));
+  EXPECT_NE(fires_a, fires_c);
+}
+
+TEST(FaultPlanTest, SiteMaskRestrictsFiring) {
+  fault::FaultPlan plan(1, 1.0,
+                        1u << static_cast<unsigned>(fault::Site::kTaskBody));
+  EXPECT_TRUE(plan.fire(fault::Site::kTaskBody));
+  EXPECT_FALSE(plan.fire(fault::Site::kArenaAlloc));
+  EXPECT_FALSE(plan.fire(fault::Site::kGuardBudget));
+}
+
+TEST(FaultPlanTest, RateZeroNeverFiresRateOneAlwaysFires) {
+  fault::FaultPlan never(9, 0.0);
+  fault::FaultPlan always(9, 1.0);
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_FALSE(never.fire(fault::Site::kGuardBudget));
+    EXPECT_TRUE(always.fire(fault::Site::kGuardBudget));
+  }
+}
+
+TEST(FaultConfigTest, EnvParsingRejectsGarbage) {
+  setenv("LACON_FAULT_SEED", "not-a-number", 1);
+  EXPECT_FALSE(fault::config_from_env().has_value());
+  setenv("LACON_FAULT_SEED", "123", 1);
+  setenv("LACON_FAULT_RATE", "0.25", 1);
+  const auto config = fault::config_from_env();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(123u, config->seed);
+  EXPECT_DOUBLE_EQ(0.25, config->rate);
+  setenv("LACON_FAULT_RATE", "2.5", 1);  // out of [0,1]: default rate
+  const auto fallback = fault::config_from_env();
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_DOUBLE_EQ(0.01, fallback->rate);
+  setenv("LACON_FAULT_RATE", "0", 1);  // explicit zero: injection off
+  EXPECT_FALSE(fault::config_from_env().has_value());
+  unsetenv("LACON_FAULT_SEED");
+  unsetenv("LACON_FAULT_RATE");
+}
+
+TEST(FaultScopeTest, InstallsAndRemovesPlan) {
+  EXPECT_EQ(nullptr, fault::active_plan());
+  {
+    fault::FaultScope scope(42, 1.0);
+    EXPECT_EQ(&scope.plan(), fault::active_plan());
+    EXPECT_TRUE(fault::fire(fault::Site::kTaskBody));
+  }
+  EXPECT_EQ(nullptr, fault::active_plan());
+  EXPECT_FALSE(fault::fire(fault::Site::kTaskBody));  // off when no plan
+}
+
+// ---------------------------------------------------------------------------
+// Guarded engine layers.
+
+// Oversized on purpose: the asynchronous message-passing layering at n = 8
+// has |Con_0| = 256 and hundreds of thousands of actions per layer, far
+// beyond a 100 ms budget. The exploration must return a Partial that holds
+// exactly the complete levels — identically under 1 and 4 workers.
+TEST(GuardedExploreTest, OversizedDeadlineTruncatesIdenticallyAcrossWorkers) {
+  struct Run {
+    std::vector<std::vector<std::string>> levels;
+    std::size_t completed;
+    TruncationReason reason;
+  };
+  const auto run_with_workers = [](unsigned workers) {
+    runtime::WorkerCountOverride scoped_workers(workers);
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kMsgPass, 8, 1, *rule);
+    Guard g;
+    g.with_deadline(std::chrono::milliseconds(100));
+    const auto partial = reachable_by_depth(*model, 6, g);
+    return Run{level_fingerprints(*model, partial.value), partial.completed,
+               partial.truncation};
+  };
+  const Run serial = run_with_workers(1);
+  const Run parallel = run_with_workers(4);
+  EXPECT_EQ(TruncationReason::kDeadline, serial.reason);
+  EXPECT_EQ(TruncationReason::kDeadline, parallel.reason);
+  EXPECT_EQ(serial.completed, parallel.completed);
+  EXPECT_EQ(serial.levels, parallel.levels);
+  // 100 ms cannot finish even one n=8 message-passing layer.
+  EXPECT_EQ(0u, serial.completed);
+  ASSERT_EQ(1u, serial.levels.size());
+  EXPECT_EQ(256u, serial.levels[0].size());
+}
+
+// The state budget is evaluated only at depth boundaries, where the arena
+// population is scheduling-independent: the truncation depth and every
+// returned level must match exactly across worker counts.
+TEST(GuardedExploreTest, StateBudgetTruncatesDeterministicallyAcrossWorkers) {
+  struct Run {
+    std::vector<std::vector<std::string>> levels;
+    std::size_t completed;
+    TruncationReason reason;
+  };
+  const auto run_with_workers = [](unsigned workers) {
+    runtime::WorkerCountOverride scoped_workers(workers);
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kMobile, 4, 1, *rule);
+    Guard g;
+    g.with_state_budget(50);
+    const auto partial = reachable_by_depth(*model, 5, g);
+    return Run{level_fingerprints(*model, partial.value), partial.completed,
+               partial.truncation};
+  };
+  const Run serial = run_with_workers(1);
+  const Run parallel = run_with_workers(4);
+  EXPECT_EQ(TruncationReason::kStateBudget, serial.reason);
+  EXPECT_EQ(serial.reason, parallel.reason);
+  EXPECT_EQ(serial.completed, parallel.completed);
+  EXPECT_EQ(serial.levels, parallel.levels);
+  EXPECT_GE(serial.completed, 1u);  // |Con_0| = 16 <= 50: depth 1 happens
+}
+
+TEST(GuardedExploreTest, GenerousGuardMatchesUnguardedResult) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const auto unguarded = reachable_by_depth(*model, 3);
+
+  auto model2 = make_model(ModelKind::kMobile, 3, 1, *rule);
+  Guard g;
+  g.with_deadline(std::chrono::minutes(10)).with_state_budget(1u << 30);
+  const auto partial = reachable_by_depth(*model2, 3, g);
+  EXPECT_TRUE(partial.complete());
+  EXPECT_EQ(TruncationReason::kNone, partial.truncation);
+  EXPECT_EQ(unguarded.size(), partial.value.size());
+  EXPECT_EQ(partial.completed, partial.value.size() - 1);
+  EXPECT_EQ(level_fingerprints(*model, unguarded),
+            level_fingerprints(*model2, partial.value));
+}
+
+TEST(GuardedExploreTest, PreCancelledTokenReturnsOnlyInitialLevel) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  CancelToken token;
+  token.cancel();
+  Guard g;
+  g.with_token(token);
+  const auto partial = reachable_by_depth(*model, 4, g);
+  EXPECT_EQ(TruncationReason::kCancelled, partial.truncation);
+  EXPECT_EQ(0u, partial.completed);
+  ASSERT_EQ(1u, partial.value.size());
+  EXPECT_EQ(model->initial_states().size(), partial.value[0].size());
+}
+
+TEST(GuardedExploreTest, MidRunCancellationStopsAnOversizedExploration) {
+  auto rule = min_after_round(3);
+  auto model = make_model(ModelKind::kMsgPass, 7, 1, *rule);
+  CancelToken token;
+  Guard g;
+  g.with_token(token);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel();
+  });
+  // n = 7 message passing is hours of work; cancellation must stop it.
+  const auto partial = reachable_by_depth(*model, 6, g);
+  canceller.join();
+  EXPECT_EQ(TruncationReason::kCancelled, partial.truncation);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_GE(partial.value.size(), 1u);
+}
+
+TEST(GuardedClassifyTest, TruncatedClassificationIsAValidPrefix) {
+  runtime::WorkerCountOverride scoped_workers(1);  // deterministic probes
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const auto& con0 = model->initial_states();
+
+  ValenceEngine reference(*model, 3);
+  const std::vector<ValenceInfo> full = reference.classify_all(con0);
+  ASSERT_EQ(con0.size(), full.size());
+
+  // kGuardBudget at rate 0.5: the guard trips at a deterministic probe
+  // index, somewhere inside the classification.
+  ValenceEngine engine(*model, 3);
+  fault::FaultScope scope(
+      20260805, 0.5,
+      1u << static_cast<unsigned>(fault::Site::kGuardBudget));
+  Guard g;
+  const auto partial = engine.classify_all(con0, g);
+  EXPECT_EQ(TruncationReason::kStateBudget, partial.truncation);
+  EXPECT_EQ(partial.completed, partial.value.size());
+  EXPECT_LT(partial.completed, con0.size());
+  for (std::size_t i = 0; i < partial.completed; ++i) {
+    EXPECT_TRUE(partial.value[i].same_set(full[i])) << "index " << i;
+  }
+}
+
+TEST(GuardedBivalenceTest, CancelledRunReportsTruncation) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  ValenceEngine engine(*model, 3);
+  CancelToken token;
+  token.cancel();
+  Guard g;
+  g.with_token(token);
+  const BivalentRunResult result = extend_bivalent_run(engine, 3, g);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(TruncationReason::kCancelled, result.truncation);
+  EXPECT_LE(result.run.size(), 1u);
+}
+
+TEST(GuardedBivalenceTest, GenerousGuardCompletes) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  ValenceEngine engine(*model, 3);
+  Guard g;
+  g.with_state_budget(1u << 30);
+  const BivalentRunResult result = extend_bivalent_run(engine, 3, g);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(TruncationReason::kNone, result.truncation);
+  EXPECT_EQ(4u, result.run.size());
+}
+
+// ---------------------------------------------------------------------------
+// Guarded relation layer.
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(GuardedDiameterTest, CompleteRunMatchesPlainDiameter) {
+  const Graph g = path_graph(32);
+  Guard guard;
+  guard.with_state_budget(1u << 30);
+  const auto partial = g.diameter(guard);
+  EXPECT_TRUE(partial.complete());
+  EXPECT_EQ(32u, partial.completed);
+  ASSERT_TRUE(partial.value.has_value());
+  EXPECT_EQ(31u, *partial.value);
+}
+
+TEST(GuardedDiameterTest, PreTrippedGuardYieldsNoBound) {
+  const Graph g = path_graph(16);
+  CancelToken token;
+  token.cancel();
+  Guard guard;
+  guard.with_token(token);
+  const auto partial = g.diameter(guard);
+  EXPECT_EQ(TruncationReason::kCancelled, partial.truncation);
+  EXPECT_EQ(0u, partial.completed);
+  EXPECT_FALSE(partial.value.has_value());
+}
+
+TEST(GuardedDiameterTest, DisconnectionEvidenceIsConclusive) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);  // two components
+  Guard guard;
+  guard.with_state_budget(1u << 30);
+  const auto partial = g.diameter(guard);
+  EXPECT_TRUE(partial.complete());
+  EXPECT_FALSE(partial.value.has_value());
+}
+
+TEST(GuardedSimilarityTest, GenerousGuardMatchesUnguardedGraph) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const auto& con0 = model->initial_states();
+  const Graph plain = similarity_graph(*model, con0);
+
+  Guard g;
+  g.with_state_budget(1u << 30);
+  const auto partial = similarity_graph(*model, con0, g);
+  EXPECT_TRUE(partial.complete());
+  EXPECT_EQ(plain.size(), partial.value.size());
+  EXPECT_EQ(plain.edge_count(), partial.value.edge_count());
+
+  const auto diam = s_diameter(*model, con0, g);
+  EXPECT_TRUE(diam.complete());
+  EXPECT_EQ(s_diameter(*model, con0), diam.value);
+}
+
+TEST(GuardedSimilarityTest, PreTrippedGuardYieldsEmptyPartial) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  const auto& con0 = model->initial_states();
+  CancelToken token;
+  token.cancel();
+  Guard g;
+  g.with_token(token);
+  const auto partial = similarity_graph(*model, con0, g);
+  EXPECT_EQ(TruncationReason::kCancelled, partial.truncation);
+  EXPECT_EQ(0u, partial.completed);
+  EXPECT_EQ(0u, partial.value.edge_count());
+}
+
+// ---------------------------------------------------------------------------
+// Fault sites: every TruncationReason is reachable through injection.
+
+TEST(FaultSiteTest, GuardBudgetFaultTruncatesAsStateBudget) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  fault::FaultScope scope(
+      7, 1.0, 1u << static_cast<unsigned>(fault::Site::kGuardBudget));
+  Guard g;
+  const auto partial = reachable_by_depth(*model, 3, g);
+  EXPECT_EQ(TruncationReason::kStateBudget, partial.truncation);
+  EXPECT_EQ(0u, partial.completed);
+}
+
+TEST(FaultSiteTest, ArenaAllocFaultDegradesToStateBudgetUnderGuard) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  fault::FaultScope scope(
+      7, 1.0, 1u << static_cast<unsigned>(fault::Site::kArenaAlloc));
+  Guard g;
+  // Every intern throws InjectedAllocError; the guarded exploration turns
+  // the very first one (inside initial_states) into a budget truncation.
+  const auto partial = reachable_by_depth(*model, 3, g);
+  EXPECT_EQ(TruncationReason::kStateBudget, partial.truncation);
+  EXPECT_EQ(0u, partial.completed);
+  EXPECT_TRUE(partial.value.empty());
+}
+
+TEST(FaultSiteTest, ArenaAllocFaultPropagatesWithoutGuard) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  fault::FaultScope scope(
+      7, 1.0, 1u << static_cast<unsigned>(fault::Site::kArenaAlloc));
+  EXPECT_THROW(model->initial_states(), fault::InjectedAllocError);
+}
+
+TEST(FaultSiteTest, TaskBodyFaultPropagatesAndPoolStaysUsable) {
+  runtime::WorkerCountOverride scoped_workers(4);
+  {
+    fault::FaultScope scope(
+        7, 1.0, 1u << static_cast<unsigned>(fault::Site::kTaskBody));
+    EXPECT_THROW(
+        runtime::parallel_for(1000, [](std::size_t) {}),
+        fault::InjectedFault);
+  }
+  // The pool survives the injected failure and runs the next section.
+  std::atomic<std::size_t> count{0};
+  runtime::parallel_for(1000, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(1000u, count.load());
+}
+
+// Soak: a seeded plan over all sites at a moderate rate, driving a full
+// analysis pipeline. Asserts crash-freedom and well-formed partials, not
+// specific values — ci.sh re-runs this under TSan/ASan with
+// LACON_FAULT_SEED/LACON_FAULT_RATE overriding the defaults.
+TEST(FaultSoak, GuardedPipelineSurvivesSeededInjection) {
+  fault::FaultConfig config{20260805, 0.02};
+  if (const auto env = fault::config_from_env()) config = *env;
+  for (unsigned workers : {1u, 4u}) {
+    runtime::WorkerCountOverride scoped_workers(workers);
+    fault::FaultScope scope(config.seed + workers, config.rate);
+    auto rule = min_after_round(2);
+    auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+    Guard g;
+    g.with_deadline(std::chrono::seconds(60));
+    const auto partial = reachable_by_depth(*model, 3, g);
+    EXPECT_EQ(partial.completed,
+              partial.value.empty() ? 0 : partial.value.size() - 1);
+    if (!partial.value.empty()) {
+      ValenceEngine engine(*model, 2);
+      std::vector<StateId> flat;
+      for (const auto& level : partial.value) {
+        flat.insert(flat.end(), level.begin(), level.end());
+      }
+      const auto classified = engine.classify_all(flat, g);
+      EXPECT_EQ(classified.value.size(), classified.completed);
+      EXPECT_LE(classified.completed, flat.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lacon

@@ -20,6 +20,7 @@
 #include "engine/explore.hpp"
 #include "engine/valence.hpp"
 #include "relation/similarity.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stable_vector.hpp"
 #include "runtime/stats.hpp"
@@ -46,6 +47,12 @@ TEST(ParseWorkerEnv, FallsBackOnGarbage) {
 
 TEST(ParseWorkerEnv, ClampsToSaneMaximum) {
   EXPECT_EQ(runtime::parse_worker_env("100000", 8), 256u);
+}
+
+TEST(ParseWorkerEnv, FallsBackOnOverflow) {
+  // 2^64: strtoul saturates with ERANGE; must fall back, not clamp.
+  EXPECT_EQ(runtime::parse_worker_env("18446744073709551616", 8), 8u);
+  EXPECT_EQ(runtime::parse_worker_env("999999999999999999999999", 8), 8u);
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask) {
@@ -98,6 +105,94 @@ TEST(ParallelFor, PropagatesExceptions) {
                               if (i == 513) throw std::runtime_error("boom");
                             }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPropagatesExactlyTheFirstException) {
+  // With one worker the chunks run inline in index order, so the exception
+  // that escapes is exactly the lowest-index one.
+  WorkerCountOverride workers(1);
+  try {
+    runtime::parallel_for(1000, [](std::size_t i) {
+      if (i == 200) throw std::runtime_error("early");
+      if (i == 700) throw std::runtime_error("late");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ("early", e.what());
+  }
+}
+
+TEST(ParallelFor, MultiWorkerPropagatesOneOfTheThrown) {
+  // Across workers "first" races, but the escaping exception must be one of
+  // the ones actually thrown — never terminate(), never a different type.
+  WorkerCountOverride workers(4);
+  try {
+    runtime::parallel_for(1000, [](std::size_t i) {
+      if (i % 250 == 249) throw std::runtime_error("boom@" + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(0, std::string(e.what()).rfind("boom@", 0));
+  }
+}
+
+TEST(ParallelFor, PoolStaysUsableAfterThrow) {
+  for (unsigned workers : {1u, 4u}) {
+    WorkerCountOverride scoped(workers);
+    EXPECT_THROW(runtime::parallel_for(
+                     500, [](std::size_t i) {
+                       if (i == 100) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error)
+        << "workers=" << workers;
+    std::atomic<std::size_t> count{0};
+    runtime::parallel_for(500, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(500u, count.load()) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelReduce, PropagatesExceptionsAndPoolStaysUsable) {
+  for (unsigned workers : {1u, 4u}) {
+    WorkerCountOverride scoped(workers);
+    EXPECT_THROW(runtime::parallel_reduce<int>(
+                     300, 0,
+                     [](std::size_t i) -> int {
+                       if (i == 37) throw std::runtime_error("boom");
+                       return 1;
+                     },
+                     [](int a, int b) { return a + b; }),
+                 std::runtime_error)
+        << "workers=" << workers;
+    const int sum = runtime::parallel_reduce<int>(
+        300, 0, [](std::size_t) { return 1; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(300, sum) << "workers=" << workers;
+  }
+}
+
+TEST(FaultSoak, InjectedTaskFaultPropagatesAndPoolRecovers) {
+  fault::FaultConfig config{20260805, 1.0};
+  if (const auto env = fault::config_from_env()) {
+    config.seed = env->seed;  // rate stays 1.0: the throw must happen
+  }
+  for (unsigned workers : {1u, 4u}) {
+    WorkerCountOverride scoped(workers);
+    {
+      fault::FaultScope scope(
+          config.seed, 1.0,
+          1u << static_cast<unsigned>(fault::Site::kTaskBody));
+      EXPECT_THROW(runtime::parallel_for(400, [](std::size_t) {}),
+                   fault::InjectedFault)
+          << "workers=" << workers;
+    }
+    std::atomic<std::size_t> count{0};
+    runtime::parallel_for(400, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(400u, count.load()) << "workers=" << workers;
+  }
 }
 
 TEST(ParallelMapChunks, MergesInChunkOrder) {
