@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a google-benchmark JSON against a committed
+baseline and fail on real_time regressions beyond a threshold.
+
+Usage:
+    bench/compare_baseline.py BASELINE.json CURRENT.json \
+        [--max-regression 0.25] [--floor-ms 1.0]
+
+Only benchmarks present in BOTH files are compared (renames and newly added
+benchmarks never fail the gate, but an empty intersection does — that means
+the baseline is stale and must be regenerated). Aggregate rows (mean/median/
+stddev) are skipped. Entries whose baseline and current real_time both sit
+under --floor-ms are skipped too: at smoke budgets the sub-floor rows are
+dominated by scheduler noise, not code, and a 25%% swing there is
+meaningless. The floor is deliberately small next to the arena benches
+(~5-40 ms) it guards.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_times_ms(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row["name"]
+        times[name] = row["real_time"] * _UNIT_TO_MS[row.get("time_unit", "ns")]
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="fail when current > baseline * (1 + this)")
+    ap.add_argument("--floor-ms", type=float, default=1.0,
+                    help="skip rows where both times are under this")
+    args = ap.parse_args()
+
+    base = load_times_ms(args.baseline)
+    cur = load_times_ms(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print(f"error: no shared benchmark names between {args.baseline} "
+              f"and {args.current} — regenerate the baseline", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b < args.floor_ms and c < args.floor_ms:
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        marker = "REGRESSION" if ratio > 1.0 + args.max_regression else "ok"
+        print(f"{marker:>10}  {name}: {b:.3f} ms -> {c:.3f} ms "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if marker == "REGRESSION":
+            failures.append(name)
+    skipped = [n for n in sorted(set(cur) - set(base))]
+    if skipped:
+        print(f"note: {len(skipped)} benchmark(s) not in baseline (skipped): "
+              + ", ".join(skipped))
+
+    if failures:
+        print(f"FAIL: {len(failures)}/{len(shared)} benchmark(s) regressed "
+              f">{args.max_regression * 100:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {len(shared)} benchmark(s) within "
+          f"{args.max_regression * 100:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,18 @@ run_config() {
       exit 1
     fi
     ls bench_results/BENCH_*.json >/dev/null
+    # Regression gate on the runtime-path experiments (t9: parallel runtime,
+    # t10: arena intern contention): >25% real_time regression vs the
+    # committed bench/baseline/ fails CI. Regenerate the baseline with the
+    # same smoke budget when a PR intentionally moves performance. The gated
+    # JSONs are also copied to the repo top level as CI artifacts.
+    echo "=== [$name] bench regression gate (t9+t10 vs bench/baseline/)"
+    for tag in t9_runtime t10_arena; do
+      python3 bench/compare_baseline.py \
+        "bench/baseline/BENCH_$tag.json" "bench_results/BENCH_$tag.json" \
+        --max-regression 0.25
+      cp "bench_results/BENCH_$tag.json" "BENCH_$tag.json"
+    done
   fi
 }
 

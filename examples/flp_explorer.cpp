@@ -44,7 +44,7 @@ ModelKind make_kind(const std::string& name) {
 
 void describe_state(LayeredModel& model, StateId x, int layer_index) {
   std::printf("  layer %d: state %u  decisions [", layer_index, x);
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   for (ProcessId i = 0; i < model.n(); ++i) {
     const Value d = s.decisions[static_cast<std::size_t>(i)];
     std::printf("%s%s", i ? " " : "", d == kUndecided ? "-" : std::to_string(d).c_str());

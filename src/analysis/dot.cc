@@ -1,16 +1,16 @@
 #include "analysis/dot.hpp"
 
 #include <sstream>
-#include <unordered_set>
 
 #include "relation/similarity.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 namespace {
 
 std::string state_label(LayeredModel& model, StateId x) {
   std::string label = "s" + std::to_string(x) + "\\nd=[";
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   for (ProcessId i = 0; i < model.n(); ++i) {
     const Value d = s.decisions[static_cast<std::size_t>(i)];
     label += (d == kUndecided) ? "-" : std::to_string(d);
@@ -61,14 +61,15 @@ std::string run_tree_dot(LayeredModel& model, StateId root, int depth,
                          ValenceEngine* engine) {
   std::ostringstream out;
   out << "digraph runs {\n  node [shape=box, fontsize=10];\n";
-  std::unordered_set<StateId> seen = {root};
+  DenseBitset seen(model.num_states());
+  seen.insert(root);
   std::vector<StateId> frontier = {root};
   emit_node(out, model, root, engine);
   for (int d = 0; d < depth && !frontier.empty(); ++d) {
     std::vector<StateId> next;
     for (StateId x : frontier) {
       for (StateId y : model.layer(x)) {
-        if (seen.insert(y).second) {
+        if (seen.insert(y)) {
           emit_node(out, model, y, engine);
           next.push_back(y);
         }

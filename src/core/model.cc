@@ -78,7 +78,7 @@ ProcessSet LayeredModel::failed_at(StateId) const { return {}; }
 
 std::uint64_t LayeredModel::similarity_fingerprint(StateId x,
                                                    ProcessId j) const {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   std::uint64_t h = hash_range(s.env, 0x73696d666970ULL);  // "simfip"
   for (ProcessId i = 0; i < n_; ++i) {
     if (i == j) continue;
@@ -90,7 +90,7 @@ std::uint64_t LayeredModel::similarity_fingerprint(StateId x,
 }
 
 std::string LayeredModel::env_to_string(StateId x) const {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   std::string out;
   for (std::int64_t w : s.env) {
     out += std::to_string(w);

@@ -64,7 +64,7 @@ class LayeredModel {
   // failures in the environment state.
   virtual ProcessSet failed_at(StateId x) const;
 
-  const GlobalState& state(StateId id) const { return arena_.state(id); }
+  StateRef state(StateId id) const noexcept { return arena_.state(id); }
   ViewArena& views() noexcept { return views_; }
   const ViewArena& views() const noexcept { return views_; }
   const DecisionRule& rule() const noexcept { return *rule_; }
@@ -123,7 +123,7 @@ class LayeredModel {
   Value updated_decision(ProcessId i, Value current, ViewId new_view);
 
  private:
-  static constexpr std::size_t kLayerShards = 16;
+  static constexpr std::size_t kLayerShards = 64;
   struct LayerShard {
     std::mutex mu;
     std::unordered_map<StateId, std::vector<StateId>> map;

@@ -1,26 +1,69 @@
 #include "core/state.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "runtime/fault.hpp"
+#include "runtime/stats.hpp"
 
 namespace lacon {
 
 namespace {
 
-// Estimated heap cost of one interned state: the node itself, its vector
-// payloads, and a flat allowance for the index entry + allocator overhead.
-std::size_t state_footprint(const GlobalState& s) noexcept {
-  return sizeof(GlobalState) + s.env.capacity() * sizeof(std::int64_t) +
-         s.locals.capacity() * sizeof(ViewId) +
-         s.decisions.capacity() * sizeof(Value) + 64;
+// Deterministic per-state byte estimate: header + flat payload + a flat
+// allowance for the shard-index entry. A pure function of the state's
+// content — never of pool occupancy or vector capacities — so the guard's
+// memory budget reads the same total at a depth boundary for every worker
+// count (chunk-tail waste in the pool varies with scheduling and is
+// deliberately not counted).
+std::size_t state_footprint(std::size_t env_len, std::size_t n) noexcept {
+  const std::size_t words = env_len + 2 * ((n + 1) / 2);
+  return 16 /* header */ + words * sizeof(std::int64_t) + 48 /* index */;
+}
+
+std::size_t parse_shard_env() noexcept {
+  constexpr std::size_t kDefault = 64;
+  const char* raw = std::getenv("LACON_ARENA_SHARDS");
+  if (raw == nullptr || *raw == '\0') return kDefault;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (errno == ERANGE || end == raw || *end != '\0' || v < 1 || v > 1024) {
+    std::fprintf(stderr,
+                 "lacon: ignoring malformed LACON_ARENA_SHARDS=%s "
+                 "(want an integer in [1, 1024]); using %zu\n",
+                 raw, kDefault);
+    return kDefault;
+  }
+  // Round up to a power of two so shard_for can mask.
+  std::size_t shards = 1;
+  while (shards < static_cast<std::size_t>(v)) shards *= 2;
+  return shards;
 }
 
 }  // namespace
 
-bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
+std::size_t arena_shard_count() noexcept {
+  static const std::size_t shards = parse_shard_env();
+  return shards;
+}
+
+bool operator==(const StateRef& a, const StateRef& b) noexcept {
+  return std::equal(a.env.begin(), a.env.end(), b.env.begin(), b.env.end()) &&
+         std::equal(a.locals.begin(), a.locals.end(), b.locals.begin(),
+                    b.locals.end()) &&
+         std::equal(a.decisions.begin(), a.decisions.end(),
+                    b.decisions.begin(), b.decisions.end());
+}
+
+bool agree_modulo(const StateRef& x, const StateRef& y, ProcessId j) {
   assert(x.locals.size() == y.locals.size());
-  if (x.env != y.env) return false;
+  if (!std::equal(x.env.begin(), x.env.end(), y.env.begin(), y.env.end())) {
+    return false;
+  }
   const int n = static_cast<int>(x.locals.size());
   for (ProcessId i = 0; i < n; ++i) {
     if (i == j) continue;
@@ -31,16 +74,62 @@ bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j) {
   return true;
 }
 
+StateArena::StateArena()
+    : shard_mask_(arena_shard_count() - 1),
+      shards_(std::make_unique<Shard[]>(arena_shard_count())),
+      hits_(&runtime::Stats::global().counter("arena.state_hits")),
+      misses_(&runtime::Stats::global().counter("arena.state_misses")),
+      shard_waits_(
+          &runtime::Stats::global().counter("arena.state_shard_waits")) {}
+
 StateId StateArena::intern(GlobalState s) {
   fault::maybe_throw_alloc_fault();
-  const std::uint64_t h = content_hash(s);  // once, outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(Key{h, &s});
-  if (it != index_.end()) return it->second;
-  approx_bytes_.fetch_add(state_footprint(s), std::memory_order_relaxed);
-  const auto idx = states_.push_back(std::move(s));
-  const StateId id = static_cast<StateId>(idx);
-  index_.emplace(Key{h, &states_[idx]}, id);
+  assert(s.decisions.size() == s.locals.size() &&
+         "GlobalState carries one decision slot per process");
+  const StateRef candidate(s);
+  const std::uint64_t h = content_hash(candidate);  // once, outside the lock
+  Shard& sh = shard_for(h);
+  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard_waits_->increment();  // contended: another intern holds this shard
+    lock.lock();
+  }
+  auto [lo, hi] = sh.index.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (state(it->second) == candidate) {
+      hits_->increment();
+      return it->second;
+    }
+  }
+  // Miss: copy the payload into the pool, claim a dense id, publish the
+  // header, then index it. Only the index insert needs the shard lock for
+  // correctness, but holding it across the copy also serialises racing
+  // equal-content interns (same hash -> same shard), so they agree on one id.
+  const std::size_t n = s.locals.size();
+  const std::size_t lanes = lane_words(n);
+  const std::size_t words = s.env.size() + 2 * lanes;
+  Header hd;
+  hd.env_len = static_cast<std::uint32_t>(s.env.size());
+  hd.n = static_cast<std::uint32_t>(n);
+  if (words != 0) {
+    hd.offset = pool_.alloc(words);
+    std::int64_t* base = pool_.mutable_data(hd.offset);
+    std::copy(s.env.begin(), s.env.end(), base);
+    std::int64_t* lanes_base = base + s.env.size();
+    if (n % 2 != 0) {  // zero the padding halves of odd-count 32-bit lanes
+      lanes_base[lanes - 1] = 0;
+      lanes_base[2 * lanes - 1] = 0;
+    }
+    std::memcpy(lanes_base, s.locals.data(), n * sizeof(ViewId));
+    std::memcpy(lanes_base + lanes, s.decisions.data(), n * sizeof(Value));
+  }
+  const StateId id =
+      static_cast<StateId>(next_id_.fetch_add(1, std::memory_order_acq_rel));
+  headers_.slot(static_cast<std::size_t>(id)) = hd;
+  approx_bytes_.fetch_add(state_footprint(s.env.size(), n),
+                          std::memory_order_relaxed);
+  sh.index.emplace(h, id);
+  misses_->increment();
   return id;
 }
 

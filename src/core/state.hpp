@@ -5,17 +5,31 @@
 // models a process local state is its interned view plus its write-once
 // decision variable d_i; the environment's local state is a model-specific
 // vector of words (register contents, in-transit messages, failed set, ...).
+//
+// Storage is flat: the arena keeps one contiguous word pool and stores each
+// interned state as a single (offset, len) region — env words first, then
+// the locals and decisions packed as 32-bit lanes. Readers see a StateRef of
+// spans into the pool; GlobalState (three vectors) remains the construction
+// type handed to intern().
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
 #include "runtime/stable_vector.hpp"
+#include "runtime/word_pool.hpp"
 #include "util/hash.hpp"
+
+namespace lacon::runtime {
+class Counter;
+}  // namespace lacon::runtime
 
 namespace lacon {
 
@@ -27,39 +41,83 @@ struct GlobalState {
   bool operator==(const GlobalState&) const = default;
 };
 
+// A read-only, non-owning view of an interned (or about-to-be-interned)
+// global state. Field names match GlobalState so read sites are
+// source-compatible; the implicit constructor lets GlobalState lvalues flow
+// into StateRef parameters. Spans stay valid for the arena's lifetime (pool
+// chunks never move) or the GlobalState's lifetime respectively.
+struct StateRef {
+  std::span<const std::int64_t> env;
+  std::span<const ViewId> locals;
+  std::span<const Value> decisions;
+
+  StateRef() = default;
+  StateRef(const GlobalState& s) noexcept  // NOLINT: implicit by design
+      : env(s.env), locals(s.locals), decisions(s.decisions) {}
+  StateRef(std::span<const std::int64_t> e, std::span<const ViewId> l,
+           std::span<const Value> d) noexcept
+      : env(e), locals(l), decisions(d) {}
+};
+
+// Content equality (spans have no operator==).
+bool operator==(const StateRef& a, const StateRef& b) noexcept;
+
 // x and y agree modulo j: environments equal and all process local states
 // (view and decision variable) equal except possibly j's (Section 2).
-bool agree_modulo(const GlobalState& x, const GlobalState& y, ProcessId j);
+bool agree_modulo(const StateRef& x, const StateRef& y, ProcessId j);
+
+// Shard count for the concurrent arenas: LACON_ARENA_SHARDS, rounded up to
+// a power of two and clamped to [1, 1024]; default 64. Parsed once per
+// process (malformed values warn once and fall back, like LACON_THREADS).
+std::size_t arena_shard_count() noexcept;
 
 // Interns GlobalStates; equal states receive equal StateIds. This makes the
 // paper's state-equality arguments — e.g. x(j,[0]) == x(j',[0]) in the mobile
 // model, or the permutation-layering diamond — checkable as id equality.
 //
 // Thread-safety: intern() may be called concurrently (the parallel runtime's
-// layer computations do); interning is content-addressed, so racing interns
-// of equal states agree on the id. state() is lock-free and safe for any id
-// the caller received through intern() or another happens-before edge.
+// layer computations do). The index is hash-sharded with striped mutexes
+// (LACON_ARENA_SHARDS, default 64), so interns of distinct states proceed in
+// parallel; racing interns of equal content land in the same shard, are
+// serialized there, and agree on the id. Ids are claimed from one atomic
+// counter, so they stay dense — but *which* content gets which id depends on
+// scheduling. Canonical cross-run output must go through env_to_string /
+// ViewArena::to_string, never raw ids (DESIGN.md §9).
 //
-// The index entries carry the content hash computed once per intern() call
-// and point at the arena-resident state (StableVector never moves elements),
-// so probing neither re-hashes the full env/locals/decisions vectors nor
-// stores a second copy of every interned state.
+// state() is lock-free and safe for any id the caller received through
+// intern() or another happens-before edge.
 class StateArena {
  public:
-  StateId intern(GlobalState s);
-  const GlobalState& state(StateId id) const {
-    return states_[static_cast<std::size_t>(id)];
-  }
-  std::size_t size() const noexcept { return states_.size(); }
+  StateArena();
 
-  // Approximate heap footprint of the interned states (node structs plus
-  // their vector payloads; index overhead estimated per entry). Monotone;
-  // the guard's memory budget reads this at depth boundaries.
+  StateId intern(GlobalState s);
+
+  StateRef state(StateId id) const noexcept {
+    const Header& h = headers_[static_cast<std::size_t>(id)];
+    if (h.total_words() == 0) return {};
+    const std::int64_t* base = pool_.data(h.offset);
+    const auto* locals =
+        reinterpret_cast<const ViewId*>(base + h.env_len);
+    const auto* decisions = reinterpret_cast<const Value*>(
+        base + h.env_len + lane_words(h.n));
+    return {{base, h.env_len}, {locals, h.n}, {decisions, h.n}};
+  }
+
+  std::size_t size() const noexcept {
+    return next_id_.load(std::memory_order_acquire);
+  }
+
+  // Approximate heap footprint of the interned states. Deliberately a
+  // deterministic function of the interned *content* (header + payload words
+  // + a flat index allowance per unique state), not of pool occupancy:
+  // chunk-tail waste depends on scheduling, and the guard's memory budget
+  // must read the same value at every depth boundary regardless of worker
+  // count. Monotone, relaxed reads.
   std::size_t approx_bytes() const noexcept {
     return approx_bytes_.load(std::memory_order_relaxed);
   }
 
-  static std::uint64_t content_hash(const GlobalState& s) noexcept {
+  static std::uint64_t content_hash(const StateRef& s) noexcept {
     std::uint64_t h = hash_range(s.env, 0x6c61636f6eULL);
     h = hash_range(s.locals, h);
     h = hash_range(s.decisions, h);
@@ -67,25 +125,40 @@ class StateArena {
   }
 
  private:
-  struct Key {
-    std::uint64_t hash = 0;
-    const GlobalState* state = nullptr;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return static_cast<std::size_t>(k.hash);
+  struct Header {
+    std::uint64_t offset = 0;
+    std::uint32_t env_len = 0;
+    std::uint32_t n = 0;  // process count: len of locals and of decisions
+
+    std::size_t total_words() const noexcept {
+      return env_len + 2 * lane_words(n);
     }
   };
-  struct KeyEq {
-    bool operator()(const Key& a, const Key& b) const noexcept {
-      return a.hash == b.hash && *a.state == *b.state;
-    }
+  struct alignas(64) Shard {
+    std::mutex mu;
+    // hash -> id; equality is confirmed against the pooled payload, so the
+    // index stores no second copy of any state.
+    std::unordered_multimap<std::uint64_t, StateId> index;
   };
 
-  mutable std::mutex mu_;  // guards index_ and appends to states_
-  runtime::StableVector<GlobalState> states_;
-  std::unordered_map<Key, StateId, KeyHash, KeyEq> index_;
+  // 32-bit lanes (locals, decisions) pack two per word.
+  static constexpr std::size_t lane_words(std::size_t n) noexcept {
+    return (n + 1) / 2;
+  }
+
+  Shard& shard_for(std::uint64_t h) const noexcept {
+    return shards_[(h >> 40) & shard_mask_];
+  }
+
+  std::size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable runtime::WordPool pool_;
+  runtime::ConcurrentSlotVector<Header> headers_;
+  std::atomic<std::size_t> next_id_{0};
   std::atomic<std::size_t> approx_bytes_{0};
+  runtime::Counter* hits_;
+  runtime::Counter* misses_;
+  runtime::Counter* shard_waits_;
 };
 
 }  // namespace lacon

@@ -2,11 +2,33 @@
 
 #include <cassert>
 
+#include "core/state.hpp"  // arena_shard_count
 #include "runtime/fault.hpp"
+#include "runtime/stats.hpp"
 
 namespace lacon {
 
-ViewArena::ViewArena(int n) : n_(n) { assert(n >= 2 && n < 62); }
+ViewArena::ViewArena(int n)
+    : n_(n),
+      shard_mask_(arena_shard_count() - 1),
+      shards_(std::make_unique<Shard[]>(arena_shard_count())),
+      hits_(&runtime::Stats::global().counter("arena.view_hits")),
+      misses_(&runtime::Stats::global().counter("arena.view_misses")),
+      shard_waits_(
+          &runtime::Stats::global().counter("arena.view_shard_waits")) {
+  assert(n >= 2 && n < 62);
+}
+
+ViewArena::~ViewArena() {
+  // Memo slots own their vectors; interning has quiesced by destruction
+  // time, so a relaxed sweep over the claimed id range suffices.
+  const std::size_t count = next_id_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto* slot = known_memo_.try_get(i);
+    if (slot == nullptr) continue;
+    delete slot->load(std::memory_order_acquire);
+  }
+}
 
 ViewId ViewArena::initial(ProcessId owner, Value input) {
   assert(owner >= 0 && owner < n_);
@@ -25,29 +47,43 @@ ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
   return intern(ViewNode{p.owner, p.round + 1, p.input, prev, std::move(obs)});
 }
 
-ViewId ViewArena::intern(ViewNode node) {
+ViewId ViewArena::intern(ViewNode nd) {
   fault::maybe_throw_alloc_fault();
-  const std::uint64_t h = content_hash(node);  // once, outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(Key{h, &node});
-  if (it != index_.end()) return it->second;
-  approx_bytes_.fetch_add(sizeof(ViewNode) + node.obs.capacity() * sizeof(Obs) + 64,
+  const std::uint64_t h = content_hash(nd);  // once, outside the lock
+  Shard& sh = shard_for(h);
+  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard_waits_->increment();
+    lock.lock();
+  }
+  auto [lo, hi] = sh.index.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (node(it->second) == nd) {
+      hits_->increment();
+      return it->second;
+    }
+  }
+  // Footprint uses obs.size(), not capacity(): the estimate must be a pure
+  // function of the node's content so guard byte accounting is identical
+  // for every worker count (see StateArena::approx_bytes).
+  approx_bytes_.fetch_add(sizeof(ViewNode) + nd.obs.size() * sizeof(Obs) + 64,
                           std::memory_order_relaxed);
-  const auto idx = nodes_.push_back(std::move(node));
+  const std::size_t idx = next_id_.fetch_add(1, std::memory_order_acq_rel);
   const ViewId id = static_cast<ViewId>(idx);
-  index_.emplace(Key{h, &nodes_[idx]}, id);
+  nodes_.slot(idx) = std::move(nd);
+  sh.index.emplace(h, id);
+  misses_->increment();
   return id;
 }
 
 const std::vector<Value>& ViewArena::known_inputs(ViewId id) {
-  {
-    std::lock_guard<std::mutex> lock(known_mu_);
-    auto it = known_inputs_cache_.find(id);
-    if (it != known_inputs_cache_.end()) return it->second;
+  auto& slot = known_memo_.slot(static_cast<std::size_t>(id));
+  if (const auto* cached = slot.load(std::memory_order_acquire)) {
+    return *cached;
   }
-  // Compute outside the lock: the recursion below re-enters known_inputs.
-  // Racing computations of the same view are idempotent; the emplace at the
-  // end keeps whichever copy was inserted first.
+  // Compute without holding anything: the recursion below re-enters
+  // known_inputs. Racing computations of the same view are idempotent; the
+  // CAS publishes the first finisher's copy and losers delete theirs.
   const ViewNode& v = node(id);
   std::vector<Value> known;
   if (v.prev == kNoView) {
@@ -65,8 +101,14 @@ const std::vector<Value>& ViewArena::known_inputs(ViewId id) {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(known_mu_);
-  return known_inputs_cache_.emplace(id, std::move(known)).first->second;
+  auto* mine = new std::vector<Value>(std::move(known));
+  const std::vector<Value>* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, mine, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *mine;
+  }
+  delete mine;
+  return *expected;
 }
 
 std::string ViewArena::to_string(ViewId id) const {

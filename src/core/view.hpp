@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -21,6 +22,10 @@
 #include "core/types.hpp"
 #include "runtime/stable_vector.hpp"
 #include "util/hash.hpp"
+
+namespace lacon::runtime {
+class Counter;
+}  // namespace lacon::runtime
 
 namespace lacon {
 
@@ -50,13 +55,18 @@ struct ViewNode {
 // Interns ViewNodes; equal nodes receive equal ViewIds.
 //
 // Thread-safety: initial()/extend()/known_inputs() may be called
-// concurrently (the parallel runtime's layer computations do). Interning is
-// content-addressed, so racing interns of equal nodes agree on the id;
-// node() and to_string() are lock-free reads, safe for any id received
-// through an intern call or another happens-before edge.
+// concurrently (the parallel runtime's layer computations do). The index is
+// hash-sharded with striped mutexes (LACON_ARENA_SHARDS, shared with
+// StateArena); interning is content-addressed, so racing interns of equal
+// nodes land in the same shard and agree on the id, while distinct nodes
+// proceed in parallel. node() and to_string() are lock-free reads, safe for
+// any id received through an intern call or another happens-before edge.
+// The known_inputs memo is a per-node atomic slot (no lock at all), so
+// concurrent valence classifications never serialize on it.
 class ViewArena {
  public:
   explicit ViewArena(int n);
+  ~ViewArena();
 
   int n() const noexcept { return n_; }
 
@@ -68,17 +78,24 @@ class ViewArena {
   // order so that equal views intern to equal ids.
   ViewId extend(ViewId prev, std::vector<Obs> obs);
 
-  const ViewNode& node(ViewId id) const { return nodes_[static_cast<std::size_t>(id)]; }
-  std::size_t size() const noexcept { return nodes_.size(); }
+  const ViewNode& node(ViewId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const noexcept {
+    return next_id_.load(std::memory_order_acquire);
+  }
 
   // Approximate heap footprint of the interned view DAG (see
-  // StateArena::approx_bytes). Monotone, relaxed reads.
+  // StateArena::approx_bytes — likewise a deterministic function of the
+  // interned content only). Monotone, relaxed reads.
   std::size_t approx_bytes() const noexcept {
     return approx_bytes_.load(std::memory_order_relaxed);
   }
 
   // The inputs this view knows about: entry j is process j's input if it is
-  // determined by the view, kUnknownInput otherwise. Memoized.
+  // determined by the view, kUnknownInput otherwise. Memoized per node in a
+  // lock-free atomic slot: racing computations are idempotent, the first
+  // published vector wins and losers discard theirs.
   const std::vector<Value>& known_inputs(ViewId id);
 
   // Renders a view as a nested term for debugging, e.g.
@@ -99,33 +116,30 @@ class ViewArena {
   }
 
  private:
-  // Index entries cache the node's content hash and point at the
-  // arena-resident node (StableVector storage is stable), mirroring
-  // StateArena: one hash per intern() call, no duplicate key copies.
-  struct Key {
-    std::uint64_t hash = 0;
-    const ViewNode* node = nullptr;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return static_cast<std::size_t>(k.hash);
-    }
-  };
-  struct KeyEq {
-    bool operator()(const Key& a, const Key& b) const noexcept {
-      return a.hash == b.hash && *a.node == *b.node;
-    }
+  struct alignas(64) Shard {
+    std::mutex mu;
+    // hash -> id; equality confirmed against the arena-resident node.
+    std::unordered_multimap<std::uint64_t, ViewId> index;
   };
 
   ViewId intern(ViewNode node);
 
+  Shard& shard_for(std::uint64_t h) const noexcept {
+    return shards_[(h >> 40) & shard_mask_];
+  }
+
   int n_;
-  std::mutex mu_;  // guards index_ and appends to nodes_
-  runtime::StableVector<ViewNode> nodes_;
-  std::unordered_map<Key, ViewId, KeyHash, KeyEq> index_;
+  std::size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  runtime::ConcurrentSlotVector<ViewNode> nodes_;
+  std::atomic<std::size_t> next_id_{0};
   std::atomic<std::size_t> approx_bytes_{0};
-  std::mutex known_mu_;  // guards known_inputs_cache_
-  std::unordered_map<ViewId, std::vector<Value>> known_inputs_cache_;
+  // Per-node memo slot; nullptr until the first known_inputs(id) publishes.
+  runtime::ConcurrentSlotVector<std::atomic<const std::vector<Value>*>>
+      known_memo_;
+  runtime::Counter* hits_;
+  runtime::Counter* misses_;
+  runtime::Counter* shard_waits_;
 };
 
 }  // namespace lacon

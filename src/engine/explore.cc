@@ -1,10 +1,9 @@
 #include "engine/explore.hpp"
 
-#include <unordered_set>
-
 #include "runtime/fault.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 
@@ -22,7 +21,10 @@ guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
     out.truncation = g.reason();
     return out;  // not even Con_0 materialized: empty value, completed 0
   }
-  std::unordered_set<StateId> seen(out.value[0].begin(), out.value[0].end());
+  // StateIds are dense arena indices, so the visited set is a bit-vector:
+  // one bit per interned state instead of a hash node per discovered one.
+  DenseBitset seen(model.num_states());
+  for (StateId x : out.value[0]) seen.insert(x);
   for (int d = 0; d < depth; ++d) {
     // Depth boundary: the one place the state/memory budget is evaluated.
     // The arena population here is scheduling-independent, so a budget trip
@@ -62,7 +64,7 @@ guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
           break;
         }
         for (StateId y : model.layer(x)) {
-          if (seen.insert(y).second) next.push_back(y);
+          if (seen.insert(y)) next.push_back(y);
         }
       }
     } catch (const fault::InjectedAllocError&) {

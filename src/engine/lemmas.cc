@@ -1,16 +1,16 @@
 #include "engine/lemmas.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "engine/explore.hpp"
 #include "relation/similarity.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 namespace {
 
 int undecided_non_failed(LayeredModel& model, StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   const ProcessSet failed = model.failed_at(x);
   int count = 0;
   for (ProcessId i = 0; i < model.n(); ++i) {
@@ -21,7 +21,7 @@ int undecided_non_failed(LayeredModel& model, StateId x) {
 }
 
 int decided_count(LayeredModel& model, StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   return static_cast<int>(std::count_if(
       s.decisions.begin(), s.decisions.end(),
       [](Value d) { return d != kUndecided; }));
@@ -80,7 +80,8 @@ CheckResult check_lemma_3_2_contrapositive(LayeredModel& model, int depth,
     // different values.
     bool violation = false;
     std::vector<StateId> frontier = {x};
-    std::unordered_set<StateId> seen = {x};
+    DenseBitset seen(model.num_states());
+    seen.insert(x);
     for (int d = 0; d <= horizon && !violation; ++d) {
       std::vector<StateId> next;
       for (StateId y : frontier) {
@@ -90,7 +91,7 @@ CheckResult check_lemma_3_2_contrapositive(LayeredModel& model, int depth,
         }
         if (d < horizon) {
           for (StateId z : model.layer(y)) {
-            if (seen.insert(z).second) next.push_back(z);
+            if (seen.insert(z)) next.push_back(z);
           }
         }
       }

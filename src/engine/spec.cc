@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "engine/bivalence.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 namespace {
@@ -12,7 +13,7 @@ namespace {
 // processes.
 std::optional<AgreementViolation> agreement_violation_at(LayeredModel& model,
                                                          StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   const ProcessSet failed = model.failed_at(x);
   std::optional<ProcessId> first;
   for (ProcessId i = 0; i < model.n(); ++i) {
@@ -32,7 +33,7 @@ std::optional<AgreementViolation> agreement_violation_at(LayeredModel& model,
 // nobody's input. Inputs are recoverable from the views' root nodes.
 std::optional<ValidityViolation> validity_violation_at(LayeredModel& model,
                                                        StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   std::unordered_set<Value> inputs;
   for (ProcessId i = 0; i < model.n(); ++i) {
     inputs.insert(model.views().node(s.locals[static_cast<std::size_t>(i)]).input);
@@ -51,7 +52,8 @@ std::optional<ValidityViolation> validity_violation_at(LayeredModel& model,
 SpecReport check_consensus_spec(LayeredModel& model, int depth) {
   SpecReport report;
   std::vector<StateId> frontier = model.initial_states();
-  std::unordered_set<StateId> seen(frontier.begin(), frontier.end());
+  DenseBitset seen(model.num_states());
+  for (StateId x : frontier) seen.insert(x);
 
   for (int d = 0; d <= depth; ++d) {
     for (StateId x : frontier) {
@@ -68,7 +70,7 @@ SpecReport check_consensus_spec(LayeredModel& model, int depth) {
     for (StateId x : frontier) {
       if (quiescent(model, x)) continue;  // the run tree below cannot change
       for (StateId y : model.layer(x)) {
-        if (seen.insert(y).second) next.push_back(y);
+        if (seen.insert(y)) next.push_back(y);
       }
     }
     frontier = std::move(next);

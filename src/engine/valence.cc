@@ -9,7 +9,7 @@
 namespace lacon {
 
 bool quiescent(LayeredModel& model, StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   const ProcessSet failed = model.failed_at(x);
   for (ProcessId i = 0; i < model.n(); ++i) {
     if (failed.contains(i)) continue;
@@ -20,7 +20,7 @@ bool quiescent(LayeredModel& model, StateId x) {
 
 ValenceInfo decided_valences(LayeredModel& model, StateId x) {
   ValenceInfo info;
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   const ProcessSet failed = model.failed_at(x);
   for (ProcessId i = 0; i < model.n(); ++i) {
     if (failed.contains(i)) continue;

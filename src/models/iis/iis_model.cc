@@ -35,11 +35,12 @@ IisModel::IisModel(int n, const DecisionRule& rule,
 
 StateId IisModel::apply_partition(StateId x,
                                   const OrderedPartition& partition) {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   GlobalState next;
-  next.env = s.env;  // constant: each M_r is consumed within its round
-  next.locals = s.locals;
-  next.decisions = s.decisions;
+  // Env constant: each M_r is consumed within its round.
+  next.env.assign(s.env.begin(), s.env.end());
+  next.locals.assign(s.locals.begin(), s.locals.end());
+  next.decisions.assign(s.decisions.begin(), s.decisions.end());
 
   ProcessSet written;  // processes whose round-r write precedes this block's
                        // snapshot

@@ -15,10 +15,11 @@ StateId MobileModel::apply(StateId x, ProcessId j, int k) {
 
 StateId MobileModel::apply_general(StateId x, ProcessId j, ProcessSet lost) {
   assert(j >= 0 && j < n());
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
 
   GlobalState next;
-  next.env = s.env;  // the environment state is constant in M^mf
+  // The environment state is constant in M^mf.
+  next.env.assign(s.env.begin(), s.env.end());
   next.locals.reserve(static_cast<std::size_t>(n()));
   next.decisions.reserve(static_cast<std::size_t>(n()));
   for (ProcessId i = 0; i < n(); ++i) {

@@ -25,7 +25,7 @@ ViewId message_view(std::int64_t packed) {
   return static_cast<ViewId>(packed & 0xffffffffLL);
 }
 
-std::uint64_t mailbox_masked_fingerprint(const GlobalState& s, int n,
+std::uint64_t mailbox_masked_fingerprint(const StateRef& s, int n,
                                          ProcessId j) {
   std::uint64_t h = 0x73696d666970ULL;  // same seed as the base fingerprint
   std::uint64_t kept = 0;
@@ -95,11 +95,11 @@ MsgPassModel::MsgPassModel(int n, const DecisionRule& rule,
       schedules_(build_schedules(n)) {}
 
 StateId MsgPassModel::apply_schedule(StateId x, const Schedule& schedule) {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   // Mutable copy of the in-transit multiset.
-  std::vector<std::int64_t> transit = s.env;
-  std::vector<ViewId> locals = s.locals;
-  std::vector<Value> decisions = s.decisions;
+  std::vector<std::int64_t> transit(s.env.begin(), s.env.end());
+  std::vector<ViewId> locals(s.locals.begin(), s.locals.end());
+  std::vector<Value> decisions(s.decisions.begin(), s.decisions.end());
 
   auto do_receives = [&](ProcessId i) {
     // Collect and remove all messages addressed to i, in canonical order.
@@ -166,8 +166,8 @@ StateId MsgPassModel::apply_schedule(StateId x, const Schedule& schedule) {
 }
 
 bool MsgPassModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
-  const GlobalState& sx = state(x);
-  const GlobalState& sy = state(y);
+  const StateRef sx = state(x);
+  const StateRef sy = state(y);
   for (ProcessId i = 0; i < n(); ++i) {
     if (i == j) continue;
     const auto idx = static_cast<std::size_t>(i);
@@ -195,8 +195,7 @@ std::uint64_t MsgPassModel::similarity_fingerprint(StateId x,
   return mailbox_masked_fingerprint(state(x), n(), j);
 }
 
-std::string transit_env_to_string(const ViewArena& views,
-                                  const GlobalState& s) {
+std::string transit_env_to_string(const ViewArena& views, const StateRef& s) {
   std::string out;
   for (std::int64_t m : s.env) {
     out += std::to_string(message_sender(m));

@@ -76,13 +76,12 @@ class MsgPassModel final : public LayeredModel {
 // addressed to j (j's mailbox belongs to j's local state) plus every
 // process local state except j's. Filtered-equal envs hash equal, so the
 // fingerprint contract of LayeredModel::similarity_fingerprint holds.
-std::uint64_t mailbox_masked_fingerprint(const GlobalState& s, int n,
+std::uint64_t mailbox_masked_fingerprint(const StateRef& s, int n,
                                          ProcessId j);
 
 // Renders the in-transit messages as "sender->receiver:<view term>" — the
 // id-free env_to_string shared by both message-passing models.
-std::string transit_env_to_string(const ViewArena& views,
-                                  const GlobalState& s);
+std::string transit_env_to_string(const ViewArena& views, const StateRef& s);
 
 // Message encoding helpers (exposed for tests).
 std::int64_t pack_message(ProcessId sender, ProcessId receiver, ViewId view);

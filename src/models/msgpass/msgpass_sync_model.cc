@@ -39,10 +39,10 @@ MsgPassSyncModel::MsgPassSyncModel(
 StateId MsgPassSyncModel::apply_timed(StateId x, ProcessId j, int k) {
   assert(j >= 0 && j < n());
   assert(k >= 0 && k <= n());
-  const GlobalState& s = state(x);
-  std::vector<std::int64_t> transit = s.env;
-  std::vector<ViewId> locals = s.locals;
-  std::vector<Value> decisions = s.decisions;
+  const StateRef s = state(x);
+  std::vector<std::int64_t> transit(s.env.begin(), s.env.end());
+  std::vector<ViewId> locals(s.locals.begin(), s.locals.end());
+  std::vector<Value> decisions(s.decisions.begin(), s.decisions.end());
 
   auto do_receive = [&](ProcessId i) {
     const ViewId view =
@@ -86,10 +86,10 @@ StateId MsgPassSyncModel::apply_timed(StateId x, ProcessId j, int k) {
 
 StateId MsgPassSyncModel::apply_absent(StateId x, ProcessId j) {
   assert(j >= 0 && j < n());
-  const GlobalState& s = state(x);
-  std::vector<std::int64_t> transit = s.env;
-  std::vector<ViewId> locals = s.locals;
-  std::vector<Value> decisions = s.decisions;
+  const StateRef s = state(x);
+  std::vector<std::int64_t> transit(s.env.begin(), s.env.end());
+  std::vector<ViewId> locals(s.locals.begin(), s.locals.end());
+  std::vector<Value> decisions(s.decisions.begin(), s.decisions.end());
 
   for (ProcessId i = 0; i < n(); ++i) {
     if (i == j) continue;
@@ -120,8 +120,8 @@ StateId MsgPassSyncModel::apply_absent(StateId x, ProcessId j) {
 bool MsgPassSyncModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
   // Same mailbox attribution as the permutation-layering model: the
   // messages addressed to j belong to j's local state.
-  const GlobalState& sx = state(x);
-  const GlobalState& sy = state(y);
+  const StateRef sx = state(x);
+  const StateRef sy = state(y);
   for (ProcessId i = 0; i < n(); ++i) {
     if (i == j) continue;
     const auto idx = static_cast<std::size_t>(i);

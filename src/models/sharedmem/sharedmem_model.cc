@@ -26,7 +26,7 @@ SharedMemModel::SharedMemModel(int n, const DecisionRule& rule,
 StateId SharedMemModel::apply_timed(StateId x, ProcessId j, int k) {
   assert(j >= 0 && j < n());
   assert(k >= 0 && k <= n());
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
 
   // Register contents during R1: the proper processes' W1 writes are in, j's
   // register still holds its pre-round value.
@@ -61,7 +61,7 @@ StateId SharedMemModel::apply_timed(StateId x, ProcessId j, int k) {
 
 StateId SharedMemModel::apply_absent(StateId x, ProcessId j) {
   assert(j >= 0 && j < n());
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
 
   // Register contents during R1: the proper processes' W1 writes; j's
   // register keeps its pre-round value (j never writes this round).
@@ -92,7 +92,7 @@ StateId SharedMemModel::apply_absent(StateId x, ProcessId j) {
 }
 
 std::string SharedMemModel::env_to_string(StateId x) const {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   std::string out;
   for (std::int64_t r : s.env) {
     out += r == kNoView ? "-" : views().to_string(static_cast<ViewId>(r));

@@ -30,11 +30,12 @@ SnapshotModel::SnapshotModel(int n, const DecisionRule& rule,
 
 StateId SnapshotModel::apply_partition(StateId x,
                                        const OrderedPartition& partition) {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   GlobalState next;
-  next.env = s.env;  // persistent registers, updated by the writes below
-  next.locals = s.locals;
-  next.decisions = s.decisions;
+  // Persistent registers, updated by the writes below.
+  next.env.assign(s.env.begin(), s.env.end());
+  next.locals.assign(s.locals.begin(), s.locals.end());
+  next.decisions.assign(s.decisions.begin(), s.decisions.end());
 
   for (const ProcessSet& block : partition) {
     // All block members write their pre-phase views ...
@@ -61,7 +62,7 @@ StateId SnapshotModel::apply_partition(StateId x,
 }
 
 std::string SnapshotModel::env_to_string(StateId x) const {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   std::string out;
   for (std::int64_t r : s.env) {
     out += r == kNoView ? "-" : views().to_string(static_cast<ViewId>(r));

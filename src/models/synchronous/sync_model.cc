@@ -40,7 +40,7 @@ ProcessSet SyncModel::omission_evidence(ViewId view) const {
 }
 
 ProcessSet SyncModel::failed_at(StateId x) const {
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   ProcessSet failed;
   for (ViewId v : s.locals) failed = failed | omission_evidence(v);
   return failed;
@@ -56,7 +56,7 @@ StateId SyncModel::apply(StateId x, ProcessId j, int k) {
 
 StateId SyncModel::apply_multi(StateId x, const std::vector<int>& losses) {
   assert(static_cast<int>(losses.size()) == n());
-  const GlobalState& s = state(x);
+  const StateRef s = state(x);
   const ProcessSet failed = failed_at(x);
 #ifndef NDEBUG
   int newly = 0;
@@ -70,7 +70,8 @@ StateId SyncModel::apply_multi(StateId x, const std::vector<int>& losses) {
 #endif
 
   GlobalState next;
-  next.env = s.env;  // constant; the failure record lives in the views
+  // Env constant; the failure record lives in the views.
+  next.env.assign(s.env.begin(), s.env.end());
   next.locals.reserve(static_cast<std::size_t>(n()));
   next.decisions.reserve(static_cast<std::size_t>(n()));
   for (ProcessId i = 0; i < n(); ++i) {

@@ -1,8 +1,7 @@
 #include "topology/covering.hpp"
 
-#include <unordered_set>
-
 #include "engine/explore.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 namespace {
@@ -17,7 +16,7 @@ namespace {
 // faulty does not contribute to the nonfaulty decision simplex.
 template <typename Fn>
 void for_each_witness_simplex(LayeredModel& model, StateId x, Fn&& fn) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   const ProcessSet failed = model.failed_at(x);
   std::vector<ProcessId> undecided;
   std::vector<Vertex> decided;
@@ -203,7 +202,8 @@ CoveringCheck check_covering(LayeredModel& model, const Covering& covering,
                              const std::vector<StateId>& X, int depth) {
   CoveringCheck check;
   // Explore `depth` layers below every state of X.
-  std::unordered_set<StateId> seen(X.begin(), X.end());
+  DenseBitset seen(model.num_states());
+  for (StateId x : X) seen.insert(x);
   std::vector<StateId> frontier(X.begin(), X.end());
   for (int d = 0; d <= depth && !frontier.empty(); ++d) {
     for (StateId x : frontier) {
@@ -224,7 +224,7 @@ CoveringCheck check_covering(LayeredModel& model, const Covering& covering,
     for (StateId x : frontier) {
       if (quiescent(model, x)) continue;
       for (StateId y : model.layer(x)) {
-        if (seen.insert(y).second) next.push_back(y);
+        if (seen.insert(y)) next.push_back(y);
       }
     }
     frontier = std::move(next);

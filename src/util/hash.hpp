@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace lacon {
@@ -31,13 +32,19 @@ constexpr std::uint64_t hash_combine(std::uint64_t seed,
 
 // Hashes a contiguous range of integral values.
 template <typename T>
-std::uint64_t hash_range(const std::vector<T>& values,
+std::uint64_t hash_range(std::span<const T> values,
                          std::uint64_t seed = 0) noexcept {
   std::uint64_t h = hash_combine(seed, values.size());
   for (const T& v : values) {
     h = hash_combine(h, static_cast<std::uint64_t>(v));
   }
   return h;
+}
+
+template <typename T>
+std::uint64_t hash_range(const std::vector<T>& values,
+                         std::uint64_t seed = 0) noexcept {
+  return hash_range(std::span<const T>(values), seed);
 }
 
 }  // namespace lacon

@@ -1,0 +1,284 @@
+// Concurrency and flat-storage tests for the sharded hash-consing arenas
+// (core/state.hpp, core/view.hpp) and their supporting runtime pieces
+// (runtime/word_pool.hpp, ConcurrentSlotVector). The stress tests run under
+// the TSan CI lane (ci.sh), which is where the sharded index and the
+// lock-free pool earn their keep.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/state.hpp"
+#include "core/view.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/word_pool.hpp"
+#include "util/hash.hpp"
+
+namespace lacon {
+namespace {
+
+constexpr int kThreads = 8;
+
+// Deterministic state generator: varies env length (including empty) and
+// process count (including odd counts, which exercise the packed-lane
+// padding of the flat encoding). Locals are arbitrary ids — StateArena
+// never dereferences them.
+GlobalState make_state(std::uint64_t i) {
+  GlobalState s;
+  const std::size_t env_len = i % 5;
+  const std::size_t n = 2 + i % 7;  // 2..8
+  for (std::size_t e = 0; e < env_len; ++e) {
+    s.env.push_back(static_cast<std::int64_t>(mix64(i * 31 + e)));
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    s.locals.push_back(static_cast<ViewId>(mix64(i + p) & 0xffff));
+    s.decisions.push_back(p % 3 == 0 ? static_cast<Value>(i % 2) : kUndecided);
+  }
+  return s;
+}
+
+// Sorted multiset of the content hashes of every interned state.
+std::vector<std::uint64_t> content_hashes(const StateArena& arena) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(arena.size());
+  for (std::size_t id = 0; id < arena.size(); ++id) {
+    hashes.push_back(
+        StateArena::content_hash(arena.state(static_cast<StateId>(id))));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+TEST(WordPoolTest, RegionsNeverSpanChunks) {
+  runtime::WordPool pool;
+  constexpr std::size_t kChunk = runtime::WordPool::kMaxRegionWords;
+  const std::size_t a = pool.alloc(10);
+  EXPECT_EQ(a, 0u);
+  // The tail of chunk 0 (kChunk - 10 words) cannot hold a full chunk, so
+  // this region must start at the next chunk boundary.
+  const std::size_t b = pool.alloc(kChunk);
+  EXPECT_EQ(b, kChunk);
+  EXPECT_EQ(pool.allocated_words(), 2 * kChunk);
+  // Writes round-trip through data().
+  std::int64_t* w = pool.mutable_data(a);
+  for (std::size_t i = 0; i < 10; ++i) w[i] = static_cast<std::int64_t>(i);
+  const std::int64_t* r = pool.data(a);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(r[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(StateArenaTest, FlatStorageRoundTrips) {
+  StateArena arena;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const GlobalState original = make_state(i);
+    const StateId id = arena.intern(original);
+    const StateRef ref = arena.state(id);
+    ASSERT_EQ(ref.env.size(), original.env.size());
+    ASSERT_EQ(ref.locals.size(), original.locals.size());
+    ASSERT_EQ(ref.decisions.size(), original.decisions.size());
+    EXPECT_TRUE(ref == StateRef(original));
+    EXPECT_EQ(StateArena::content_hash(ref),
+              StateArena::content_hash(original));
+  }
+}
+
+TEST(StateArenaTest, EmptyStateInternOk) {
+  StateArena arena;
+  const StateId a = arena.intern(GlobalState{});
+  const StateId b = arena.intern(GlobalState{});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(arena.size(), 1u);
+  EXPECT_TRUE(arena.state(a).env.empty());
+  EXPECT_TRUE(arena.state(a).locals.empty());
+}
+
+TEST(StateArenaTest, ApproxBytesIsMonotoneAndContentDeterministic) {
+  StateArena a1;
+  StateArena a2;
+  std::size_t last = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    a1.intern(make_state(i));
+    EXPECT_GE(a1.approx_bytes(), last);
+    last = a1.approx_bytes();
+  }
+  // Same content set in a different order: identical accounting. This is
+  // the invariant the guard's memory budget rests on (truncation depth is
+  // identical for every worker count).
+  for (std::uint64_t i = 200; i-- > 0;) a2.intern(make_state(i));
+  EXPECT_EQ(a1.approx_bytes(), a2.approx_bytes());
+  // Re-interning existing content adds nothing.
+  a1.intern(make_state(7));
+  EXPECT_EQ(a1.approx_bytes(), last);
+}
+
+// N threads intern maximally overlapping key sets (every thread interns
+// every state, in a thread-dependent order). The resulting arena must be
+// indistinguishable — size, byte accounting, content-hash multiset — from a
+// serial run over the same content, and every thread must have received the
+// same id for the same content.
+TEST(StateArenaTest, ParallelInternStressMatchesSerial) {
+  constexpr std::uint64_t kStates = 1500;
+
+  StateArena serial;
+  for (std::uint64_t i = 0; i < kStates; ++i) serial.intern(make_state(i));
+
+  StateArena arena;
+  std::vector<std::vector<StateId>> ids(
+      kThreads, std::vector<StateId>(kStates, 0));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t k = 0; k < kStates; ++k) {
+        const std::uint64_t i = (k + static_cast<std::uint64_t>(t) * 137) %
+                                kStates;  // same set, skewed order
+        ids[static_cast<std::size_t>(t)][i] = arena.intern(make_state(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(arena.size(), serial.size());
+  EXPECT_EQ(arena.approx_bytes(), serial.approx_bytes());
+  EXPECT_EQ(content_hashes(arena), content_hashes(serial));
+  // Racing interns of equal content agreed on one id.
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[static_cast<std::size_t>(t)][i], ids[0][i]);
+    }
+    // ... and the id resolves to the right content.
+    EXPECT_TRUE(arena.state(ids[0][i]) == StateRef(make_state(i)));
+  }
+}
+
+TEST(ViewArenaTest, ParallelInternStressAgreesAcrossThreads) {
+  constexpr int kChains = 40;
+  constexpr int kDepth = 12;
+
+  // Every thread builds every chain: initial(owner, input) extended kDepth
+  // times with a chain-specific observation pattern. Equal content must
+  // yield equal ids in every thread.
+  ViewArena arena(4);
+  std::vector<std::vector<ViewId>> tips(
+      kThreads, std::vector<ViewId>(kChains, kNoView));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kChains; ++k) {
+        const int c = (k + t * 7) % kChains;
+        ViewId v = arena.initial(c % 4, (c / 4) % 2);
+        for (int d = 0; d < kDepth; ++d) {
+          std::vector<Obs> obs;
+          for (std::int32_t src = 0; src < 4; ++src) {
+            if (src == c % 4) continue;
+            obs.push_back(Obs{src, ((c + d + src) % 3 == 0) ? v : kNoView});
+          }
+          v = arena.extend(v, std::move(obs));
+        }
+        tips[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] = v;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int c = 0; c < kChains; ++c) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(tips[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)],
+                tips[0][static_cast<std::size_t>(c)]);
+    }
+  }
+  // Serial rebuild of the same content interns nothing new.
+  const std::size_t before = arena.size();
+  ViewId v = arena.initial(0, 0);
+  for (int d = 0; d < kDepth; ++d) {
+    std::vector<Obs> obs;
+    for (std::int32_t src = 1; src < 4; ++src) {
+      obs.push_back(Obs{src, ((0 + d + src) % 3 == 0) ? v : kNoView});
+    }
+    v = arena.extend(v, std::move(obs));
+  }
+  EXPECT_EQ(arena.size(), before);
+}
+
+// Concurrent known_inputs over a shared deep chain: the per-node memo slots
+// must hand every caller the same (correct) vector.
+TEST(ViewArenaTest, KnownInputsMemoIsConcurrent) {
+  ViewArena arena(4);
+  // p0 learns everyone's input through a chain of phases.
+  std::vector<ViewId> others;
+  for (ProcessId p = 1; p < 4; ++p) others.push_back(arena.initial(p, p % 2));
+  ViewId v = arena.initial(0, 1);
+  for (int d = 0; d < 30; ++d) {
+    std::vector<Obs> obs;
+    for (std::int32_t src = 1; src < 4; ++src) {
+      obs.push_back(
+          Obs{src, d == 0 ? others[static_cast<std::size_t>(src - 1)]
+                          : kNoView});
+    }
+    v = arena.extend(v, std::move(obs));
+  }
+
+  std::vector<const std::vector<Value>*> results(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] = &arena.known_inputs(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::vector<Value> expected = {1, 1, 0, 1};  // p:, input p%2; p0=1
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(results[static_cast<std::size_t>(t)], nullptr);
+    EXPECT_EQ(*results[static_cast<std::size_t>(t)], expected);
+    // Memoized: every thread sees the same published vector.
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+  }
+}
+
+// Fault soak at kArenaAlloc against the pooled arena: injected allocation
+// failures fire at intern entry, so no id is ever claimed for a failed
+// intern and the arena stays fully consistent for the survivors.
+TEST(ArenaFaultSoak, StateInternSurvivesInjectedAllocFailures) {
+  StateArena arena;
+  std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> succeeded{0};
+  {
+    fault::FaultScope scope(/*seed=*/20260805, /*rate=*/0.05,
+                            1u << static_cast<unsigned>(
+                                fault::Site::kArenaAlloc));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (std::uint64_t i = 0; i < 400; ++i) {
+          try {
+            arena.intern(make_state(i));
+            succeeded.fetch_add(1, std::memory_order_relaxed);
+          } catch (const fault::InjectedAllocError&) {
+            injected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_GT(scope.plan().fired(fault::Site::kArenaAlloc), 0u);
+  }
+  EXPECT_GT(injected.load(), 0u);
+  EXPECT_GT(succeeded.load(), 0u);
+  // Every interned id round-trips, and re-interning (injection now off)
+  // dedupes against the survivors instead of growing past the content set.
+  const std::size_t survivors = arena.size();
+  EXPECT_LE(survivors, 400u);
+  for (std::uint64_t i = 0; i < 400; ++i) arena.intern(make_state(i));
+  EXPECT_EQ(arena.size(), 400u);
+  EXPECT_GE(arena.size(), survivors);
+  StateArena serial;
+  for (std::uint64_t i = 0; i < 400; ++i) serial.intern(make_state(i));
+  EXPECT_EQ(content_hashes(arena), content_hashes(serial));
+}
+
+}  // namespace
+}  // namespace lacon

@@ -44,7 +44,7 @@ TEST_P(Conformance, InitialStatesAreTheBinaryCube) {
   const auto& con0 = model_->initial_states();
   EXPECT_EQ(con0.size(), 8u);
   for (StateId x : con0) {
-    const GlobalState& s = model_->state(x);
+    const StateRef s = model_->state(x);
     for (ProcessId i = 0; i < 3; ++i) {
       EXPECT_EQ(s.decisions[static_cast<std::size_t>(i)], kUndecided);
       EXPECT_EQ(model_->views().node(s.locals[static_cast<std::size_t>(i)]).round,
@@ -97,7 +97,7 @@ TEST_P(Conformance, SuccessorsAdvanceSomeProcess) {
 
 TEST_P(Conformance, ViewsRecordMonotoneRounds) {
   for (StateId x : reachable_states(*model_, 2)) {
-    const GlobalState& s = model_->state(x);
+    const StateRef s = model_->state(x);
     for (ViewId v : s.locals) {
       const ViewNode& node = model_->views().node(v);
       EXPECT_LE(node.round, 2);

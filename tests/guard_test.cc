@@ -38,7 +38,7 @@ using guard::TruncationReason;
 // Content-determined rendering of a state (raw ids race across worker
 // counts; the rendered terms do not) — mirrors runtime_test.cc.
 std::string state_fingerprint(LayeredModel& model, StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   std::string out = "env[" + model.env_to_string(x);
   out += "] views[";
   for (ViewId v : s.locals) out += model.views().to_string(v) + ";";

@@ -363,7 +363,7 @@ TEST(FromRelation, TinySizes) {
 // process's view term and its decision. Two runs that intern in different
 // orders still agree on these.
 std::string state_fingerprint(LayeredModel& model, StateId x) {
-  const GlobalState& s = model.state(x);
+  const StateRef s = model.state(x);
   // env_to_string, not s.env: the shared-memory/message-passing envs embed
   // interned ViewIds, whose numeric values race across worker counts.
   std::string out = "env[" + model.env_to_string(x);

@@ -24,8 +24,8 @@ TEST(SharedMem, TimedActionWritesAllRegisters) {
   SharedMemModel model(3, *rule);
   const StateId x0 = model.initial_states().front();
   const StateId y = model.apply_timed(x0, 1, 2);
-  const GlobalState& sx = model.state(x0);
-  const GlobalState& sy = model.state(y);
+  const StateRef sx = model.state(x0);
+  const StateRef sy = model.state(y);
   // Registers hold the pre-phase views (the write precedes the reads).
   for (ProcessId i = 0; i < 3; ++i) {
     EXPECT_EQ(sy.env[static_cast<std::size_t>(i)],
@@ -38,8 +38,8 @@ TEST(SharedMem, AbsentProcessUnchanged) {
   SharedMemModel model(3, *rule);
   const StateId x0 = model.initial_states().front();
   const StateId y = model.apply_absent(x0, 2);
-  const GlobalState& sx = model.state(x0);
-  const GlobalState& sy = model.state(y);
+  const StateRef sx = model.state(x0);
+  const StateRef sy = model.state(y);
   EXPECT_EQ(sy.locals[2], sx.locals[2]);          // no local phase
   EXPECT_EQ(sy.env[2], sx.env[2]);                // register untouched
   EXPECT_NE(sy.locals[0], sx.locals[0]);          // proper processes moved
@@ -63,8 +63,8 @@ TEST(SharedMem, EarlyReadersMissTheSlowWrite) {
   // (j=0, k=n): every proper process reads in R1 and misses 0's W2 write;
   // only 0 itself reads in R2 and sees it.
   const StateId y = model.apply_timed(x0, 0, 3);
-  const GlobalState& sx = model.state(x0);
-  const GlobalState& sy = model.state(y);
+  const StateRef sx = model.state(x0);
+  const StateRef sy = model.state(y);
   const ViewNode& v1 = model.views().node(sy.locals[1]);
   bool saw_stale_v0 = false;
   for (const Obs& o : v1.obs) {
