@@ -103,6 +103,6 @@ int main(int argc, char** argv) {
   lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  std::fputs(lacon::runtime_report().c_str(), stdout);
+  lacon::benchflags::finish();
   return 0;
 }

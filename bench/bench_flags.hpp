@@ -14,6 +14,12 @@
 // suffered is recorded in the guard.trips_* stats counters and lands in the
 // benchmark JSON context. Truncations during the timed benchmark loops
 // appear in the runtime_report() table printed at exit instead.
+//
+// finish() is the common epilogue: it prints runtime_report() and emits the
+// observability artifacts requested via LACON_METRICS_FILE (MetricsSnapshot
+// JSON, always when set) and LACON_TRACE_FILE (Chrome trace JSON, only under
+// LACON_TRACE=spans). bench/run_all.sh points both at the output directory
+// so every BENCH_<tag>.json gains a METRICS_<tag>.json sibling.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -24,8 +30,10 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/reports.hpp"
 #include "runtime/guard.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 
 namespace lacon::benchflags {
 
@@ -99,6 +107,14 @@ inline void add_json_context() {
   }
   benchmark::AddCustomContext("lacon_truncation",
                               truncation.empty() ? "none" : truncation);
+}
+
+// Common bench epilogue: human-readable stats table to stdout, then the
+// machine-readable artifacts (metrics snapshot and, under LACON_TRACE=spans,
+// the Chrome trace) to the paths named by the environment.
+inline void finish() {
+  std::fputs(runtime_report().c_str(), stdout);
+  trace::write_env_artifacts();
 }
 
 }  // namespace lacon::benchflags

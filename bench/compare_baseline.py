@@ -4,7 +4,16 @@ baseline and fail on real_time regressions beyond a threshold.
 
 Usage:
     bench/compare_baseline.py BASELINE.json CURRENT.json \
-        [--max-regression 0.25] [--floor-ms 1.0]
+        [--max-regression 0.25] [--floor-ms 1.0] \
+        [--baseline-metrics METRICS.json --metrics METRICS.json]
+
+When both --baseline-metrics and --metrics name MetricsSnapshot files
+(schema lacon.metrics.v1, emitted next to each BENCH_*.json by
+bench/run_all.sh), a per-phase timer comparison is printed after the gate
+rows. The phase diff is diagnostic only — it localizes WHICH subsystem
+moved when the gate fires, but never changes the exit status, because
+per-phase times at smoke budgets are far noisier than the benchmark loop's
+repeated-measurement real_time.
 
 Only benchmarks present in BOTH files are compared (renames and newly added
 benchmarks never fail the gate, but an empty intersection does — that means
@@ -35,6 +44,31 @@ def load_times_ms(path):
     return times
 
 
+def load_phase_timers_ms(path):
+    """Timer name -> total milliseconds from a lacon.metrics.v1 snapshot."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {name: row["ns"] * 1e-6
+            for name, row in doc.get("timers", {}).items()}
+
+
+def print_phase_diff(baseline_path, current_path, floor_ms):
+    base = load_phase_timers_ms(baseline_path)
+    cur = load_phase_timers_ms(current_path)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("note: no shared phase timers between metrics snapshots")
+        return
+    print(f"phase timers ({baseline_path} -> {current_path}, diagnostic):")
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b < floor_ms and c < floor_ms:
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        print(f"            {name}: {b:.3f} ms -> {c:.3f} ms "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -43,6 +77,10 @@ def main():
                     help="fail when current > baseline * (1 + this)")
     ap.add_argument("--floor-ms", type=float, default=1.0,
                     help="skip rows where both times are under this")
+    ap.add_argument("--baseline-metrics", default=None,
+                    help="baseline MetricsSnapshot for the phase diff")
+    ap.add_argument("--metrics", default=None,
+                    help="current MetricsSnapshot for the phase diff")
     args = ap.parse_args()
 
     base = load_times_ms(args.baseline)
@@ -68,6 +106,14 @@ def main():
     if skipped:
         print(f"note: {len(skipped)} benchmark(s) not in baseline (skipped): "
               + ", ".join(skipped))
+
+    if args.baseline_metrics and args.metrics:
+        try:
+            print_phase_diff(args.baseline_metrics, args.metrics,
+                             args.floor_ms)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+            # Diagnostic output must never mask the gate verdict.
+            print(f"note: phase diff unavailable ({e})", file=sys.stderr)
 
     if failures:
         print(f"FAIL: {len(failures)}/{len(shared)} benchmark(s) regressed "

@@ -6,7 +6,12 @@
 #
 # defaults: BUILD_DIR=build, OUT_DIR=bench_results. Each bench writes
 # OUT_DIR/BENCH_<tag>.json via google-benchmark's --benchmark_out (the
-# experiment tables still go to stdout, captured as BENCH_<tag>.txt).
+# experiment tables still go to stdout, captured as BENCH_<tag>.txt) plus a
+# METRICS_<tag>.json MetricsSnapshot sibling (schema lacon.metrics.v1 —
+# counters, timers, span histograms, guard truncation state; see DESIGN.md
+# §11). Under LACON_TRACE=spans each bench additionally writes
+# TRACE_<tag>.json, a Chrome trace-event file loadable in Perfetto
+# (https://ui.perfetto.dev) or chrome://tracing.
 # Extra arguments for the bench binaries can be passed via BENCH_ARGS,
 # e.g. BENCH_ARGS=--benchmark_min_time=0.01 for a smoke run.
 set -euo pipefail
@@ -32,7 +37,13 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
   name="$(basename "$bench")"
   tag="${name#bench_}"
   echo "=== $name -> $OUT_DIR/BENCH_$tag.json"
-  if ! "$bench" \
+  # Per-bench observability artifacts: the metrics snapshot is always
+  # emitted; the span trace only materializes when LACON_TRACE=spans (the
+  # runtime skips LACON_TRACE_FILE otherwise, so pointing it somewhere is
+  # harmless in the default counters mode).
+  if ! LACON_METRICS_FILE="$OUT_DIR/METRICS_$tag.json" \
+      LACON_TRACE_FILE="${LACON_TRACE_FILE:-$OUT_DIR/TRACE_$tag.json}" \
+      "$bench" \
       --benchmark_out="$OUT_DIR/BENCH_$tag.json" \
       --benchmark_out_format=json \
       ${BENCH_ARGS} \

@@ -36,9 +36,13 @@ run_config() {
     # the deterministic equivalence tests in the same binaries ignore them.
     echo "=== [$name] fault-injection soak" \
          "(seed=${LACON_FAULT_SEED:-20260805} rate=${LACON_FAULT_RATE:-0.05})"
-    for soak_bin in guard_test runtime_test fuzz_test; do
+    # trace_test rides along with tracing forced on: span buffers are the
+    # one lock-free structure written concurrently by every worker, so the
+    # soak doubles as the TSan/ASan proof for the publish protocol.
+    for soak_bin in guard_test runtime_test fuzz_test trace_test; do
       LACON_FAULT_SEED="${LACON_FAULT_SEED:-20260805}" \
       LACON_FAULT_RATE="${LACON_FAULT_RATE:-0.05}" \
+      LACON_TRACE=spans \
         "$dir/tests/$soak_bin" --gtest_brief=1
     done
   fi
@@ -54,18 +58,44 @@ run_config() {
       exit 1
     fi
     ls bench_results/BENCH_*.json >/dev/null
+    # Every bench emits a MetricsSnapshot sibling; a malformed or missing
+    # snapshot fails CI before the regression gate looks at anything.
+    echo "=== [$name] metrics snapshot validation (METRICS_*.json)"
+    for m in bench_results/METRICS_*.json; do
+      python3 -m json.tool "$m" > /dev/null
+    done
+    python3 bench/validate_metrics.py --kind metrics \
+      bench_results/METRICS_*.json
     # Regression gate on the runtime-path experiments (t9: parallel runtime,
     # t10: arena intern contention): >25% real_time regression vs the
     # committed bench/baseline/ fails CI. Regenerate the baseline with the
     # same smoke budget when a PR intentionally moves performance. The gated
-    # JSONs are also copied to the repo top level as CI artifacts.
+    # JSONs (plus their metrics snapshots) are copied to the repo top level
+    # as CI artifacts.
     echo "=== [$name] bench regression gate (t9+t10 vs bench/baseline/)"
     for tag in t9_runtime t10_arena; do
       python3 bench/compare_baseline.py \
         "bench/baseline/BENCH_$tag.json" "bench_results/BENCH_$tag.json" \
-        --max-regression 0.25
+        --max-regression 0.25 \
+        --baseline-metrics "bench/baseline/METRICS_$tag.json" \
+        --metrics "bench_results/METRICS_$tag.json"
       cp "bench_results/BENCH_$tag.json" "BENCH_$tag.json"
+      cp "bench_results/METRICS_$tag.json" "METRICS_$tag.json"
     done
+    # Tracing-on smoke: one bench under LACON_TRACE=spans proves the span
+    # path end-to-end — the Chrome trace must parse and contain complete
+    # span events. Not part of the regression gate (span emission costs a
+    # little; the gate above runs with tracing off, matching the baseline).
+    echo "=== [$name] tracing-on bench smoke (t9 + TRACE/METRICS validation)"
+    LACON_TRACE=spans \
+    LACON_METRICS_FILE=bench_results/METRICS_t9_traced.json \
+    LACON_TRACE_FILE=bench_results/TRACE_t9_traced.json \
+      "$dir/bench/bench_t9_runtime" --benchmark_min_time=0.01x > /dev/null
+    python3 bench/validate_metrics.py --kind trace \
+      bench_results/TRACE_t9_traced.json
+    python3 bench/validate_metrics.py --kind metrics \
+      bench_results/METRICS_t9_traced.json
+    cp bench_results/TRACE_t9_traced.json TRACE_t9_traced.json
   fi
 }
 

@@ -92,5 +92,14 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no bivalent initial state: %s\n", run.stuck_reason.c_str());
   }
+
+  // Arena accounting for the run-construction model. approx_bytes is a
+  // content-derived estimate (per-state/per-view formulas, DESIGN.md §9) —
+  // deliberately NOT allocator or pool occupancy, so it is identical for
+  // every worker count. It is the same quantity the guard's memory budget
+  // evaluates and the metrics snapshot reports as guard.max_bytes headroom.
+  std::printf("\ninterned: %zu states, approx_bytes %zu "
+              "(content-derived, scheduling-independent)\n",
+              model2->num_states(), model2->memory_footprint());
   return 0;
 }

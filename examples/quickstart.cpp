@@ -9,18 +9,32 @@
 //      by layer — the executable form of "consensus is impossible with one
 //      mobile failure" (Corollary 5.2);
 //   3. prints the trilemma verdict for a catalog of candidate protocols:
-//      each violates one of decision / agreement / validity.
+//      each violates one of decision / agreement / validity;
+//   4. demonstrates the observability layer: the whole analysis runs under
+//      LACON_TRACE=counters-equivalent tracing, and the program finishes by
+//      writing quickstart_trace.json (open it at https://ui.perfetto.dev)
+//      and printing where the time went, span by span.
 #include <cstdio>
 
 #include "analysis/reports.hpp"
 #include "engine/bivalence.hpp"
+#include "engine/explore.hpp"
 #include "models/mobile/mobile_model.hpp"
 #include "relation/similarity.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 
 int main() {
   using namespace lacon;
   const int n = 3;
   const int horizon = 3;
+
+  // Record spans for everything below. Equivalent to running any lacon
+  // binary with LACON_TRACE=spans in the environment; the explicit call
+  // just makes the quickstart self-contained. Tracing never changes
+  // results — with the default LACON_TRACE=off a span site costs one
+  // relaxed atomic load.
+  trace::set_mode(trace::Mode::kSpans);
 
   auto rule = min_after_round(2);
   MobileModel model(n, *rule);
@@ -28,6 +42,10 @@ int main() {
   // --- Lemma 3.6 -----------------------------------------------------------
   const auto& con0 = model.initial_states();
   std::printf("Con_0: %zu initial states\n", con0.size());
+  const auto levels = reachable_by_depth(model, 2);
+  std::size_t reachable = 0;
+  for (const auto& level : levels) reachable += level.size();
+  std::printf("  reachable to depth 2: %zu states\n", reachable);
   std::printf("  similarity connected: %s\n",
               similarity_connected(model, con0) ? "yes" : "no");
   ValenceEngine engine(model, horizon);
@@ -65,6 +83,26 @@ int main() {
     }
     std::printf("%-26s violates %-9s : %s\n", c.label, what,
                 v.witness.c_str());
+  }
+
+  // --- Where did the time go? ----------------------------------------------
+  // Every span recorded above also fed a log2 latency histogram
+  // "span.<category>.<name>" in the stats registry; print the per-phase
+  // totals, then export the full event timeline as a Chrome trace. In the
+  // Perfetto UI each worker thread is a lane, engine phases appear as
+  // explore.expand / explore.merge / valence.classify spans, and work
+  // steals show as instants.
+  for (const runtime::HistogramSample& h :
+       runtime::Stats::global().histogram_snapshot()) {
+    if (h.count == 0) continue;
+    std::printf("%-28s %6llu spans, %8.3f ms total\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.count),
+                static_cast<double>(h.sum) * 1e-6);
+  }
+  const char* trace_path = "quickstart_trace.json";
+  if (trace::write_chrome_trace(trace_path)) {
+    std::printf("%zu span events -> %s (drag into https://ui.perfetto.dev)\n",
+                trace::spans_recorded(), trace_path);
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 #include "util/bitset.hpp"
 
 namespace lacon {
@@ -40,16 +41,22 @@ guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
     // where the guard is probed per state; a trip means the cache may be
     // missing layers, in which case the merge below must not run (it would
     // recompute them serially, unguarded).
-    if (g.never_trips()) {
-      if (runtime::worker_count() > 1) {
-        runtime::parallel_for(frontier.size(),
-                              [&](std::size_t i) { model.layer(frontier[i]); });
+    {
+      // The per-worker chunks of this section trace as "explore.expand"
+      // spans (the PhaseScope publishes the site; arg = layer depth).
+      LACON_TRACE_PHASE("explore", "expand", d);
+      if (g.never_trips()) {
+        if (runtime::worker_count() > 1) {
+          runtime::parallel_for(
+              frontier.size(),
+              [&](std::size_t i) { model.layer(frontier[i]); });
+        }
+      } else {
+        const std::size_t filled = runtime::parallel_for_guarded(
+            g, frontier.size(),
+            [&](std::size_t i) { model.layer(frontier[i]); });
+        if (filled < frontier.size() || g.tripped()) break;
       }
-    } else {
-      const std::size_t filled = runtime::parallel_for_guarded(
-          g, frontier.size(),
-          [&](std::size_t i) { model.layer(frontier[i]); });
-      if (filled < frontier.size() || g.tripped()) break;
     }
     // Phase 2 (serial, canonical): merge layers in frontier order, so the
     // discovery order — and with it every level's content — is a function
@@ -57,20 +64,23 @@ guard::Partial<std::vector<std::vector<StateId>>> reachable_by_depth(
     // discards the partial level: truncation is level-granular.
     std::vector<StateId> next;
     bool aborted = false;
-    try {
-      for (StateId x : frontier) {
-        if (g.tripped()) {
-          aborted = true;
-          break;
+    {
+      LACON_TRACE_SPAN_ARG("explore", "merge", frontier.size());
+      try {
+        for (StateId x : frontier) {
+          if (g.tripped()) {
+            aborted = true;
+            break;
+          }
+          for (StateId y : model.layer(x)) {
+            if (seen.insert(y)) next.push_back(y);
+          }
         }
-        for (StateId y : model.layer(x)) {
-          if (seen.insert(y)) next.push_back(y);
-        }
+      } catch (const fault::InjectedAllocError&) {
+        if (g.never_trips()) throw;  // inert guard: behave like the raw call
+        g.note_memory_exhausted();
+        aborted = true;
       }
-    } catch (const fault::InjectedAllocError&) {
-      if (g.never_trips()) throw;  // inert guard: behave like the raw call
-      g.note_memory_exhausted();
-      aborted = true;
     }
     if (aborted) break;
     stats.counter("explore.layers_expanded").add(frontier.size());

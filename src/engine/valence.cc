@@ -5,6 +5,7 @@
 
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 
 namespace lacon {
 
@@ -100,6 +101,7 @@ guard::Partial<std::vector<ValenceInfo>> ValenceEngine::classify_all(
     const std::vector<StateId>& X, const guard::Guard& g) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("valence.classify_time"));
+  LACON_TRACE_PHASE("valence", "classify", X.size());
   guard::Partial<std::vector<ValenceInfo>> out;
   out.value.resize(X.size());
   out.completed = runtime::parallel_for_guarded(

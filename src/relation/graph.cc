@@ -8,6 +8,7 @@
 
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 
 namespace lacon {
 
@@ -49,6 +50,7 @@ Graph Graph::from_relation(std::size_t size,
   runtime::ScopedTimer timer(stats.timer("relation.pair_sweep_time"));
   const std::size_t pairs = size < 2 ? 0 : size * (size - 1) / 2;
   stats.counter("relation.pairs_evaluated").add(pairs);
+  LACON_TRACE_PHASE("relation", "pair_sweep", pairs);
 
   // Each ordered chunk of the flattened pair-index space yields its edges in
   // lexicographic (a, b) order; concatenating the chunks in order therefore
@@ -182,6 +184,7 @@ guard::Partial<std::optional<std::size_t>> Graph::diameter(
   ensure_csr();
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("relation.diameter_time"));
+  LACON_TRACE_PHASE("relation", "diameter", size());
   // Record every source's eccentricity, then fold only the completed prefix:
   // a truncated value depends on [0, completed) alone, never on which
   // straggler sources also happened to finish.
@@ -228,6 +231,7 @@ std::optional<std::size_t> Graph::diameter() const {
   ensure_csr();
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("relation.diameter_time"));
+  LACON_TRACE_PHASE("relation", "diameter", size());
   stats.counter("relation.diameter_sources").add(size());
   // Per-chunk eccentricity maxima, merged by max — commutative, so the
   // result is the same for every worker count. kUnreached marks a

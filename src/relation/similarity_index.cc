@@ -10,6 +10,7 @@
 #include "relation/similarity.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
 
 namespace lacon {
 
@@ -54,13 +55,16 @@ guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
   // here leaves nothing usable (candidates need every row), so the result
   // degrades to the empty graph.
   std::vector<std::uint64_t> fp(m * nu);
-  const std::size_t hashed =
-      runtime::parallel_for_guarded(g, m, [&](std::size_t i) {
-        for (ProcessId j = 0; j < n; ++j) {
-          fp[i * nu + static_cast<std::size_t>(j)] =
-              model.similarity_fingerprint(X[i], j);
-        }
-      });
+  std::size_t hashed = 0;
+  {
+    LACON_TRACE_PHASE("similarity", "fingerprint", m);
+    hashed = runtime::parallel_for_guarded(g, m, [&](std::size_t i) {
+      for (ProcessId j = 0; j < n; ++j) {
+        fp[i * nu + static_cast<std::size_t>(j)] =
+            model.similarity_fingerprint(X[i], j);
+      }
+    });
+  }
   if (hashed < m) {
     out.truncation = g.reason();
     return out;
@@ -74,36 +78,39 @@ guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
   std::uint64_t buckets = 0;
   std::vector<Graph::Edge> candidates;
   std::vector<std::pair<std::uint64_t, Graph::Vertex>> column(m);
-  for (ProcessId j = 0; j < n; ++j) {
-    if (g.tripped()) {
-      out.truncation = g.reason();
-      return out;
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      column[i] = {fp[i * nu + static_cast<std::size_t>(j)],
-                   static_cast<Graph::Vertex>(i)};
-    }
-    std::sort(column.begin(), column.end());
-    for (std::size_t lo = 0; lo < m;) {
-      std::size_t hi = lo + 1;
-      while (hi < m && column[hi].first == column[lo].first) ++hi;
-      if (hi - lo >= 2) {
-        ++buckets;
-        for (std::size_t a = lo; a < hi; ++a) {
-          for (std::size_t b = a + 1; b < hi; ++b) {
-            candidates.emplace_back(std::min(column[a].second,
-                                             column[b].second),
-                                    std::max(column[a].second,
-                                             column[b].second));
+  {
+    LACON_TRACE_SPAN_ARG("similarity", "bucket", m);
+    for (ProcessId j = 0; j < n; ++j) {
+      if (g.tripped()) {
+        out.truncation = g.reason();
+        return out;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        column[i] = {fp[i * nu + static_cast<std::size_t>(j)],
+                     static_cast<Graph::Vertex>(i)};
+      }
+      std::sort(column.begin(), column.end());
+      for (std::size_t lo = 0; lo < m;) {
+        std::size_t hi = lo + 1;
+        while (hi < m && column[hi].first == column[lo].first) ++hi;
+        if (hi - lo >= 2) {
+          ++buckets;
+          for (std::size_t a = lo; a < hi; ++a) {
+            for (std::size_t b = a + 1; b < hi; ++b) {
+              candidates.emplace_back(std::min(column[a].second,
+                                               column[b].second),
+                                      std::max(column[a].second,
+                                               column[b].second));
+            }
           }
         }
+        lo = hi;
       }
-      lo = hi;
     }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
   stats.counter("relation.index_buckets").add(buckets);
   stats.counter("relation.index_candidates").add(candidates.size());
 
@@ -111,6 +118,7 @@ guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
   // candidate list is (a, b)-lexicographically sorted, so concatenating the
   // per-chunk survivors reproduces exactly the naive sweep's edge sequence;
   // under truncation the survivors of the confirmed candidate prefix do.
+  LACON_TRACE_PHASE("similarity", "confirm", candidates.size());
   const runtime::PartialChunks<std::vector<Graph::Edge>> chunks =
       runtime::parallel_map_chunks_guarded<std::vector<Graph::Edge>>(
           g, candidates.size(), [&](std::size_t begin, std::size_t end) {

@@ -85,6 +85,11 @@ bool Guard::tripped() const {
 TruncationReason Guard::check(std::size_t states_in_use,
                               std::size_t bytes_in_use) const {
   if (inert_) return TruncationReason::kNone;
+  // Boundary checks are rare (depth/level granularity), so one always-on
+  // counter shows how often the engine offered a preemption point.
+  static runtime::Counter& checks =
+      runtime::Stats::global().counter("guard.checks");
+  checks.increment();
   if ((max_states_ != 0 && states_in_use > max_states_) ||
       (max_bytes_ != 0 && bytes_in_use > max_bytes_)) {
     trip(TruncationReason::kStateBudget);

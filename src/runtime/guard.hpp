@@ -34,6 +34,12 @@
 // probe reports tripped, so one guard governs a whole pipeline of calls
 // ("stop everything downstream too"). Guards are intentionally
 // non-copyable; share one by reference, or share a CancelToken.
+//
+// Observability: every boundary probe bumps the "guard.checks" counter and
+// the first trip per guard bumps "guard.trips_<reason>" (runtime/stats.hpp),
+// so runtime_report() and the MetricsSnapshot JSON (runtime/trace.hpp,
+// "guard.trips" block) show how many analyses were truncated and why
+// without any extra wiring at the call sites.
 #pragma once
 
 #include <atomic>

@@ -8,10 +8,16 @@
 #include <thread>
 
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 
 namespace lacon::runtime::detail {
 
 namespace {
+
+// Chunks executed outside any engine phase trace under this generic site;
+// inside a PhaseScope they inherit the phase's name, which is what gives
+// the per-worker explore/similarity/valence spans (runtime/trace.hpp).
+constinit trace::SpanSite g_chunk_site{"pool", "chunk"};
 
 // Shared by the submitting thread and the drain tasks; owned via shared_ptr
 // so a task that is dequeued after the parallel section already finished
@@ -65,6 +71,8 @@ void drain(const std::shared_ptr<BatchState>& state) {
     if (!skip) {
       std::size_t begin = 0, end = 0;
       chunk_bounds(*state, c, begin, end);
+      trace::SpanSite* phase = trace::current_phase();
+      trace::ScopedSpan span(phase != nullptr ? phase : &g_chunk_site, c);
       try {
         fault::maybe_throw_task_fault();
         const std::size_t processed = state->fn(c, begin, end);

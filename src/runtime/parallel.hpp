@@ -21,6 +21,13 @@
 // and its content is canonical for every worker count. (Straggler chunks
 // claimed before the trip may also have run; their indices lie beyond
 // `completed` and their results are discarded by the guarded facades.)
+//
+// Tracing integration (runtime/trace.hpp): under LACON_TRACE=spans each
+// executed chunk emits one span on the worker that ran it, attributed to
+// the innermost live PhaseScope ("explore.expand", "valence.classify", …)
+// or to the generic "pool.chunk" outside any phase. That is how per-worker
+// lanes appear in a Perfetto trace without any per-item instrumentation;
+// with tracing off the chunk path pays one relaxed load.
 #pragma once
 
 #include <algorithm>

@@ -28,6 +28,16 @@ Timer& Stats::timer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& Stats::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 std::vector<StatSample> Stats::snapshot() const {
   std::vector<StatSample> out;
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,10 +55,28 @@ std::vector<StatSample> Stats::snapshot() const {
   return out;
 }
 
+std::vector<HistogramSample> Stats::histogram_snapshot() const {
+  std::vector<HistogramSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.count = h->count();
+    sample.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      sample.buckets[b] = h->bucket(b);
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;  // map iteration order is already sorted by name
+}
+
 void Stats::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 }  // namespace lacon::runtime

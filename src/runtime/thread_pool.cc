@@ -6,9 +6,32 @@
 #include <cstdlib>
 #include <utility>
 
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
+
 namespace lacon::runtime {
 
 namespace {
+
+// Scheduling instrumentation: cheap relaxed counters (always on, like the
+// arena counters) plus trace sites that light up under LACON_TRACE=spans.
+constinit trace::SpanSite g_task_site{"pool", "task"};
+constinit trace::SpanSite g_steal_site{"pool", "steal"};
+
+Counter& tasks_run_counter() {
+  static Counter& c = Stats::global().counter("pool.tasks_run");
+  return c;
+}
+
+Counter& steals_counter() {
+  static Counter& c = Stats::global().counter("pool.steals");
+  return c;
+}
+
+Counter& submitted_counter() {
+  static Counter& c = Stats::global().counter("pool.submitted");
+  return c;
+}
 
 std::mutex& config_mu() {
   static std::mutex mu;
@@ -53,7 +76,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submitted_counter().increment();
   if (deques_.empty()) {  // serial pool: no worker threads, run inline
+    tasks_run_counter().increment();
+    trace::ScopedSpan span(g_task_site);
     task();
     return;
   }
@@ -83,12 +109,17 @@ bool ThreadPool::pop_front(std::size_t q, std::function<void()>& task) {
 bool ThreadPool::steal_back(std::size_t thief, std::function<void()>& task) {
   const std::size_t count = deques_.size();
   for (std::size_t i = 1; i < count; ++i) {
-    Deque& d = *deques_[(thief + i) % count];
-    std::lock_guard<std::mutex> lock(d.mu);
-    if (d.tasks.empty()) continue;
-    task = std::move(d.tasks.back());
-    d.tasks.pop_back();
-    pending_.fetch_sub(1, std::memory_order_relaxed);
+    const std::size_t victim = (thief + i) % count;
+    Deque& d = *deques_[victim];
+    {
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (d.tasks.empty()) continue;
+      task = std::move(d.tasks.back());
+      d.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    steals_counter().increment();
+    trace::instant(g_steal_site, victim);
     return true;
   }
   return false;
@@ -105,7 +136,11 @@ bool ThreadPool::run_one() {
       d.tasks.pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
     }
-    task();
+    tasks_run_counter().increment();
+    {
+      trace::ScopedSpan span(g_task_site);
+      task();
+    }
     return true;
   }
   return false;
@@ -115,7 +150,11 @@ void ThreadPool::worker_loop(std::size_t self) {
   std::function<void()> task;
   for (;;) {
     if (pop_front(self, task) || steal_back(self, task)) {
-      task();
+      tasks_run_counter().increment();
+      {
+        trace::ScopedSpan span(g_task_site);
+        task();
+      }
       task = nullptr;  // drop captured state before idling
       continue;
     }

@@ -7,9 +7,21 @@
 // instead of blocking, so nested parallel sections cannot deadlock.
 //
 // The process-wide pool is sized by the LACON_THREADS environment variable
-// (default: std::thread::hardware_concurrency). A worker count of 1 means
-// fully serial execution: the parallel facades then run inline on the
-// calling thread and the pool spawns no threads at all.
+// (default: std::thread::hardware_concurrency; malformed values warn once
+// and fall back). A worker count of 1 means fully serial execution: the
+// parallel facades then run inline on the calling thread and the pool
+// spawns no threads at all. set_worker_count() / WorkerCountOverride
+// resize the pool programmatically (tests sweep 1 vs 4+ workers this way).
+//
+// What is and is not deterministic: *which* worker runs a task, and how
+// often stealing happens, race by design — only the facades' ordered-chunk
+// merging (parallel.hpp) makes analysis output worker-count-independent.
+// The pool's own observability is therefore explicitly scheduling-
+// dependent: the pool.submitted / pool.tasks_run / pool.steals counters
+// (always on, relaxed atomics) and, under LACON_TRACE=spans, a "pool.task"
+// span per dequeued task plus a "pool.steal" instant per successful steal
+// (runtime/trace.hpp) — useful for watching load balance in Perfetto,
+// never part of any equivalence contract.
 #pragma once
 
 #include <atomic>
