@@ -58,6 +58,31 @@ if [[ "$ran" -eq 0 ]]; then
   echo "error: no bench binaries found under $BUILD_DIR/bench" >&2
   exit 1
 fi
+
+# Schema-validate every observability artifact the benches emitted. Both
+# kinds gate the exit status: a malformed METRICS_ snapshot and a malformed
+# TRACE_ span export are equally a regression (a span trace that silently
+# stops validating is how instrumentation rot slips past CI).
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+metrics_files=("$OUT_DIR"/METRICS_*.json)
+if [[ -e "${metrics_files[0]}" ]]; then
+  echo "=== validating ${#metrics_files[@]} metrics snapshot(s)"
+  if ! python3 "$script_dir/validate_metrics.py" --kind metrics \
+      "${metrics_files[@]}"; then
+    status=1
+    failed+=("validate:metrics")
+  fi
+fi
+trace_files=("$OUT_DIR"/TRACE_*.json)
+if [[ -e "${trace_files[0]}" ]]; then
+  echo "=== validating ${#trace_files[@]} span trace(s)"
+  if ! python3 "$script_dir/validate_metrics.py" --kind trace \
+      "${trace_files[@]}"; then
+    status=1
+    failed+=("validate:trace")
+  fi
+fi
+
 if [[ "$status" -ne 0 ]]; then
   echo "bench failures (${#failed[@]}/$ran): ${failed[*]}" >&2
 fi

@@ -39,7 +39,12 @@ run_config() {
     # trace_test rides along with tracing forced on: span buffers are the
     # one lock-free structure written concurrently by every worker, so the
     # soak doubles as the TSan/ASan proof for the publish protocol.
-    for soak_bin in guard_test runtime_test fuzz_test trace_test; do
+    # store_test rides along for the snapshot replay paths under ASan
+    # (truncated/corrupt file parsing is exactly where ASan earns its keep);
+    # service_test is the satellite TSan soak: concurrent socket clients
+    # sharing one session's arenas, layer cache and valence memo.
+    for soak_bin in guard_test runtime_test fuzz_test trace_test \
+                    store_test service_test; do
       LACON_FAULT_SEED="${LACON_FAULT_SEED:-20260805}" \
       LACON_FAULT_RATE="${LACON_FAULT_RATE:-0.05}" \
       LACON_TRACE=spans \
@@ -96,6 +101,56 @@ run_config() {
     python3 bench/validate_metrics.py --kind metrics \
       bench_results/METRICS_t9_traced.json
     cp bench_results/TRACE_t9_traced.json TRACE_t9_traced.json
+    # Snapshot store gate: t11 measures file IO, which is noisier than the
+    # in-memory t9/t10 paths, so its threshold is looser than the hard 25%
+    # gate above. Regenerate bench/baseline/BENCH_t11_store.json with the
+    # same smoke budget when the format or the workloads change.
+    echo "=== [$name] bench regression gate (t11 store vs bench/baseline/)"
+    python3 bench/compare_baseline.py \
+      "bench/baseline/BENCH_t11_store.json" \
+      "bench_results/BENCH_t11_store.json" \
+      --max-regression 0.75 \
+      --baseline-metrics "bench/baseline/METRICS_t11_store.json" \
+      --metrics "bench_results/METRICS_t11_store.json"
+    cp bench_results/BENCH_t11_store.json BENCH_t11_store.json
+    cp bench_results/METRICS_t11_store.json METRICS_t11_store.json
+    # Persistence round trip (acceptance: snapshot round-trip is lossless).
+    # A cold run saves a snapshot; a warm run loads it, reruns the identical
+    # analysis and must (i) print byte-identical canonical output and (ii)
+    # intern nothing new — store_roundtrip itself exits nonzero if the warm
+    # arena miss counter moved. The snapshot ships as a CI artifact.
+    echo "=== [$name] store round-trip lane (cold vs warm, byte-identical)"
+    rm -rf store_artifacts && mkdir -p store_artifacts
+    snap=store_artifacts/mobile.n3.t1.lacon.store
+    "$dir/examples/store_roundtrip" --save "$snap" \
+      --model mobile --n 3 --depth 2 --horizon 3 > store_artifacts/cold.txt
+    "$dir/examples/store_roundtrip" --load "$snap" \
+      --model mobile --n 3 --depth 2 --horizon 3 > store_artifacts/warm.txt
+    cmp store_artifacts/cold.txt store_artifacts/warm.txt
+    # laconrd smoke: daemon up, two concurrent clients — one starved by a
+    # tiny budget (must answer "truncated" with its reason), one unbudgeted
+    # (must answer "ok") — then a clean shutdown. SIGTERM, not SIGINT:
+    # non-interactive shells start background jobs with SIGINT ignored, so
+    # an INT-based smoke would hang here while working fine interactively.
+    echo "=== [$name] laconrd smoke (2 concurrent clients + SIGTERM)"
+    sock="/tmp/laconrd_ci_$$.sock"
+    "$dir/examples/laconrd" --socket "$sock" &
+    laconrd_pid=$!
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ -S "$sock" ]]
+    "$dir/examples/laconrd" --socket "$sock" --client \
+      '{"id":"starved","model":"sharedmem","n":3,"depth":4,"budget_ms":1}' \
+      > store_artifacts/starved.json &
+    client_pid=$!
+    "$dir/examples/laconrd" --socket "$sock" --client \
+      '{"id":"free","model":"mobile","n":3,"depth":2,"query":"valence"}' \
+      > store_artifacts/free.json
+    wait "$client_pid"
+    grep -q '"status":"truncated","truncation":"deadline"' \
+      store_artifacts/starved.json
+    grep -q '"status":"ok"' store_artifacts/free.json
+    kill -TERM "$laconrd_pid"
+    wait "$laconrd_pid"
   fi
 }
 

@@ -34,6 +34,80 @@ LayeredModel::LayeredModel(int n, const DecisionRule& rule,
 #endif
 }
 
+LayeredModel::~LayeredModel() {
+  // Fingerprint rows are plain heap arrays hung off atomic slots; analysis
+  // has quiesced by destruction time, so a relaxed sweep suffices.
+  const std::size_t count = arena_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto* slot = fp_memo_.try_get(i);
+    if (slot == nullptr) continue;
+    delete[] slot->load(std::memory_order_acquire);
+  }
+}
+
+StateId LayeredModel::restore_state(GlobalState s) {
+  return arena_.restore(std::move(s));
+}
+
+const std::uint64_t* LayeredModel::fingerprint_row(StateId x) {
+  auto& slot = fp_memo_.slot(static_cast<std::size_t>(x));
+  if (const std::uint64_t* cached = slot.load(std::memory_order_acquire)) {
+    return cached;
+  }
+  auto* mine = new std::uint64_t[static_cast<std::size_t>(n_)];
+  for (ProcessId j = 0; j < n_; ++j) {
+    mine[static_cast<std::size_t>(j)] = similarity_fingerprint(x, j);
+  }
+  const std::uint64_t* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, mine, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return mine;
+  }
+  delete[] mine;
+  return expected;
+}
+
+const std::uint64_t* LayeredModel::cached_fingerprint_row(StateId x) const {
+  const auto* slot = fp_memo_.try_get(static_cast<std::size_t>(x));
+  if (slot == nullptr) return nullptr;
+  return slot->load(std::memory_order_acquire);
+}
+
+void LayeredModel::restore_fingerprint_row(StateId x,
+                                           const std::uint64_t* row) {
+  auto& slot = fp_memo_.slot(static_cast<std::size_t>(x));
+  auto* mine = new std::uint64_t[static_cast<std::size_t>(n_)];
+  std::copy(row, row + n_, mine);
+  const std::uint64_t* expected = nullptr;
+  if (!slot.compare_exchange_strong(expected, mine,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    delete[] mine;
+  }
+}
+
+std::vector<std::pair<StateId, std::vector<StateId>>>
+LayeredModel::export_layer_cache() {
+  std::vector<std::pair<StateId, std::vector<StateId>>> out;
+  for (LayerShard& shard : layer_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [x, succ] : shard.map) out.emplace_back(x, succ);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void LayeredModel::import_layer_cache(
+    std::vector<std::pair<StateId, std::vector<StateId>>> entries) {
+  for (auto& [x, succ] : entries) {
+    LayerShard& shard =
+        layer_shards_[static_cast<std::size_t>(x) % kLayerShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(x, std::move(succ));
+  }
+}
+
 const std::vector<StateId>& LayeredModel::initial_states() {
   std::call_once(initial_once_, [this] {
     for (const auto& inputs : initial_inputs_) {

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/decision_rule.hpp"
@@ -33,7 +35,7 @@ class LayeredModel {
   // assignments, i.e. the paper's Con_0.
   LayeredModel(int n, const DecisionRule& rule,
                std::vector<std::vector<Value>> initial_inputs = {});
-  virtual ~LayeredModel() = default;
+  virtual ~LayeredModel();
 
   LayeredModel(const LayeredModel&) = delete;
   LayeredModel& operator=(const LayeredModel&) = delete;
@@ -99,6 +101,46 @@ class LayeredModel {
   // and mask the same words.
   virtual std::uint64_t similarity_fingerprint(StateId x, ProcessId j) const;
 
+  // --- Snapshot hooks (lacon::store, store/snapshot.hpp) ------------------
+  //
+  // The store serializes the interned space through the public read API
+  // (state()/views().node()) and replays it through the hooks below, in
+  // stored-id order into a freshly-constructed model, so every restored
+  // object receives exactly its stored id and later re-interning of the
+  // same content hits the rebuilt hash-consing index.
+
+  // Replays one interned state out of a snapshot; counts into
+  // "arena.state_restored" instead of the miss counters.
+  StateId restore_state(GlobalState s);
+
+  // The memoized erase-one fingerprint row of x: n entries, entry j equal
+  // to similarity_fingerprint(x, j). Rows are published once per state in a
+  // lock-free slot (racing computations are idempotent — the first
+  // published row wins, losers free theirs); the similarity index reads
+  // rows instead of rehashing each sweep, and the store serializes
+  // published rows so a warm start skips the hashing phase. Deliberately
+  // NOT part of memory_footprint(): rows appear in sweep order, which is
+  // scheduling-dependent, and guard byte accounting must not be.
+  const std::uint64_t* fingerprint_row(StateId x);
+
+  // The row for x if one was already published, nullptr otherwise (the
+  // store's save-side iteration; never computes).
+  const std::uint64_t* cached_fingerprint_row(StateId x) const;
+
+  // Publishes a row loaded from a snapshot (copies `row`, n entries;
+  // keeps an existing row if already published).
+  void restore_fingerprint_row(StateId x, const std::uint64_t* row);
+
+  // The layer cache as (state, successors) entries, sorted by state id.
+  // Call only while no layer computation is in flight.
+  std::vector<std::pair<StateId, std::vector<StateId>>> export_layer_cache();
+
+  // Replays cached layers from a snapshot. Entries whose key is already
+  // cached keep the existing vector (they are equal by construction).
+  void import_layer_cache(
+      std::vector<std::pair<StateId, std::vector<StateId>>> entries);
+  // ------------------------------------------------------------------------
+
   // Canonical, id-free rendering of x's environment component. The default
   // prints the raw words — canonical only for models whose environment
   // holds plain scalars. Models whose environment embeds interned ViewIds
@@ -137,6 +179,8 @@ class LayeredModel {
   std::vector<StateId> initial_states_;
   std::once_flag initial_once_;
   std::array<LayerShard, kLayerShards> layer_shards_;
+  // Per-state fingerprint rows (n hashes each); nullptr until published.
+  runtime::ConcurrentSlotVector<std::atomic<const std::uint64_t*>> fp_memo_;
 };
 
 // All binary input assignments for n processes (the paper's Con_0 inputs).

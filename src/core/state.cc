@@ -79,10 +79,20 @@ StateArena::StateArena()
       shards_(std::make_unique<Shard[]>(arena_shard_count())),
       hits_(&runtime::Stats::global().counter("arena.state_hits")),
       misses_(&runtime::Stats::global().counter("arena.state_misses")),
+      restored_(&runtime::Stats::global().counter("arena.state_restored")),
       shard_waits_(
           &runtime::Stats::global().counter("arena.state_shard_waits")) {}
 
 StateId StateArena::intern(GlobalState s) {
+  return intern_impl(std::move(s), misses_);
+}
+
+StateId StateArena::restore(GlobalState s) {
+  return intern_impl(std::move(s), restored_);
+}
+
+StateId StateArena::intern_impl(GlobalState s,
+                                runtime::Counter* miss_counter) {
   fault::maybe_throw_alloc_fault();
   assert(s.decisions.size() == s.locals.size() &&
          "GlobalState carries one decision slot per process");
@@ -129,7 +139,7 @@ StateId StateArena::intern(GlobalState s) {
   approx_bytes_.fetch_add(state_footprint(s.env.size(), n),
                           std::memory_order_relaxed);
   sh.index.emplace(h, id);
-  misses_->increment();
+  miss_counter->increment();
   return id;
 }
 

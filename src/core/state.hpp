@@ -92,6 +92,14 @@ class StateArena {
 
   StateId intern(GlobalState s);
 
+  // Re-interns a state streamed out of a lacon.store.v1 snapshot
+  // (store/snapshot.hpp). Identical to intern() — same pool copy, same
+  // index insert, same id assignment — except that a fresh insertion bumps
+  // "arena.state_restored" instead of the miss counter, so the arena miss
+  // count after a warm start reflects only *new* content discovered by the
+  // analysis, not the snapshot replay itself.
+  StateId restore(GlobalState s);
+
   StateRef state(StateId id) const noexcept {
     const Header& h = headers_[static_cast<std::size_t>(id)];
     if (h.total_words() == 0) return {};
@@ -150,6 +158,8 @@ class StateArena {
     return shards_[(h >> 40) & shard_mask_];
   }
 
+  StateId intern_impl(GlobalState s, runtime::Counter* miss_counter);
+
   std::size_t shard_mask_;
   std::unique_ptr<Shard[]> shards_;
   mutable runtime::WordPool pool_;
@@ -158,6 +168,7 @@ class StateArena {
   std::atomic<std::size_t> approx_bytes_{0};
   runtime::Counter* hits_;
   runtime::Counter* misses_;
+  runtime::Counter* restored_;
   runtime::Counter* shard_waits_;
 };
 

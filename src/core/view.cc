@@ -14,6 +14,7 @@ ViewArena::ViewArena(int n)
       shards_(std::make_unique<Shard[]>(arena_shard_count())),
       hits_(&runtime::Stats::global().counter("arena.view_hits")),
       misses_(&runtime::Stats::global().counter("arena.view_misses")),
+      restored_(&runtime::Stats::global().counter("arena.view_restored")),
       shard_waits_(
           &runtime::Stats::global().counter("arena.view_shard_waits")) {
   assert(n >= 2 && n < 62);
@@ -47,7 +48,16 @@ ViewId ViewArena::extend(ViewId prev, std::vector<Obs> obs) {
   return intern(ViewNode{p.owner, p.round + 1, p.input, prev, std::move(obs)});
 }
 
+ViewId ViewArena::restore(ViewNode node) {
+  assert(node.owner >= 0 && node.owner < n_);
+  return intern_impl(std::move(node), restored_);
+}
+
 ViewId ViewArena::intern(ViewNode nd) {
+  return intern_impl(std::move(nd), misses_);
+}
+
+ViewId ViewArena::intern_impl(ViewNode nd, runtime::Counter* miss_counter) {
   fault::maybe_throw_alloc_fault();
   const std::uint64_t h = content_hash(nd);  // once, outside the lock
   Shard& sh = shard_for(h);
@@ -72,7 +82,7 @@ ViewId ViewArena::intern(ViewNode nd) {
   const ViewId id = static_cast<ViewId>(idx);
   nodes_.slot(idx) = std::move(nd);
   sh.index.emplace(h, id);
-  misses_->increment();
+  miss_counter->increment();
   return id;
 }
 

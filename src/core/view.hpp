@@ -78,6 +78,13 @@ class ViewArena {
   // order so that equal views intern to equal ids.
   ViewId extend(ViewId prev, std::vector<Obs> obs);
 
+  // Re-interns a node streamed out of a lacon.store.v1 snapshot
+  // (store/snapshot.hpp). Identical to the private intern path except that a
+  // fresh insertion bumps "arena.view_restored" instead of the miss counter;
+  // snapshot replay happens in stored-id order into an empty arena, so the
+  // returned id equals the stored one.
+  ViewId restore(ViewNode node);
+
   const ViewNode& node(ViewId id) const {
     return nodes_[static_cast<std::size_t>(id)];
   }
@@ -123,6 +130,7 @@ class ViewArena {
   };
 
   ViewId intern(ViewNode node);
+  ViewId intern_impl(ViewNode node, runtime::Counter* miss_counter);
 
   Shard& shard_for(std::uint64_t h) const noexcept {
     return shards_[(h >> 40) & shard_mask_];
@@ -139,6 +147,7 @@ class ViewArena {
       known_memo_;
   runtime::Counter* hits_;
   runtime::Counter* misses_;
+  runtime::Counter* restored_;
   runtime::Counter* shard_waits_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
@@ -122,6 +123,36 @@ std::vector<ValenceInfo> ValenceEngine::classify_all(
   // inexact, no witnessed valences — is the honest "don't know".
   partial.value.resize(X.size());
   return std::move(partial.value);
+}
+
+std::vector<ValenceEngine::MemoEntry> ValenceEngine::export_memo() {
+  std::vector<MemoEntry> out;
+  const auto drain = [&out](Memo& memo, bool deep) {
+    for (MemoShard& shard : memo.shards) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [x, e] : shard.map) {
+        out.push_back(MemoEntry{x, e.horizon, e.info.v0, e.info.v1,
+                                e.info.exact, deep});
+      }
+    }
+  };
+  drain(memo_, false);
+  if (mode_ == Exactness::kConvergence) drain(memo_deep_, true);
+  std::sort(out.begin(), out.end(), [](const MemoEntry& a, const MemoEntry& b) {
+    return std::tie(a.deep, a.x) < std::tie(b.deep, b.x);
+  });
+  return out;
+}
+
+void ValenceEngine::import_memo(const std::vector<MemoEntry>& entries) {
+  for (const MemoEntry& e : entries) {
+    if (e.deep && mode_ != Exactness::kConvergence) continue;
+    ValenceInfo info;
+    info.v0 = e.v0;
+    info.v1 = e.v1;
+    info.exact = e.exact;
+    memoize(e.deep ? memo_deep_ : memo_, e.x, e.lookahead, info);
+  }
 }
 
 bool ValenceEngine::shared_valence(StateId x, StateId y) {

@@ -29,6 +29,7 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -99,9 +100,31 @@ class ValenceEngine {
 
   LayeredModel& model() noexcept { return model_; }
   int horizon() const noexcept { return horizon_; }
+  Exactness mode() const noexcept { return mode_; }
   std::size_t evaluations() const noexcept {
     return evaluations_.load(std::memory_order_relaxed);
   }
+
+  // One exported memo entry (lacon::store, store/snapshot.hpp). `lookahead`
+  // is the budget the entry was computed with; `deep` marks entries of the
+  // horizon+1 memo that kConvergence mode maintains.
+  struct MemoEntry {
+    StateId x = 0;
+    std::int32_t lookahead = 0;
+    bool v0 = false;
+    bool v1 = false;
+    bool exact = false;
+    bool deep = false;
+  };
+
+  // Every memo entry, sorted by (deep, x). Takes the shard locks; call only
+  // while no classification is in flight.
+  std::vector<MemoEntry> export_memo();
+
+  // Replays entries exported from an engine with the same model content,
+  // horizon and mode. Entries merge under the usual strongest-wins rule
+  // (memoize()), so importing into a warm engine is safe.
+  void import_memo(const std::vector<MemoEntry>& entries);
 
  private:
   struct Entry {

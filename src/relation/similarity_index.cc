@@ -49,20 +49,19 @@ guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
     return out;
   }
   const int n = model.n();
-  const auto nu = static_cast<std::size_t>(n);
 
-  // Fingerprint table, one row per state — embarrassingly parallel. A trip
-  // here leaves nothing usable (candidates need every row), so the result
+  // Fingerprint table, one row per state — embarrassingly parallel. Rows
+  // come from the model's per-state memo (LayeredModel::fingerprint_row):
+  // the first sweep over a state hashes and publishes its row, later sweeps
+  // — and sweeps after a lacon::store warm start — only read. A trip here
+  // leaves nothing usable (candidates need every row), so the result
   // degrades to the empty graph.
-  std::vector<std::uint64_t> fp(m * nu);
+  std::vector<const std::uint64_t*> rows(m);
   std::size_t hashed = 0;
   {
     LACON_TRACE_PHASE("similarity", "fingerprint", m);
     hashed = runtime::parallel_for_guarded(g, m, [&](std::size_t i) {
-      for (ProcessId j = 0; j < n; ++j) {
-        fp[i * nu + static_cast<std::size_t>(j)] =
-            model.similarity_fingerprint(X[i], j);
-      }
+      rows[i] = model.fingerprint_row(X[i]);
     });
   }
   if (hashed < m) {
@@ -86,7 +85,7 @@ guard::Partial<Graph> similarity_graph_indexed(LayeredModel& model,
         return out;
       }
       for (std::size_t i = 0; i < m; ++i) {
-        column[i] = {fp[i * nu + static_cast<std::size_t>(j)],
+        column[i] = {rows[i][static_cast<std::size_t>(j)],
                      static_cast<Graph::Vertex>(i)};
       }
       std::sort(column.begin(), column.end());

@@ -126,6 +126,15 @@ std::size_t run_section(std::size_t n, std::size_t num_chunks,
   while (state->done.load(std::memory_order_acquire) < num_chunks) {
     if (!pool.run_one()) std::this_thread::yield();
   }
+  // Wait until the helpers' task lambdas have released their state refs
+  // before touching state->error: otherwise a helper that signalled `done`
+  // but has not yet dropped its task can perform the *last* release — and
+  // with it the exception_ptr teardown — on its own thread, racing the
+  // caller's catch block that is reading the rethrown exception. run_one()
+  // keeps queued-but-unclaimed helper tasks from pinning a ref forever.
+  while (state.use_count() > 1) {
+    if (!pool.run_one()) std::this_thread::yield();
+  }
   if (state->failed.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(state->error_mu);
     std::rethrow_exception(state->error);

@@ -1,0 +1,317 @@
+#include "service/protocol.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <new>
+#include <utility>
+
+#include "engine/explore.hpp"
+#include "engine/valence.hpp"
+#include "relation/similarity.hpp"
+#include "runtime/guard.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
+#include "store/env.hpp"
+#include "store/snapshot.hpp"
+
+namespace lacon::service {
+
+namespace {
+
+// Request bounds. The daemon shares one process with every connected
+// client, so per-request shape limits are part of the protocol: n is capped
+// where exhaustive exploration (and the snapshot lossless-round-trip
+// contract) lives, depth/horizon where the run tree stays enumerable.
+constexpr int kMinN = 2, kMaxN = 8;
+constexpr int kMaxDepth = 12;
+constexpr int kMaxHorizon = 32;
+
+bool parse_kind(const std::string& text, ModelKind* out) {
+  if (text == "mobile") {
+    *out = ModelKind::kMobile;
+  } else if (text == "sharedmem") {
+    *out = ModelKind::kSharedMem;
+  } else if (text == "msgpass") {
+    *out = ModelKind::kMsgPass;
+  } else if (text == "sync") {
+    *out = ModelKind::kSync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool get_int(const Json& doc, const char* key, int fallback, int lo, int hi,
+             int* out, std::string* error) {
+  const Json* v = doc.find(key);
+  if (v == nullptr) {
+    *out = fallback;
+    return true;
+  }
+  if (!v->is_number()) {
+    *error = std::string(key) + " must be a number";
+    return false;
+  }
+  const double d = v->as_number();
+  if (d != std::floor(d) || d < lo || d > hi) {
+    *error = std::string(key) + " must be an integer in [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  *out = static_cast<int>(d);
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const Json& doc, Request* out, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  if (const Json* id = doc.find("id")) out->id = *id;
+
+  if (const Json* model = doc.find("model")) {
+    if (!model->is_string() || !parse_kind(model->as_string(), &out->kind)) {
+      *error = "model must be one of mobile|sharedmem|msgpass|sync";
+      return false;
+    }
+  }
+  if (!get_int(doc, "n", 3, kMinN, kMaxN, &out->n, error)) return false;
+  if (!get_int(doc, "t", 1, 1, out->n - 1, &out->t, error)) return false;
+  if (!get_int(doc, "depth", 2, 0, kMaxDepth, &out->depth, error)) {
+    return false;
+  }
+  if (!get_int(doc, "horizon", out->depth + 1, 0, kMaxHorizon, &out->horizon,
+               error)) {
+    return false;
+  }
+
+  const Json* query = doc.find("query");
+  if (query != nullptr) {
+    if (!query->is_string()) {
+      *error = "query must be a string";
+      return false;
+    }
+    out->query = query->as_string();
+  }
+  if (out->query != "layers" && out->query != "valence" &&
+      out->query != "diameter" && out->query != "similarity") {
+    *error = "query must be one of layers|valence|diameter|similarity";
+    return false;
+  }
+
+  int budget_ms = 0;
+  if (!get_int(doc, "budget_ms", 0, 0, 86'400'000, &budget_ms, error)) {
+    return false;
+  }
+  out->budget_ms = budget_ms;
+  int max_states = 0;
+  if (!get_int(doc, "max_states", 0, 0, 1'000'000'000, &max_states, error)) {
+    return false;
+  }
+  out->max_states = static_cast<std::uint64_t>(max_states);
+  if (const Json* m = doc.find("metrics")) out->include_metrics = m->as_bool();
+  return true;
+}
+
+Session::Session(ModelKind kind, int n, int t)
+    : kind_(kind),
+      n_(n),
+      t_(t),
+      // FloodSet-style rule that genuinely decides, so valence queries are
+      // about something: t+1 rounds solve consensus in Sync/S^t; round 2 is
+      // the convention the bench harnesses use for the other three models.
+      rule_(min_after_round(kind == ModelKind::kSync ? t + 1 : 2)),
+      model_(make_model(kind, n, t, *rule_)) {}
+
+ValenceEngine& Session::engine(int horizon) {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  auto it = engines_.find(horizon);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(horizon, std::make_unique<ValenceEngine>(
+                                   *model_, horizon, default_exactness(kind_)))
+             .first;
+  }
+  last_engine_ = it->second.get();
+  return *it->second;
+}
+
+void Session::ensure_store_loaded(ValenceEngine* eng) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_attempted_) return;
+  store_attempted_ = true;
+  if (!store::loads(store::mode())) return;
+  const std::string path = store::snapshot_path(*model_);
+  const store::Result r = store::load(*model_, path, eng);
+  if (!r.ok() && r.status != store::Status::kIoError) {
+    // kIoError is the common no-snapshot-yet case; anything else means a
+    // snapshot existed and was rejected — say why, then cold-start.
+    std::fprintf(stderr, "laconrd: snapshot load failed (%s): %s\n",
+                 store::to_string(r.status), r.detail.c_str());
+  }
+}
+
+bool Session::store_save() {
+  if (!store::saves(store::mode())) return true;
+  ValenceEngine* eng;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    eng = last_engine_;
+  }
+  const std::string path = store::snapshot_path(*model_);
+  const store::Result r = store::save(*model_, path, eng);
+  if (!r.ok()) {
+    std::fprintf(stderr, "laconrd: snapshot save failed (%s): %s\n",
+                 store::to_string(r.status), r.detail.c_str());
+  }
+  return r.ok();
+}
+
+Session& SessionManager::session(ModelKind kind, int n, int t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_tuple(static_cast<int>(kind), n, t);
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(key, std::make_unique<Session>(kind, n, t)).first;
+  }
+  return *it->second;
+}
+
+void SessionManager::save_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, session] : sessions_) session->store_save();
+}
+
+std::size_t SessionManager::session_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+Json handle_request(SessionManager& sessions, const Request& req) {
+  const auto start = std::chrono::steady_clock::now();
+  auto& stats = runtime::Stats::global();
+  stats.counter("service.requests").increment();
+
+  Session& session = sessions.session(req.kind, req.n, req.t);
+  ValenceEngine& engine = session.engine(req.horizon);
+  session.ensure_store_loaded(&engine);
+  LayeredModel& model = session.model();
+  const std::size_t states_before = model.num_states();
+  const std::size_t views_before = model.num_views();
+
+  guard::Guard g;  // live even without limits: fault probes still apply
+  if (req.budget_ms > 0) {
+    g.with_deadline(std::chrono::milliseconds(req.budget_ms));
+  }
+  if (req.max_states > 0) g.with_state_budget(req.max_states);
+
+  Json resp;
+  resp.set("id", req.id);
+  guard::TruncationReason reason = guard::TruncationReason::kNone;
+  Json result;
+
+  try {
+    auto levels = reachable_by_depth(model, req.depth, g);
+    reason = levels.truncation;
+    const std::vector<StateId> frontier =
+        levels.value.empty() ? std::vector<StateId>{} : levels.value.back();
+
+    if (req.query == "layers") {
+      Json sizes{Json::Array{}};
+      std::size_t total = 0;
+      for (const auto& level : levels.value) {
+        sizes.array().push_back(Json(level.size()));
+        total += level.size();
+      }
+      result.set("depth_completed", Json(levels.completed));
+      result.set("level_sizes", std::move(sizes));
+      result.set("total_states", Json(total));
+    } else if (req.query == "valence") {
+      auto infos = engine.classify_all(frontier, g);
+      if (reason == guard::TruncationReason::kNone) reason = infos.truncation;
+      std::size_t bivalent = 0, uni0 = 0, uni1 = 0, exact = 0;
+      for (const ValenceInfo& v : infos.value) {
+        if (v.bivalent()) ++bivalent;
+        if (v.univalent() && v.value() == 0) ++uni0;
+        if (v.univalent() && v.value() == 1) ++uni1;
+        if (v.exact) ++exact;
+      }
+      result.set("frontier", Json(frontier.size()));
+      result.set("classified", Json(infos.completed));
+      result.set("bivalent", Json(bivalent));
+      result.set("univalent0", Json(uni0));
+      result.set("univalent1", Json(uni1));
+      result.set("exact", Json(exact));
+    } else if (req.query == "diameter") {
+      auto d = s_diameter(model, frontier, g);
+      if (reason == guard::TruncationReason::kNone) reason = d.truncation;
+      result.set("frontier", Json(frontier.size()));
+      result.set("sources_completed", Json(d.completed));
+      result.set("diameter",
+                 d.value.has_value() ? Json(*d.value) : Json(nullptr));
+      result.set("connected", Json(d.value.has_value()));
+    } else {  // similarity
+      auto graph = similarity_graph(model, frontier, g);
+      if (reason == guard::TruncationReason::kNone) reason = graph.truncation;
+      result.set("frontier", Json(frontier.size()));
+      result.set("edges", Json(graph.value.edge_count()));
+      if (graph.complete()) {
+        result.set("connected", Json(graph.value.connected()));
+      } else {
+        // Connectivity of a partial graph bounds nothing.
+        result.set("connected", Json(nullptr));
+      }
+    }
+  } catch (const std::bad_alloc&) {
+    // Injected allocation faults (runtime/fault.hpp) or real exhaustion:
+    // report this request truncated by its state budget, keep serving.
+    g.note_memory_exhausted();
+    reason = guard::TruncationReason::kStateBudget;
+  }
+
+  resp.set("status", reason == guard::TruncationReason::kNone
+                         ? Json("ok")
+                         : Json("truncated"));
+  if (reason != guard::TruncationReason::kNone) {
+    resp.set("truncation", Json(guard::to_string(reason)));
+    stats.counter("service.requests_truncated").increment();
+  }
+  resp.set("result", std::move(result));
+
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  Json metrics;
+  metrics.set("elapsed_ms", Json(elapsed_ms));
+  metrics.set("states", Json(model.num_states()));
+  metrics.set("views", Json(model.num_views()));
+  metrics.set("new_states", Json(model.num_states() - states_before));
+  metrics.set("new_views", Json(model.num_views() - views_before));
+  resp.set("metrics", std::move(metrics));
+  if (req.include_metrics) {
+    // The same lacon.metrics.v1 document the bench harnesses emit.
+    resp.set("snapshot", Json::raw(trace::metrics_snapshot_json()));
+  }
+  return resp;
+}
+
+std::string handle_line(SessionManager& sessions, std::string_view line) {
+  std::string error;
+  std::optional<Json> doc = Json::parse(line, &error);
+  Request req;
+  if (!doc || !parse_request(*doc, &req, &error)) {
+    runtime::Stats::global().counter("service.requests_rejected").increment();
+    Json resp;
+    resp.set("id", doc ? req.id : Json(nullptr));
+    resp.set("status", Json("error"));
+    resp.set("error", Json(error.empty() ? "malformed request" : error));
+    return resp.dump();
+  }
+  return handle_request(sessions, req).dump();
+}
+
+}  // namespace lacon::service

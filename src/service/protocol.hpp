@@ -1,0 +1,127 @@
+// The laconrd wire protocol: newline-delimited JSON analysis requests.
+//
+// One request per line, one response line per request. A request names a
+// model instance and a query; the daemon interns all requests for the same
+// (model, n, t) into ONE shared state space — a Session — so later requests
+// warm-start on everything earlier ones explored (hash-consing makes the
+// re-interning hits, the layer cache and valence memo make the analysis
+// incremental). Request schema:
+//
+//   {"id": <any>,              echoed verbatim in the response
+//    "model": "mobile" | "sharedmem" | "msgpass" | "sync"  (default mobile)
+//    "n": <int>, "t": <int>,   t only meaningful for "sync"
+//    "query": "layers" | "valence" | "diameter" | "similarity",
+//    "depth": <int>,           exploration depth (default 2)
+//    "horizon": <int>,         valence lookahead (default depth + 1)
+//    "budget_ms": <int>,       per-request wall-clock budget (0 = none)
+//    "max_states": <int>,      per-request arena budget (0 = none)
+//    "metrics": <bool>}        embed the full lacon.metrics.v1 snapshot
+//
+// Response: {"id", "status": "ok" | "truncated" | "error", result fields
+// per query, "truncation": <guard reason> when truncated, "error": <msg>
+// on error, "metrics": {elapsed_ms, states, views, new_states, new_views}}.
+// Results are id-free (counts, level sizes, diameters) — raw StateIds are
+// scheduling-dependent and never cross the wire (DESIGN.md §9).
+//
+// Budgets ride on lacon::guard: each request gets its own live Guard, so a
+// tiny budget truncates that request to a valid partial result (with its
+// TruncationReason) while concurrent requests on other connections keep
+// their own budgets — exactly the Partial<T> contract the engine layers
+// already honor. Handling is thread-safe: the arenas, layer cache and
+// valence memo are concurrent by construction, so requests against the same
+// session run in parallel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "analysis/reports.hpp"
+#include "service/json.hpp"
+
+namespace lacon::service {
+
+struct Request {
+  Json id;
+  ModelKind kind = ModelKind::kMobile;
+  int n = 3;
+  int t = 1;
+  std::string query = "layers";
+  int depth = 2;
+  int horizon = 3;
+  std::int64_t budget_ms = 0;
+  std::uint64_t max_states = 0;
+  bool include_metrics = false;
+};
+
+// Parses and validates one request object. Returns false and fills `error`
+// on schema violations (unknown model/query, out-of-range n/t/depth).
+bool parse_request(const Json& doc, Request* out, std::string* error);
+
+// One interned state space shared by every request for (kind, n, t).
+class Session {
+ public:
+  Session(ModelKind kind, int n, int t);
+
+  LayeredModel& model() noexcept { return *model_; }
+  ModelKind kind() const noexcept { return kind_; }
+  int n() const noexcept { return n_; }
+  int t() const noexcept { return t_; }
+
+  // The engine for a given lookahead (created on first use; the memo is
+  // shared by every request at that horizon).
+  ValenceEngine& engine(int horizon);
+
+  // First-request hook: when LACON_STORE asks for a load and a snapshot for
+  // this instance exists, replays it into the (still empty) model — with
+  // `eng`'s memo imported when the stored horizon/mode match. Runs at most
+  // once per session; failures fall back to a cold start (one stderr line).
+  void ensure_store_loaded(ValenceEngine* eng);
+
+  // Saves the session per LACON_STORE; uses the most recently used engine's
+  // memo. Returns false (with a stderr line) if the save failed.
+  bool store_save();
+
+ private:
+  ModelKind kind_;
+  int n_;
+  int t_;
+  std::unique_ptr<DecisionRule> rule_;
+  std::unique_ptr<LayeredModel> model_;
+  std::mutex engines_mu_;
+  std::map<int, std::unique_ptr<ValenceEngine>> engines_;
+  ValenceEngine* last_engine_ = nullptr;
+  std::mutex store_mu_;
+  bool store_attempted_ = false;
+};
+
+// Owns every session; thread-safe. Sessions are created on demand and live
+// for the manager's lifetime, so references stay valid across requests.
+class SessionManager {
+ public:
+  Session& session(ModelKind kind, int n, int t);
+
+  // Saves every session per LACON_STORE (daemon shutdown path).
+  void save_all();
+
+  std::size_t session_count();
+
+ private:
+  std::mutex mu_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<Session>> sessions_;
+};
+
+// Executes one parsed request and assembles the response document.
+Json handle_request(SessionManager& sessions, const Request& req);
+
+// Full line-level entry point: parse, validate, execute, serialize. Always
+// returns a one-line JSON response (parse failures become status "error"
+// with a null id), never throws.
+std::string handle_line(SessionManager& sessions, std::string_view line);
+
+}  // namespace lacon::service

@@ -1,0 +1,186 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "runtime/stats.hpp"
+
+namespace lacon::service {
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.empty() || path.size() >= sizeof addr->sun_path) {
+    if (error != nullptr) *error = "socket path empty or too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t bytes) {
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, data, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(options_.socket_path, &addr, error)) return false;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A previous run's socket file would make bind fail with EADDRINUSE even
+  // though nobody is listening; a stale *live* listener is the caller's
+  // configuration error either way, so replace unconditionally.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    if (error != nullptr) {
+      *error = std::string("bind/listen on ") + options_.socket_path + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    runtime::Stats::global().counter("service.connections").increment();
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+      const std::string response = handle_line(sessions_, line) + "\n";
+      if (!write_all(fd, response.data(), response.size())) {
+        ::close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > options_.max_line_bytes) {
+      const std::string response =
+          "{\"id\":null,\"status\":\"error\",\"error\":\"request line too "
+          "long\"}\n";
+      write_all(fd, response.data(), response.size());
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+bool Server::request(const std::string& socket_path,
+                     const std::string& request_line, std::string* response,
+                     std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(socket_path, &addr, error)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (error != nullptr) {
+      *error = std::string("connect to ") + socket_path + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  const std::string line = request_line + "\n";
+  if (!write_all(fd, line.data(), line.size())) {
+    if (error != nullptr) *error = std::string("write: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  response->clear();
+  char chunk[4096];
+  while (response->find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection closed before a response";
+      ::close(fd);
+      return false;
+    }
+    response->append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  response->resize(response->find('\n'));
+  return true;
+}
+
+}  // namespace lacon::service

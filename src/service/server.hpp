@@ -1,0 +1,78 @@
+// Unix-domain-socket front end for the laconrd protocol.
+//
+// One listening AF_UNIX stream socket, one thread per accepted connection,
+// newline-delimited requests in / responses out (service/protocol.hpp).
+// Thread-per-connection is the right weight class here: each request fans
+// out over the work-stealing pool internally, and concurrent parallel
+// sections from multiple threads are an explicitly supported mode of the
+// runtime (runtime/parallel.hpp) — so two clients analyzing the same
+// session genuinely share the interned space, the layer cache and the
+// valence memo while each keeps its own per-request guard.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace lacon::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  int backlog = 16;
+  // Requests are one line; anything longer than this without a newline is
+  // answered with an error and the connection dropped.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket (replacing a stale file at the path), starts the
+  // accept loop on a background thread. False + `error` on failure.
+  bool start(std::string* error);
+
+  // Stops accepting, closes the listener, joins every connection thread and
+  // unlinks the socket file. Idempotent. Does NOT save sessions — shutdown
+  // policy (store::env knobs) belongs to the caller (examples/laconrd.cc).
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  SessionManager& sessions() noexcept { return sessions_; }
+
+  // Connects to `socket_path`, sends one request line, returns the response
+  // line (without the newline). Used by `laconrd --client` and the tests;
+  // false + `error` on connect/IO failure.
+  static bool request(const std::string& socket_path,
+                      const std::string& request_line, std::string* response,
+                      std::string* error);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lacon::service

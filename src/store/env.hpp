@@ -1,0 +1,66 @@
+// Environment knobs for the persistent snapshot store (lacon::store).
+//
+//   LACON_STORE      off | load | save | loadsave   (default: off)
+//   LACON_STORE_DIR  directory snapshots live in    (default: lacon_store)
+//
+// `load` warm-starts a model from an existing snapshot before analysis,
+// `save` writes one after analysis, `loadsave` does both (load if present,
+// save what the run added). Parsing follows the LACON_THREADS contract
+// (runtime/thread_pool.hpp): a malformed value earns one stderr warning per
+// process and falls back to the default — it never aborts and never
+// silently changes meaning. The parse_* functions are pure (testable
+// without touching the environment); mode()/dir() read the environment on
+// every call so harnesses can retarget the store between phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lacon {
+class LayeredModel;
+}  // namespace lacon
+
+namespace lacon::store {
+
+enum class Mode : std::uint8_t { kOff = 0, kLoad, kSave, kLoadSave };
+
+const char* to_string(Mode mode) noexcept;
+
+// True when the mode asks for a load / save half, respectively.
+inline bool loads(Mode m) noexcept {
+  return m == Mode::kLoad || m == Mode::kLoadSave;
+}
+inline bool saves(Mode m) noexcept {
+  return m == Mode::kSave || m == Mode::kLoadSave;
+}
+
+// Parses a LACON_STORE-style value. Empty/null yields the fallback
+// silently; anything other than the four keywords warns once per process
+// and yields the fallback.
+Mode parse_mode(const char* text, Mode fallback) noexcept;
+
+// Parses a LACON_STORE_DIR-style value. Empty/null yields the fallback
+// silently; a value longer than kMaxDirLength (the ERANGE analogue for a
+// path-valued knob: plausible prefix, absurd length) warns once per process
+// and yields the fallback.
+inline constexpr std::size_t kMaxDirLength = 3072;
+std::string parse_dir(const char* text, const std::string& fallback);
+
+// The knobs as configured by the environment right now.
+Mode mode();
+std::string dir();
+
+// Canonical snapshot filename for a model instance:
+// <dir>/<sanitized-model-name>.n<n>.t<max_faulty>.lacon.store — model names
+// contain '/' and '^', which sanitize to '_' so every instance maps to one
+// flat file per directory.
+std::string snapshot_filename(const std::string& model_name, int n,
+                              int max_faulty);
+std::string snapshot_path(const std::string& directory,
+                          const std::string& model_name, int n,
+                          int max_faulty);
+// Convenience overload reading name/n/max_faulty off the model and the
+// directory off LACON_STORE_DIR.
+std::string snapshot_path(const LayeredModel& model);
+
+}  // namespace lacon::store

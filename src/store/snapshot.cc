@@ -1,0 +1,777 @@
+#include "store/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/valence.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
+
+namespace lacon::store {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Append-only little-endian byte sink. The host is little-endian (the
+// toolchain this repo targets), so fixed-width stores are plain memcpy; a
+// big-endian port would swap here and in Reader, nowhere else.
+class Writer {
+ public:
+  void raw(const void* p, std::size_t bytes) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + bytes);
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void pad_to_8() {
+    while (buf_.size() % 8 != 0) buf_.push_back(0);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked reads over a byte span; every getter reports truncation
+// instead of walking off the end, so a short or lying file can never make
+// the loader read wild memory.
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t bytes) : p_(p), end_(p + bytes) {}
+
+  bool raw(void* out, std::size_t bytes) {
+    if (static_cast<std::size_t>(end_ - p_) < bytes) return false;
+    std::memcpy(out, p_, bytes);
+    p_ += bytes;
+    return true;
+  }
+  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
+  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
+  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
+  bool i64(std::int64_t* v) { return raw(v, sizeof *v); }
+  bool skip(std::size_t bytes) {
+    if (static_cast<std::size_t>(end_ - p_) < bytes) return false;
+    p_ += bytes;
+    return true;
+  }
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+// ---------------------------------------------------------------------------
+// On-disk structures.
+
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;  // absolute file offset, 8-aligned
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;  // records in the section (kind-specific)
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(SectionEntry) == 40);
+
+constexpr std::size_t kPreludeBytes = 8 + 4 + 4 + 8;
+
+struct Header {
+  std::uint32_t n = 0;
+  std::uint32_t max_faulty = 0;
+  std::uint32_t lane_bits = 32;
+  std::uint32_t word_bytes = 8;
+  std::uint32_t digest_shards = 0;
+  std::uint32_t name_len = 0;
+  std::uint32_t section_count = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t num_views = 0;
+  std::uint64_t num_states = 0;
+  std::string name;
+  std::vector<SectionEntry> sections;
+};
+
+Result fail(Status status, std::string detail) {
+  return Result{status, std::move(detail)};
+}
+
+// The digest sections fold every record's content hash into
+// digest_shards accumulators keyed the way the live arenas shard their
+// indexes, (hash >> 40) & mask. A flipped payload bit therefore fails two
+// independent ways — the section FNV checksum and the digest of the shard
+// the record hashes into — and the digests double as a cheap cross-check
+// that replay reproduced the exact interned content.
+class DigestAccumulator {
+ public:
+  explicit DigestAccumulator(std::uint32_t shards)
+      : mask_(shards - 1), sums_(shards, 0) {}
+
+  void add(std::uint64_t content_hash) noexcept {
+    sums_[(content_hash >> 40) & mask_] += content_hash;
+  }
+  const std::vector<std::uint64_t>& sums() const noexcept { return sums_; }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> sums_;
+};
+
+// ---------------------------------------------------------------------------
+// Save side.
+
+void append_section(Writer& file, std::vector<SectionEntry>& table,
+                    SectionKind kind, std::uint64_t count, Writer&& body) {
+  file.pad_to_8();
+  SectionEntry e;
+  e.kind = static_cast<std::uint32_t>(kind);
+  e.offset = file.size();  // patched to absolute once the header size is known
+  e.bytes = body.size();
+  e.count = count;
+  e.checksum = fnv1a(body.data(), body.size());
+  table.push_back(e);
+  file.raw(body.data(), body.size());
+}
+
+Writer encode_views(const ViewArena& views) {
+  Writer w;
+  const std::size_t count = views.size();
+  for (std::size_t id = 0; id < count; ++id) {
+    const ViewNode& v = views.node(static_cast<ViewId>(id));
+    w.i32(static_cast<std::int32_t>(v.owner));
+    w.i32(v.round);
+    w.i32(static_cast<std::int32_t>(v.input));
+    w.i32(static_cast<std::int32_t>(v.prev));
+    w.u32(static_cast<std::uint32_t>(v.obs.size()));
+    for (const Obs& o : v.obs) {
+      w.i32(o.source);
+      w.i32(static_cast<std::int32_t>(o.view));
+    }
+  }
+  return w;
+}
+
+Writer encode_states(const LayeredModel& model) {
+  Writer w;
+  const std::size_t count = model.num_states();
+  for (std::size_t id = 0; id < count; ++id) {
+    const StateRef s = model.state(static_cast<StateId>(id));
+    w.u64(s.env.size());
+    for (std::int64_t word : s.env) w.i64(word);
+    for (ViewId v : s.locals) w.i32(static_cast<std::int32_t>(v));
+    for (Value d : s.decisions) w.i32(static_cast<std::int32_t>(d));
+  }
+  return w;
+}
+
+Writer encode_digests(const std::vector<std::uint64_t>& sums) {
+  Writer w;
+  for (std::uint64_t s : sums) w.u64(s);
+  return w;
+}
+
+Writer encode_layer_cache(
+    const std::vector<std::pair<StateId, std::vector<StateId>>>& entries) {
+  Writer w;
+  for (const auto& [x, succ] : entries) {
+    w.u32(x);
+    w.u32(static_cast<std::uint32_t>(succ.size()));
+    for (StateId y : succ) w.u32(y);
+  }
+  return w;
+}
+
+constexpr std::uint32_t kMemoV0 = 1u << 0;
+constexpr std::uint32_t kMemoV1 = 1u << 1;
+constexpr std::uint32_t kMemoExact = 1u << 2;
+constexpr std::uint32_t kMemoDeep = 1u << 3;
+
+Writer encode_memo(ValenceEngine& engine,
+                   const std::vector<ValenceEngine::MemoEntry>& entries) {
+  Writer w;
+  w.i32(engine.horizon());
+  w.u32(engine.mode() == Exactness::kConvergence ? 1 : 0);
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u32(e.x);
+    w.i32(e.lookahead);
+    std::uint32_t flags = 0;
+    if (e.v0) flags |= kMemoV0;
+    if (e.v1) flags |= kMemoV1;
+    if (e.exact) flags |= kMemoExact;
+    if (e.deep) flags |= kMemoDeep;
+    w.u32(flags);
+  }
+  return w;
+}
+
+Writer encode_fingerprints(const LayeredModel& model, std::uint64_t* rows) {
+  Writer w;
+  *rows = 0;
+  const std::size_t count = model.num_states();
+  const int n = model.n();
+  for (std::size_t id = 0; id < count; ++id) {
+    const std::uint64_t* row =
+        model.cached_fingerprint_row(static_cast<StateId>(id));
+    if (row == nullptr) continue;
+    ++*rows;
+    w.u32(static_cast<StateId>(id));
+    w.u32(0);  // pad: keeps the u64 hashes 8-aligned within the section
+    for (int j = 0; j < n; ++j) w.u64(row[static_cast<std::size_t>(j)]);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Header encode / decode.
+
+Writer encode_header(const Header& h) {
+  Writer w;
+  w.u32(h.n);
+  w.u32(h.max_faulty);
+  w.u32(h.lane_bits);
+  w.u32(h.word_bytes);
+  w.u32(h.digest_shards);
+  w.u32(h.name_len);
+  w.u32(h.section_count);
+  w.u32(h.reserved);
+  w.u64(h.num_views);
+  w.u64(h.num_states);
+  w.raw(h.name.data(), h.name.size());
+  w.pad_to_8();
+  for (const SectionEntry& e : h.sections) w.raw(&e, sizeof e);
+  return w;
+}
+
+Result read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return fail(Status::kIoError, "cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return fail(Status::kIoError, "cannot stat " + path);
+  out->resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return fail(Status::kIoError, "short read on " + path);
+  }
+  return {};
+}
+
+Result parse_header(const std::vector<std::uint8_t>& bytes,
+                    const std::string& path, Header* h) {
+  if (bytes.size() < kPreludeBytes) {
+    return fail(Status::kTruncated, path + ": shorter than the prelude");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return fail(Status::kBadMagic, path + ": not a lacon.store file");
+  }
+  Reader pre(bytes.data() + sizeof kMagic, bytes.size() - sizeof kMagic);
+  std::uint32_t version = 0, header_bytes = 0;
+  std::uint64_t header_checksum = 0;
+  pre.u32(&version);
+  pre.u32(&header_bytes);
+  pre.u64(&header_checksum);
+  if (version != kFormatVersion) {
+    return fail(Status::kBadVersion,
+                path + ": format version " + std::to_string(version) +
+                    " (this build speaks only v" +
+                    std::to_string(kFormatVersion) + ")");
+  }
+  if (bytes.size() < kPreludeBytes + header_bytes) {
+    return fail(Status::kTruncated, path + ": header extends past EOF");
+  }
+  const std::uint8_t* body = bytes.data() + kPreludeBytes;
+  if (fnv1a(body, header_bytes) != header_checksum) {
+    return fail(Status::kCorrupt, path + ": header checksum mismatch");
+  }
+
+  Reader r(body, header_bytes);
+  bool ok = r.u32(&h->n) && r.u32(&h->max_faulty) && r.u32(&h->lane_bits) &&
+            r.u32(&h->word_bytes) && r.u32(&h->digest_shards) &&
+            r.u32(&h->name_len) && r.u32(&h->section_count) &&
+            r.u32(&h->reserved) && r.u64(&h->num_views) &&
+            r.u64(&h->num_states);
+  if (!ok) return fail(Status::kCorrupt, path + ": header body too short");
+  if (h->name_len > header_bytes) {
+    return fail(Status::kCorrupt, path + ": absurd model-name length");
+  }
+  h->name.resize(h->name_len);
+  if (!r.raw(h->name.data(), h->name_len) ||
+      !r.skip((8 - (h->name_len % 8)) % 8)) {
+    return fail(Status::kCorrupt, path + ": model name extends past header");
+  }
+  if (h->lane_bits != 32 || h->word_bytes != 8) {
+    return fail(Status::kCorrupt, path + ": unsupported word packing");
+  }
+  if (h->digest_shards == 0 ||
+      (h->digest_shards & (h->digest_shards - 1)) != 0) {
+    return fail(Status::kCorrupt, path + ": digest shard count not a power of two");
+  }
+  h->sections.resize(h->section_count);
+  for (SectionEntry& e : h->sections) {
+    if (!r.raw(&e, sizeof e)) {
+      return fail(Status::kCorrupt, path + ": section table too short");
+    }
+    if (e.offset % 8 != 0 || e.offset > bytes.size() ||
+        e.bytes > bytes.size() - e.offset) {
+      return fail(Status::kTruncated,
+                  path + ": section " + std::to_string(e.kind) +
+                      " extends past EOF");
+    }
+  }
+  return {};
+}
+
+const SectionEntry* find_section(const Header& h, SectionKind kind) {
+  for (const SectionEntry& e : h.sections) {
+    if (e.kind == static_cast<std::uint32_t>(kind)) return &e;
+  }
+  return nullptr;
+}
+
+Result checksum_section(const std::vector<std::uint8_t>& bytes,
+                        const std::string& path, const SectionEntry& e) {
+  if (fnv1a(bytes.data() + e.offset, e.bytes) != e.checksum) {
+    return fail(Status::kCorrupt, path + ": section " + std::to_string(e.kind) +
+                                      " checksum mismatch");
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kIoError:
+      return "io-error";
+    case Status::kTruncated:
+      return "truncated";
+    case Status::kBadMagic:
+      return "bad-magic";
+    case Status::kBadVersion:
+      return "bad-version";
+    case Status::kCorrupt:
+      return "corrupt";
+    case Status::kModelMismatch:
+      return "model-mismatch";
+    case Status::kNotEmpty:
+      return "not-empty";
+  }
+  return "?";
+}
+
+Result save(LayeredModel& model, const std::string& path,
+            ValenceEngine* engine) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("store.save_time"));
+  LACON_TRACE_PHASE("store", "save", model.num_states());
+
+  const std::uint32_t digest_shards =
+      static_cast<std::uint32_t>(arena_shard_count());
+
+  Header h;
+  h.n = static_cast<std::uint32_t>(model.n());
+  h.max_faulty = static_cast<std::uint32_t>(model.max_faulty());
+  h.digest_shards = digest_shards;
+  h.name = model.name();
+  h.name_len = static_cast<std::uint32_t>(h.name.size());
+  h.num_views = model.num_views();
+  h.num_states = model.num_states();
+
+  DigestAccumulator view_digests(digest_shards);
+  for (std::size_t id = 0; id < model.num_views(); ++id) {
+    view_digests.add(
+        ViewArena::content_hash(model.views().node(static_cast<ViewId>(id))));
+  }
+  DigestAccumulator state_digests(digest_shards);
+  for (std::size_t id = 0; id < model.num_states(); ++id) {
+    state_digests.add(
+        StateArena::content_hash(model.state(static_cast<StateId>(id))));
+  }
+
+  const auto layers = model.export_layer_cache();
+  std::uint64_t fingerprint_rows = 0;
+
+  Writer payload;
+  std::vector<SectionEntry> table;
+  append_section(payload, table, SectionKind::kViews, model.num_views(),
+                 encode_views(model.views()));
+  append_section(payload, table, SectionKind::kStates, model.num_states(),
+                 encode_states(model));
+  append_section(payload, table, SectionKind::kStateDigests, digest_shards,
+                 encode_digests(state_digests.sums()));
+  append_section(payload, table, SectionKind::kViewDigests, digest_shards,
+                 encode_digests(view_digests.sums()));
+  append_section(payload, table, SectionKind::kLayerCache, layers.size(),
+                 encode_layer_cache(layers));
+  if (engine != nullptr) {
+    const auto memo = engine->export_memo();
+    append_section(payload, table, SectionKind::kValenceMemo, memo.size(),
+                   encode_memo(*engine, memo));
+  }
+  Writer fingerprints = encode_fingerprints(model, &fingerprint_rows);
+  append_section(payload, table, SectionKind::kFingerprints, fingerprint_rows,
+                 std::move(fingerprints));
+
+  // Two passes over the header: encode once with payload-relative offsets to
+  // learn its size, then rebase the offsets to absolute and re-encode.
+  h.section_count = static_cast<std::uint32_t>(table.size());
+  h.sections = table;
+  const std::size_t header_bytes = encode_header(h).size();
+  const std::size_t payload_base = kPreludeBytes + header_bytes;
+  for (SectionEntry& e : h.sections) e.offset += payload_base;
+  Writer header = encode_header(h);
+
+  Writer file;
+  file.raw(kMagic, sizeof kMagic);
+  file.u32(kFormatVersion);
+  file.u32(static_cast<std::uint32_t>(header.size()));
+  file.u64(fnv1a(header.data(), header.size()));
+  file.raw(header.data(), header.size());
+  file.raw(payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(reinterpret_cast<const char*>(file.data()),
+                   static_cast<std::streamsize>(file.size()))) {
+      return fail(Status::kIoError, "cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail(Status::kIoError, "cannot rename " + tmp + " -> " + path);
+  }
+  stats.counter("store.bytes_written").add(file.size());
+  stats.counter("store.snapshots_saved").increment();
+  return {};
+}
+
+Result probe(const std::string& path, SnapshotMeta* meta) {
+  std::vector<std::uint8_t> bytes;
+  if (Result r = read_file(path, &bytes); !r.ok()) return r;
+  Header h;
+  if (Result r = parse_header(bytes, path, &h); !r.ok()) return r;
+  if (meta != nullptr) {
+    meta->version = kFormatVersion;
+    meta->model_name = h.name;
+    meta->n = static_cast<int>(h.n);
+    meta->max_faulty = static_cast<int>(h.max_faulty);
+    meta->num_views = h.num_views;
+    meta->num_states = h.num_states;
+    meta->file_bytes = bytes.size();
+    if (const auto* e = find_section(h, SectionKind::kLayerCache)) {
+      meta->layer_entries = e->count;
+    }
+    if (const auto* e = find_section(h, SectionKind::kValenceMemo)) {
+      meta->memo_entries = e->count;
+    }
+    if (const auto* e = find_section(h, SectionKind::kFingerprints)) {
+      meta->fingerprint_rows = e->count;
+    }
+  }
+  return {};
+}
+
+Result load(LayeredModel& model, const std::string& path,
+            ValenceEngine* engine) {
+  auto& stats = runtime::Stats::global();
+  runtime::ScopedTimer timer(stats.timer("store.load_time"));
+
+  std::vector<std::uint8_t> bytes;
+  if (Result r = read_file(path, &bytes); !r.ok()) return r;
+  Header h;
+  if (Result r = parse_header(bytes, path, &h); !r.ok()) return r;
+  LACON_TRACE_PHASE("store", "load", h.num_states);
+
+  if (h.name != model.name() ||
+      h.n != static_cast<std::uint32_t>(model.n()) ||
+      h.max_faulty != static_cast<std::uint32_t>(model.max_faulty())) {
+    return fail(Status::kModelMismatch,
+                path + ": snapshot is " + h.name + " n=" +
+                    std::to_string(h.n) + " t=" + std::to_string(h.max_faulty) +
+                    ", target is " + model.name() + " n=" +
+                    std::to_string(model.n()) + " t=" +
+                    std::to_string(model.max_faulty()));
+  }
+  if (model.num_states() != 0 || model.num_views() != 0) {
+    return fail(Status::kNotEmpty,
+                path + ": load target has already interned content");
+  }
+
+  const SectionEntry* views_sec = find_section(h, SectionKind::kViews);
+  const SectionEntry* states_sec = find_section(h, SectionKind::kStates);
+  const SectionEntry* sdig_sec = find_section(h, SectionKind::kStateDigests);
+  const SectionEntry* vdig_sec = find_section(h, SectionKind::kViewDigests);
+  if (views_sec == nullptr || states_sec == nullptr || sdig_sec == nullptr ||
+      vdig_sec == nullptr) {
+    return fail(Status::kCorrupt, path + ": mandatory section missing");
+  }
+  for (const SectionEntry& e : h.sections) {
+    if (Result r = checksum_section(bytes, path, e); !r.ok()) return r;
+  }
+  if (sdig_sec->count != h.digest_shards ||
+      vdig_sec->count != h.digest_shards) {
+    return fail(Status::kCorrupt, path + ": digest section count mismatch");
+  }
+
+  const int n = model.n();
+  try {
+    // --- Views, in stored-id order. ---------------------------------------
+    DigestAccumulator view_digests(h.digest_shards);
+    {
+      Reader r(bytes.data() + views_sec->offset, views_sec->bytes);
+      for (std::uint64_t id = 0; id < views_sec->count; ++id) {
+        ViewNode v;
+        std::int32_t owner = 0, input = 0, prev = 0;
+        std::uint32_t obs_count = 0;
+        if (!r.i32(&owner) || !r.i32(&v.round) || !r.i32(&input) ||
+            !r.i32(&prev) || !r.u32(&obs_count) ||
+            obs_count > r.remaining() / 8) {
+          return fail(Status::kTruncated,
+                      path + ": view record " + std::to_string(id) +
+                          " extends past its section");
+        }
+        v.owner = static_cast<ProcessId>(owner);
+        v.input = static_cast<Value>(input);
+        v.prev = static_cast<ViewId>(prev);
+        v.obs.resize(obs_count);
+        for (Obs& o : v.obs) {
+          r.i32(&o.source);
+          std::int32_t view = 0;
+          r.i32(&view);
+          o.view = static_cast<ViewId>(view);
+        }
+        if (v.owner < 0 || v.owner >= n ||
+            (v.prev != kNoView &&
+             static_cast<std::uint64_t>(v.prev) >= id)) {
+          return fail(Status::kCorrupt,
+                      path + ": view record " + std::to_string(id) +
+                          " references a later view or a bad owner");
+        }
+        view_digests.add(ViewArena::content_hash(v));
+        const ViewId got = model.views().restore(std::move(v));
+        if (static_cast<std::uint64_t>(got) != id) {
+          return fail(Status::kCorrupt,
+                      path + ": view replay diverged at id " +
+                          std::to_string(id));
+        }
+      }
+      if (r.remaining() != 0) {
+        return fail(Status::kCorrupt,
+                    path + ": trailing bytes in the view section");
+      }
+    }
+    {
+      Reader r(bytes.data() + vdig_sec->offset, vdig_sec->bytes);
+      for (std::uint32_t s = 0; s < h.digest_shards; ++s) {
+        std::uint64_t stored = 0;
+        if (!r.u64(&stored) || stored != view_digests.sums()[s]) {
+          return fail(Status::kCorrupt,
+                      path + ": view digest mismatch in shard " +
+                          std::to_string(s));
+        }
+      }
+    }
+
+    // --- States, in stored-id order. --------------------------------------
+    DigestAccumulator state_digests(h.digest_shards);
+    {
+      Reader r(bytes.data() + states_sec->offset, states_sec->bytes);
+      const std::uint64_t num_views = views_sec->count;
+      for (std::uint64_t id = 0; id < states_sec->count; ++id) {
+        GlobalState s;
+        std::uint64_t env_len = 0;
+        if (!r.u64(&env_len) || env_len > r.remaining() / 8) {
+          return fail(Status::kTruncated,
+                      path + ": state record " + std::to_string(id) +
+                          " extends past its section");
+        }
+        s.env.resize(static_cast<std::size_t>(env_len));
+        for (std::int64_t& w : s.env) r.i64(&w);
+        s.locals.resize(static_cast<std::size_t>(n));
+        s.decisions.resize(static_cast<std::size_t>(n));
+        bool ok = true;
+        for (ViewId& v : s.locals) {
+          std::int32_t raw = 0;
+          ok = ok && r.i32(&raw);
+          v = static_cast<ViewId>(raw);
+          if (v < 0 || static_cast<std::uint64_t>(v) >= num_views) {
+            return fail(Status::kCorrupt,
+                        path + ": state record " + std::to_string(id) +
+                            " references an unknown view");
+          }
+        }
+        for (Value& d : s.decisions) {
+          std::int32_t raw = 0;
+          ok = ok && r.i32(&raw);
+          d = static_cast<Value>(raw);
+        }
+        if (!ok) {
+          return fail(Status::kTruncated,
+                      path + ": state record " + std::to_string(id) +
+                          " extends past its section");
+        }
+        state_digests.add(StateArena::content_hash(s));
+        const StateId got = model.restore_state(std::move(s));
+        if (static_cast<std::uint64_t>(got) != id) {
+          return fail(Status::kCorrupt,
+                      path + ": state replay diverged at id " +
+                          std::to_string(id));
+        }
+      }
+      if (r.remaining() != 0) {
+        return fail(Status::kCorrupt,
+                    path + ": trailing bytes in the state section");
+      }
+    }
+    {
+      Reader r(bytes.data() + sdig_sec->offset, sdig_sec->bytes);
+      for (std::uint32_t s = 0; s < h.digest_shards; ++s) {
+        std::uint64_t stored = 0;
+        if (!r.u64(&stored) || stored != state_digests.sums()[s]) {
+          return fail(Status::kCorrupt,
+                      path + ": state digest mismatch in shard " +
+                          std::to_string(s));
+        }
+      }
+    }
+
+    const std::uint64_t num_states = states_sec->count;
+
+    // --- Layer cache. ------------------------------------------------------
+    if (const SectionEntry* e = find_section(h, SectionKind::kLayerCache)) {
+      Reader r(bytes.data() + e->offset, e->bytes);
+      std::vector<std::pair<StateId, std::vector<StateId>>> entries;
+      entries.reserve(static_cast<std::size_t>(e->count));
+      for (std::uint64_t i = 0; i < e->count; ++i) {
+        std::uint32_t x = 0, len = 0;
+        if (!r.u32(&x) || !r.u32(&len) || len > r.remaining() / 4 ||
+            x >= num_states) {
+          return fail(Status::kCorrupt,
+                      path + ": layer-cache entry " + std::to_string(i) +
+                          " malformed");
+        }
+        std::vector<StateId> succ(len);
+        for (StateId& y : succ) {
+          r.u32(&y);
+          if (y >= num_states) {
+            return fail(Status::kCorrupt,
+                        path + ": layer-cache entry " + std::to_string(i) +
+                            " references an unknown state");
+          }
+        }
+        entries.emplace_back(static_cast<StateId>(x), std::move(succ));
+      }
+      model.import_layer_cache(std::move(entries));
+      stats.counter("store.layers_loaded").add(e->count);
+    }
+
+    // --- Valence memo (only into a matching engine). -----------------------
+    if (const SectionEntry* e = find_section(h, SectionKind::kValenceMemo)) {
+      Reader r(bytes.data() + e->offset, e->bytes);
+      std::int32_t horizon = 0;
+      std::uint32_t mode = 0;
+      std::uint64_t count = 0;
+      if (!r.i32(&horizon) || !r.u32(&mode) || !r.u64(&count) ||
+          count != e->count || count > r.remaining() / 12) {
+        return fail(Status::kCorrupt, path + ": valence memo header malformed");
+      }
+      const bool matches =
+          engine != nullptr && engine->horizon() == horizon &&
+          (engine->mode() == Exactness::kConvergence) == (mode == 1);
+      std::vector<ValenceEngine::MemoEntry> entries;
+      if (matches) entries.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ValenceEngine::MemoEntry m;
+        std::uint32_t flags = 0;
+        r.u32(&m.x);
+        r.i32(&m.lookahead);
+        r.u32(&flags);
+        if (m.x >= num_states) {
+          return fail(Status::kCorrupt,
+                      path + ": memo entry " + std::to_string(i) +
+                          " references an unknown state");
+        }
+        m.v0 = (flags & kMemoV0) != 0;
+        m.v1 = (flags & kMemoV1) != 0;
+        m.exact = (flags & kMemoExact) != 0;
+        m.deep = (flags & kMemoDeep) != 0;
+        if (matches) entries.push_back(m);
+      }
+      if (matches) {
+        engine->import_memo(entries);
+        stats.counter("store.memo_loaded").add(count);
+      } else {
+        stats.counter("store.memo_skipped").add(count);
+      }
+    }
+
+    // --- Fingerprint rows. --------------------------------------------------
+    if (const SectionEntry* e = find_section(h, SectionKind::kFingerprints)) {
+      Reader r(bytes.data() + e->offset, e->bytes);
+      std::vector<std::uint64_t> row(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < e->count; ++i) {
+        std::uint32_t x = 0, pad = 0;
+        if (!r.u32(&x) || !r.u32(&pad) || x >= num_states) {
+          return fail(Status::kCorrupt,
+                      path + ": fingerprint row " + std::to_string(i) +
+                          " malformed");
+        }
+        for (std::uint64_t& v : row) {
+          if (!r.u64(&v)) {
+            return fail(Status::kTruncated,
+                        path + ": fingerprint row " + std::to_string(i) +
+                            " extends past its section");
+          }
+        }
+        model.restore_fingerprint_row(static_cast<StateId>(x), row.data());
+      }
+      stats.counter("store.fingerprints_loaded").add(e->count);
+    }
+  } catch (const std::bad_alloc&) {
+    // Covers fault::InjectedAllocError (the arenas' restore path probes the
+    // injector exactly like intern) and genuine exhaustion: the model holds
+    // a partial replay and the caller falls back to a cold start.
+    return fail(Status::kIoError, path + ": allocation failure during replay");
+  }
+
+  stats.counter("store.bytes_read").add(bytes.size());
+  stats.counter("store.snapshots_loaded").increment();
+  return {};
+}
+
+}  // namespace lacon::store

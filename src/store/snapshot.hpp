@@ -1,0 +1,110 @@
+// lacon.store.v1 — versioned on-disk snapshots of an interned state space.
+//
+// A snapshot captures everything a LayeredModel accumulates during analysis
+// that is expensive to recompute: the view DAG, the flat state arena, the
+// layer cache, published similarity-fingerprint rows, and (optionally) a
+// ValenceEngine's memo. Loading into a freshly-constructed model of the same
+// identity (name, n, max_faulty) replays views and states in stored-id
+// order, so every restored object receives exactly its stored id — env words
+// embedding ViewIds, layer-cache keys and memo keys all stay valid, and
+// analysis after a warm start is byte-identical to a fresh exploration.
+//
+// Layout (little-endian, every section 8-aligned):
+//
+//   prelude   magic "LACONST1" | u32 version=1 | u32 header_bytes
+//             | u64 header_checksum (FNV-1a 64 over the header body)
+//   header    u32 n, max_faulty, lane_bits=32, word_bytes=8,
+//             digest_shards, name_len, section_count, reserved
+//             | u64 num_views, num_states | name bytes (zero-padded to 8)
+//             | section table: {u32 kind, u32 reserved,
+//                               u64 offset, bytes, count, checksum} ...
+//   sections  each FNV-1a-checksummed; kinds in SectionKind below.
+//
+// The layout is mmap-friendly — fixed prelude, absolute section offsets,
+// aligned payloads — though the current loader simply reads the file.
+// Corrupt, short, or mismatched files are rejected with a typed Status and
+// leave the model untouched up to the failing section (a failed load should
+// be answered by constructing a fresh model). Files with version != 1 are
+// refused with kBadVersion: forward compatibility is explicitly out of
+// scope for v1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lacon {
+class LayeredModel;
+class ValenceEngine;
+}  // namespace lacon
+
+namespace lacon::store {
+
+inline constexpr char kMagic[8] = {'L', 'A', 'C', 'O', 'N', 'S', 'T', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class SectionKind : std::uint32_t {
+  kViews = 1,             // ViewNode records in id order
+  kStates = 2,            // GlobalState records in id order
+  kStateDigests = 3,      // per-digest-shard sums of state content hashes
+  kViewDigests = 4,       // per-digest-shard sums of view content hashes
+  kLayerCache = 5,        // (state, successor-list) entries
+  kValenceMemo = 6,       // ValenceEngine memo entries (+ horizon, mode)
+  kFingerprints = 7,      // published erase-one fingerprint rows
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kIoError,         // open/read/write/rename failed
+  kTruncated,       // file shorter than its own accounting claims
+  kBadMagic,        // not a lacon.store file
+  kBadVersion,      // a version this build does not speak (only v1)
+  kCorrupt,         // checksum, digest or internal-consistency failure
+  kModelMismatch,   // snapshot identity != target model identity
+  kNotEmpty,        // load target has already interned content
+};
+
+const char* to_string(Status status) noexcept;
+
+struct Result {
+  Status status = Status::kOk;
+  std::string detail;  // human-readable context (path, offending section)
+
+  bool ok() const noexcept { return status == Status::kOk; }
+};
+
+// Identity and inventory read off a snapshot without replaying it.
+struct SnapshotMeta {
+  std::uint32_t version = 0;
+  std::string model_name;
+  int n = 0;
+  int max_faulty = 0;
+  std::uint64_t num_views = 0;
+  std::uint64_t num_states = 0;
+  std::uint64_t layer_entries = 0;
+  std::uint64_t memo_entries = 0;
+  std::uint64_t fingerprint_rows = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+// Serializes the model's interned space (and `engine`'s memo, when given) to
+// `path`. Writes `path + ".tmp"` and renames, so readers never observe a
+// half-written snapshot. The model must be quiescent (no analysis in
+// flight); the save side only takes the same shard locks export_layer_cache
+// and export_memo do.
+Result save(LayeredModel& model, const std::string& path,
+            ValenceEngine* engine = nullptr);
+
+// Replays `path` into `model`, which must be freshly constructed (same
+// name/n/max_faulty as at save time, nothing interned yet — call load
+// *before* initial_states()). When `engine` is given and its horizon and
+// exactness mode match the stored memo's, the memo is imported too;
+// otherwise the memo section is skipped. On any non-kOk result the model
+// may hold a partial replay and should be discarded.
+Result load(LayeredModel& model, const std::string& path,
+            ValenceEngine* engine = nullptr);
+
+// Validates the prelude + header of `path` and fills `meta` (may be null).
+// Does not checksum section payloads.
+Result probe(const std::string& path, SnapshotMeta* meta);
+
+}  // namespace lacon::store

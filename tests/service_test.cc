@@ -1,0 +1,385 @@
+// laconrd — wire protocol, JSON layer and Unix-socket server.
+//
+// The concurrency shape under test (satellite 6 of the persistence PR; this
+// suite is in the TSan soak loop in ci.sh): two clients on separate
+// connections hit the SAME session concurrently — one with a starvation
+// budget, one unbudgeted. The budgeted request must come back "truncated"
+// with its TruncationReason while the other completes "ok", and both share
+// one interned state space (the second request's new_states is 0 once the
+// first finished exploring).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace lacon::service {
+namespace {
+
+// --- Json ------------------------------------------------------------------
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_EQ(Json::parse("42")->as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-3.5e2")->as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+  EXPECT_EQ(Json::parse("\"a\\u0041\\n\"")->as_string(), "aA\n");
+}
+
+TEST(JsonTest, ParseContainersPreserveOrder) {
+  const auto doc = Json::parse("{\"b\":1,\"a\":[true,null,\"x\"]}");
+  ASSERT_TRUE(doc.has_value());
+  const Json::Object& obj = doc->as_object();
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(obj[1].first, "a");
+  const Json::Array& arr = doc->find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[1].is_null());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text =
+      "{\"id\":7,\"name\":\"M^mf/S1\",\"flags\":[true,false],\"nested\":"
+      "{\"x\":-1.5}}";
+  const auto doc = Json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->dump(), text);  // integral 7 stays "7", order preserved
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("", &error).has_value());
+  EXPECT_FALSE(Json::parse("{", &error).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(Json::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(Json::parse("\"bad\\q\"", &error).has_value());
+  EXPECT_FALSE(Json::parse("nulll", &error).has_value());
+  EXPECT_FALSE(Json::parse("1 2", &error).has_value());  // trailing garbage
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, DepthCapStopsAdversarialNesting) {
+  // 40k opening brackets must fail cleanly, not overflow the stack.
+  std::string deep(40000, '[');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(JsonTest, RawSplicesVerbatim) {
+  Json obj;
+  obj.set("snapshot", Json::raw("{\"pre\":\"serialized\"}"));
+  EXPECT_EQ(obj.dump(), "{\"snapshot\":{\"pre\":\"serialized\"}}");
+}
+
+TEST(JsonTest, EscapeControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  const Json j = std::string("\x01");
+  EXPECT_EQ(j.dump(), "\"\\u0001\"");
+}
+
+// --- parse_request ---------------------------------------------------------
+
+Request must_parse(const std::string& text) {
+  const auto doc = Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  Request req;
+  std::string error;
+  EXPECT_TRUE(parse_request(*doc, &req, &error)) << error;
+  return req;
+}
+
+std::string parse_error(const std::string& text) {
+  const auto doc = Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request(*doc, &req, &error)) << text;
+  return error;
+}
+
+TEST(ParseRequestTest, DefaultsAndOverrides) {
+  const Request defaults = must_parse("{\"id\":1}");
+  EXPECT_EQ(defaults.kind, ModelKind::kMobile);
+  EXPECT_EQ(defaults.n, 3);
+  EXPECT_EQ(defaults.t, 1);
+  EXPECT_EQ(defaults.query, "layers");
+  EXPECT_EQ(defaults.depth, 2);
+  EXPECT_EQ(defaults.horizon, 3);  // depth + 1
+  EXPECT_EQ(defaults.budget_ms, 0);
+  EXPECT_FALSE(defaults.include_metrics);
+
+  const Request full = must_parse(
+      "{\"id\":\"q7\",\"model\":\"sync\",\"n\":4,\"t\":2,\"query\":"
+      "\"valence\",\"depth\":3,\"horizon\":5,\"budget_ms\":250,"
+      "\"max_states\":1000,\"metrics\":true}");
+  EXPECT_EQ(full.kind, ModelKind::kSync);
+  EXPECT_EQ(full.n, 4);
+  EXPECT_EQ(full.t, 2);
+  EXPECT_EQ(full.query, "valence");
+  EXPECT_EQ(full.depth, 3);
+  EXPECT_EQ(full.horizon, 5);
+  EXPECT_EQ(full.budget_ms, 250);
+  EXPECT_EQ(full.max_states, 1000u);
+  EXPECT_TRUE(full.include_metrics);
+}
+
+TEST(ParseRequestTest, RejectsOutOfSchema) {
+  EXPECT_FALSE(parse_error("{\"model\":\"carrier-pigeon\"}").empty());
+  EXPECT_FALSE(parse_error("{\"query\":\"divination\"}").empty());
+  EXPECT_FALSE(parse_error("{\"n\":1}").empty());    // below kMinN
+  EXPECT_FALSE(parse_error("{\"n\":9}").empty());    // above kMaxN
+  EXPECT_FALSE(parse_error("{\"n\":3,\"t\":3}").empty());  // t >= n
+  EXPECT_FALSE(parse_error("{\"t\":0}").empty());
+  EXPECT_FALSE(parse_error("{\"depth\":-1}").empty());
+  EXPECT_FALSE(parse_error("{\"depth\":13}").empty());
+  EXPECT_FALSE(parse_error("{\"horizon\":33}").empty());
+  EXPECT_FALSE(parse_error("{\"n\":\"three\"}").empty());  // wrong type
+  EXPECT_FALSE(parse_error("{\"n\":3.5}").empty());        // non-integral
+}
+
+// --- handle_line (no socket) -----------------------------------------------
+
+const Json* find_path(const Json& doc, std::initializer_list<const char*> ks) {
+  const Json* cur = &doc;
+  for (const char* k : ks) {
+    if (cur == nullptr) return nullptr;
+    cur = cur->find(k);
+  }
+  return cur;
+}
+
+TEST(HandleLineTest, LayersQueryCountsLevels) {
+  SessionManager sessions;
+  const std::string response = handle_line(
+      sessions,
+      "{\"id\":1,\"model\":\"mobile\",\"n\":3,\"query\":\"layers\","
+      "\"depth\":1}");
+  const auto doc = Json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(find_path(*doc, {"id"})->as_number(), 1.0);
+  EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "ok");
+  const Json::Array& sizes =
+      find_path(*doc, {"result", "level_sizes"})->as_array();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0].as_number(), 8.0);   // Con_0 for n = 3
+  EXPECT_EQ(sizes[1].as_number(), 56.0);  // 8 * 7 mobile successors
+  EXPECT_EQ(sessions.session_count(), 1u);
+}
+
+TEST(HandleLineTest, SessionsShareInternedSpace) {
+  SessionManager sessions;
+  const std::string first = handle_line(
+      sessions, "{\"id\":1,\"model\":\"mobile\",\"depth\":2}");
+  const std::string second = handle_line(
+      sessions, "{\"id\":2,\"model\":\"mobile\",\"depth\":2}");
+  const auto doc2 = Json::parse(second);
+  ASSERT_TRUE(doc2.has_value());
+  // Everything request 2 touches was interned by request 1.
+  EXPECT_EQ(find_path(*doc2, {"metrics", "new_states"})->as_number(), 0.0);
+  EXPECT_EQ(find_path(*doc2, {"metrics", "new_views"})->as_number(), 0.0);
+  EXPECT_EQ(sessions.session_count(), 1u);  // one session, two requests
+}
+
+TEST(HandleLineTest, ValenceAndDiameterAndSimilarity) {
+  SessionManager sessions;
+  const std::string valence = handle_line(
+      sessions,
+      "{\"id\":1,\"model\":\"mobile\",\"depth\":1,\"query\":\"valence\"}");
+  const auto vdoc = Json::parse(valence);
+  ASSERT_TRUE(vdoc.has_value()) << valence;
+  EXPECT_EQ(find_path(*vdoc, {"status"})->as_string(), "ok");
+  EXPECT_EQ(find_path(*vdoc, {"result", "classified"})->as_number(), 56.0);
+
+  const std::string diameter = handle_line(
+      sessions,
+      "{\"id\":2,\"model\":\"mobile\",\"depth\":1,\"query\":\"diameter\"}");
+  const auto ddoc = Json::parse(diameter);
+  ASSERT_TRUE(ddoc.has_value()) << diameter;
+  EXPECT_EQ(find_path(*ddoc, {"status"})->as_string(), "ok");
+  EXPECT_TRUE(find_path(*ddoc, {"result", "diameter"}) != nullptr);
+  EXPECT_TRUE(find_path(*ddoc, {"result", "connected"})->as_bool());
+
+  const std::string similarity = handle_line(
+      sessions,
+      "{\"id\":3,\"model\":\"mobile\",\"depth\":1,\"query\":\"similarity\"}");
+  const auto sdoc = Json::parse(similarity);
+  ASSERT_TRUE(sdoc.has_value()) << similarity;
+  EXPECT_EQ(find_path(*sdoc, {"status"})->as_string(), "ok");
+  EXPECT_GT(find_path(*sdoc, {"result", "edges"})->as_number(), 0.0);
+}
+
+TEST(HandleLineTest, MalformedLinesBecomeErrorResponses) {
+  SessionManager sessions;
+  for (const char* line :
+       {"this is not json", "{\"model\":\"carrier-pigeon\"}", "[1,2,3]",
+        "{\"n\":99}"}) {
+    const std::string response = handle_line(sessions, line);
+    const auto doc = Json::parse(response);
+    ASSERT_TRUE(doc.has_value()) << response;
+    EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "error") << line;
+    EXPECT_FALSE(find_path(*doc, {"error"})->as_string().empty());
+  }
+  EXPECT_EQ(sessions.session_count(), 0u);  // rejected before session spin-up
+}
+
+TEST(HandleLineTest, StateBudgetTruncates) {
+  SessionManager sessions;
+  const std::string response = handle_line(
+      sessions,
+      "{\"id\":1,\"model\":\"mobile\",\"depth\":3,\"max_states\":50}");
+  const auto doc = Json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "truncated");
+  EXPECT_EQ(find_path(*doc, {"truncation"})->as_string(), "state_budget");
+  // Truncation yields complete levels only, never a partial level.
+  const Json::Array& sizes =
+      find_path(*doc, {"result", "level_sizes"})->as_array();
+  EXPECT_GE(sizes.size(), 1u);
+  EXPECT_LT(sizes.size(), 4u);
+}
+
+TEST(HandleLineTest, MetricsSnapshotEmbedsWhenAsked) {
+  SessionManager sessions;
+  const std::string response = handle_line(
+      sessions,
+      "{\"id\":1,\"model\":\"mobile\",\"depth\":1,\"metrics\":true}");
+  const auto doc = Json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  // The spliced lacon.metrics.v1 document is itself valid JSON.
+  const Json* snap = find_path(*doc, {"snapshot"});
+  ASSERT_TRUE(snap != nullptr);
+  EXPECT_TRUE(snap->is_object());
+}
+
+// --- Server (socket) -------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = "/tmp/laconrd_test_" + std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".sock";
+    server_ = std::make_unique<Server>(ServerOptions{.socket_path = socket_path_});
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+  void TearDown() override { server_->stop(); }
+
+  std::string roundtrip(const std::string& line) {
+    std::string response, error;
+    EXPECT_TRUE(Server::request(socket_path_, line, &response, &error))
+        << error;
+    return response;
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, ServesARequest) {
+  const std::string response =
+      roundtrip("{\"id\":\"smoke\",\"model\":\"mobile\",\"depth\":1}");
+  const auto doc = Json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(find_path(*doc, {"id"})->as_string(), "smoke");
+  EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "ok");
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndUnlinksSocket) {
+  ASSERT_TRUE(server_->running());
+  server_->stop();
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+  std::string response, error;
+  EXPECT_FALSE(Server::request(socket_path_, "{}", &response, &error));
+}
+
+// The satellite-6 smoke: two concurrent clients against one session, one
+// starved by a tiny wall-clock budget. The starved request must report its
+// TruncationReason; the unbudgeted one must complete. Run under TSan this
+// also soaks the session sharing (arena + layer cache + memo) across the
+// two connection threads.
+TEST_F(ServerTest, ConcurrentBudgetedAndUnbudgetedClients) {
+  std::string starved, unbudgeted;
+  std::thread starved_client([&] {
+    std::string error;
+    ASSERT_TRUE(Server::request(
+        socket_path_,
+        "{\"id\":\"starved\",\"model\":\"sharedmem\",\"n\":3,\"depth\":4,"
+        "\"budget_ms\":1}",
+        &starved, &error))
+        << error;
+  });
+  std::thread free_client([&] {
+    std::string error;
+    ASSERT_TRUE(Server::request(
+        socket_path_,
+        "{\"id\":\"free\",\"model\":\"sharedmem\",\"n\":3,\"depth\":2}",
+        &unbudgeted, &error))
+        << error;
+  });
+  starved_client.join();
+  free_client.join();
+
+  const auto sdoc = Json::parse(starved);
+  ASSERT_TRUE(sdoc.has_value()) << starved;
+  EXPECT_EQ(find_path(*sdoc, {"status"})->as_string(), "truncated");
+  EXPECT_EQ(find_path(*sdoc, {"truncation"})->as_string(), "deadline");
+
+  const auto fdoc = Json::parse(unbudgeted);
+  ASSERT_TRUE(fdoc.has_value()) << unbudgeted;
+  EXPECT_EQ(find_path(*fdoc, {"status"})->as_string(), "ok");
+
+  // Both rode the same (sharedmem, 3, 1) session.
+  EXPECT_EQ(server_->sessions().session_count(), 1u);
+}
+
+TEST_F(ServerTest, ManyConcurrentClientsShareOneSession) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([this, i, &responses] {
+      std::string error;
+      ASSERT_TRUE(Server::request(
+          socket_path_,
+          "{\"id\":" + std::to_string(i) +
+              ",\"model\":\"mobile\",\"depth\":2,\"query\":\"valence\"}",
+          &responses[static_cast<std::size_t>(i)], &error))
+          << error;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    const auto doc = Json::parse(responses[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "ok");
+    EXPECT_EQ(find_path(*doc, {"id"})->as_number(), static_cast<double>(i));
+    // Identical query → identical classified count on every connection.
+    EXPECT_EQ(find_path(*doc, {"result", "classified"})->as_number(), 392.0);
+  }
+  EXPECT_EQ(server_->sessions().session_count(), 1u);
+}
+
+TEST_F(ServerTest, PipelinedRequestsOnOneConnection) {
+  // Two newline-delimited requests in one write; Server::request reads only
+  // the first response, so issue them as two sequential round trips plus a
+  // CRLF-terminated line to cover the '\r' strip.
+  const std::string r1 = roundtrip("{\"id\":1,\"model\":\"mobile\",\"depth\":1}\r");
+  const auto doc = Json::parse(r1);
+  ASSERT_TRUE(doc.has_value()) << r1;
+  EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "ok");
+}
+
+}  // namespace
+}  // namespace lacon::service

@@ -1,0 +1,371 @@
+// lacon::store — snapshot round-trips, rejection paths and env knobs.
+//
+// The round-trip contract under test (ISSUE: snapshot lossless for n <= 8):
+// save a model after analysis, load into a fresh model, and (i) every
+// restored object keeps its stored id, (ii) content hashes match position
+// by position, (iii) re-running the analysis interns nothing new — the
+// arena miss counters stay put while "arena.*_restored" carry the replayed
+// population, (iv) canonical analysis output is identical. Rejection paths:
+// truncated files, flipped bytes, wrong version, wrong model identity,
+// non-empty target — each with its typed Status, never a crash (these run
+// under ASan in ci.sh like every other test).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/reports.hpp"
+#include "engine/explore.hpp"
+#include "engine/valence.hpp"
+#include "relation/similarity.hpp"
+#include "runtime/stats.hpp"
+#include "store/env.hpp"
+#include "store/snapshot.hpp"
+
+namespace lacon {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lacon_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+struct Instance {
+  std::unique_ptr<DecisionRule> rule;
+  std::unique_ptr<LayeredModel> model;
+  std::unique_ptr<ValenceEngine> engine;
+};
+
+Instance make_instance(ModelKind kind, int n, int t, int horizon) {
+  Instance inst;
+  inst.rule = min_after_round(kind == ModelKind::kSync ? t + 1 : 2);
+  inst.model = make_model(kind, n, t, *inst.rule);
+  inst.engine = std::make_unique<ValenceEngine>(*inst.model, horizon,
+                                                default_exactness(kind));
+  return inst;
+}
+
+// Explores, classifies and sweeps similarity so the snapshot has a layer
+// cache, a memo and fingerprint rows to carry.
+std::vector<StateId> analyze(Instance& inst, int depth) {
+  const auto levels = reachable_by_depth(*inst.model, depth);
+  const std::vector<StateId>& frontier = levels.back();
+  inst.engine->classify_all(frontier);
+  similarity_graph(*inst.model, frontier);
+  return frontier;
+}
+
+std::vector<std::uint64_t> state_hashes(const LayeredModel& model) {
+  std::vector<std::uint64_t> out;
+  out.reserve(model.num_states());
+  for (std::size_t id = 0; id < model.num_states(); ++id) {
+    out.push_back(StateArena::content_hash(model.state(static_cast<StateId>(id))));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> view_hashes(const LayeredModel& model) {
+  std::vector<std::uint64_t> out;
+  out.reserve(model.num_views());
+  for (std::size_t id = 0; id < model.num_views(); ++id) {
+    out.push_back(ViewArena::content_hash(model.views().node(static_cast<ViewId>(id))));
+  }
+  return out;
+}
+
+TEST_F(StoreTest, RoundTripPreservesContentAndIds) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("mobile.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  const store::Result r = store::load(*warm.model, file, warm.engine.get());
+  ASSERT_TRUE(r.ok()) << r.detail;
+
+  ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
+  ASSERT_EQ(warm.model->num_views(), cold.model->num_views());
+  // Position-by-position content hashes: id i names the same content.
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+  EXPECT_EQ(view_hashes(*warm.model), view_hashes(*cold.model));
+}
+
+TEST_F(StoreTest, WarmAnalysisInternsNothingNew) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("warm.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  auto& stats = runtime::Stats::global();
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  ASSERT_TRUE(store::load(*warm.model, file, warm.engine.get()).ok());
+
+  const std::uint64_t restored = stats.counter("arena.state_restored").value();
+  EXPECT_GE(restored, cold.model->num_states());
+
+  const std::uint64_t misses_before =
+      stats.counter("arena.state_misses").value();
+  const std::uint64_t view_misses_before =
+      stats.counter("arena.view_misses").value();
+  const std::uint64_t hits_before = stats.counter("arena.state_hits").value();
+
+  // The full analysis replays as hits against the restored index.
+  const auto frontier = analyze(warm, 2);
+  EXPECT_EQ(stats.counter("arena.state_misses").value(), misses_before);
+  EXPECT_EQ(stats.counter("arena.view_misses").value(), view_misses_before);
+  EXPECT_GT(stats.counter("arena.state_hits").value(), hits_before);
+  EXPECT_EQ(warm.model->num_states(), cold.model->num_states());
+
+  // Valence answers agree entry for entry (memo was imported).
+  const auto cold_frontier = analyze(cold, 2);
+  ASSERT_EQ(frontier.size(), cold_frontier.size());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const ValenceInfo a = warm.engine->valence(frontier[i]);
+    const ValenceInfo b = cold.engine->valence(cold_frontier[i]);
+    EXPECT_EQ(a.v0, b.v0);
+    EXPECT_EQ(a.v1, b.v1);
+    EXPECT_EQ(a.exact, b.exact);
+  }
+}
+
+TEST_F(StoreTest, OddNPadsLanesAndRoundTrips) {
+  // n = 3 and n = 5 exercise the odd lane-padding path in the flat arena;
+  // round-trip each and re-intern a frontier state to prove id stability.
+  for (const int n : {3, 5}) {
+    auto cold = make_instance(ModelKind::kSync, n, 1, 2);
+    analyze(cold, 1);
+    const std::string file = path("odd" + std::to_string(n) + ".store");
+    ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+    auto warm = make_instance(ModelKind::kSync, n, 1, 2);
+    ASSERT_TRUE(store::load(*warm.model, file, warm.engine.get()).ok());
+    EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+
+    // Re-interning restored content yields the restored id, not a new one.
+    const std::size_t before = warm.model->num_states();
+    const StateRef s = warm.model->state(0);
+    GlobalState copy;
+    copy.env.assign(s.env.begin(), s.env.end());
+    copy.locals.assign(s.locals.begin(), s.locals.end());
+    copy.decisions.assign(s.decisions.begin(), s.decisions.end());
+    EXPECT_EQ(warm.model->restore_state(std::move(copy)), 0u);
+    EXPECT_EQ(warm.model->num_states(), before);
+  }
+}
+
+TEST_F(StoreTest, ProbeReportsIdentityAndInventory) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("probe.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  store::SnapshotMeta meta;
+  ASSERT_TRUE(store::probe(file, &meta).ok());
+  EXPECT_EQ(meta.model_name, cold.model->name());
+  EXPECT_EQ(meta.n, 3);
+  EXPECT_EQ(meta.max_faulty, 1);
+  EXPECT_EQ(meta.num_states, cold.model->num_states());
+  EXPECT_EQ(meta.num_views, cold.model->num_views());
+  EXPECT_GT(meta.memo_entries, 0u);
+  EXPECT_GT(meta.fingerprint_rows, 0u);
+}
+
+TEST_F(StoreTest, TruncatedFilesAreRejectedAtEveryLength) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("trunc.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  // A spread of prefix lengths: inside the prelude, inside the header,
+  // inside each section region, and one byte short of complete.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{20}, std::size_t{60},
+        bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    const std::string cut = path("cut.store");
+    std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+
+    auto target = make_instance(ModelKind::kMobile, 3, 1, 2);
+    const store::Result r = store::load(*target.model, cut, nullptr);
+    EXPECT_FALSE(r.ok()) << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST_F(StoreTest, CorruptPayloadFailsChecksum) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("corrupt.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+
+  std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-9, std::ios::end);  // a payload byte near the tail
+  char byte;
+  f.seekg(-9, std::ios::end);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(-9, std::ios::end);
+  f.write(&byte, 1);
+  f.close();
+
+  auto target = make_instance(ModelKind::kMobile, 3, 1, 2);
+  const store::Result r = store::load(*target.model, file, nullptr);
+  EXPECT_EQ(r.status, store::Status::kCorrupt) << r.detail;
+}
+
+TEST_F(StoreTest, ForwardVersionsAreRefused) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("v2.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+
+  std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+  const std::uint32_t v2 = 2;
+  f.seekp(8);  // the u32 version right after the magic
+  f.write(reinterpret_cast<const char*>(&v2), sizeof v2);
+  f.close();
+
+  auto target = make_instance(ModelKind::kMobile, 3, 1, 2);
+  EXPECT_EQ(store::load(*target.model, file, nullptr).status,
+            store::Status::kBadVersion);
+  EXPECT_EQ(store::probe(file, nullptr).status, store::Status::kBadVersion);
+}
+
+TEST_F(StoreTest, BadMagicAndMissingFile) {
+  const std::string file = path("not.store");
+  std::ofstream(file) << "definitely not a snapshot";
+  auto target = make_instance(ModelKind::kMobile, 3, 1, 2);
+  EXPECT_EQ(store::load(*target.model, file, nullptr).status,
+            store::Status::kBadMagic);
+  EXPECT_EQ(store::load(*target.model, path("absent.store"), nullptr).status,
+            store::Status::kIoError);
+}
+
+TEST_F(StoreTest, ModelMismatchAndNonEmptyTargetAreRefused) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("identity.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+
+  // Wrong n.
+  auto wrong_n = make_instance(ModelKind::kMobile, 4, 1, 2);
+  EXPECT_EQ(store::load(*wrong_n.model, file, nullptr).status,
+            store::Status::kModelMismatch);
+  // Wrong model family.
+  auto wrong_kind = make_instance(ModelKind::kSync, 3, 1, 2);
+  EXPECT_EQ(store::load(*wrong_kind.model, file, nullptr).status,
+            store::Status::kModelMismatch);
+  // Right identity, but the target has already interned content.
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 2);
+  warm.model->initial_states();
+  EXPECT_EQ(store::load(*warm.model, file, nullptr).status,
+            store::Status::kNotEmpty);
+}
+
+TEST_F(StoreTest, MemoSkippedOnHorizonMismatch) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("memo.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  // A horizon-2 engine must not inherit horizon-3 entries; the load itself
+  // still succeeds and the model is fully usable.
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 2);
+  const std::uint64_t skipped_before =
+      runtime::Stats::global().counter("store.memo_skipped").value();
+  ASSERT_TRUE(store::load(*warm.model, file, warm.engine.get()).ok());
+  EXPECT_GT(runtime::Stats::global().counter("store.memo_skipped").value(),
+            skipped_before);
+  EXPECT_EQ(warm.model->num_states(), cold.model->num_states());
+}
+
+TEST_F(StoreTest, SaveWithoutEngineOmitsMemo) {
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("nomemo.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+  store::SnapshotMeta meta;
+  ASSERT_TRUE(store::probe(file, &meta).ok());
+  EXPECT_EQ(meta.memo_entries, 0u);
+
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 2);
+  EXPECT_TRUE(store::load(*warm.model, file, warm.engine.get()).ok());
+}
+
+// --- env knob parsing (the LACON_THREADS warn-once contract) --------------
+
+TEST(StoreEnvTest, ParseModeKeywords) {
+  using store::Mode;
+  EXPECT_EQ(store::parse_mode("off", Mode::kLoadSave), Mode::kOff);
+  EXPECT_EQ(store::parse_mode("load", Mode::kOff), Mode::kLoad);
+  EXPECT_EQ(store::parse_mode("save", Mode::kOff), Mode::kSave);
+  EXPECT_EQ(store::parse_mode("loadsave", Mode::kOff), Mode::kLoadSave);
+  // Null/empty fall back silently.
+  EXPECT_EQ(store::parse_mode(nullptr, Mode::kSave), Mode::kSave);
+  EXPECT_EQ(store::parse_mode("", Mode::kLoad), Mode::kLoad);
+  // Malformed values fall back (and warn once, not per call).
+  EXPECT_EQ(store::parse_mode("LOAD", Mode::kOff), Mode::kOff);
+  EXPECT_EQ(store::parse_mode("load,save", Mode::kOff), Mode::kOff);
+  EXPECT_EQ(store::parse_mode("1", Mode::kOff), Mode::kOff);
+}
+
+TEST(StoreEnvTest, ParseDirLengthGuard) {
+  EXPECT_EQ(store::parse_dir(nullptr, "fallback"), "fallback");
+  EXPECT_EQ(store::parse_dir("", "fallback"), "fallback");
+  EXPECT_EQ(store::parse_dir("/var/lib/lacon", "fallback"), "/var/lib/lacon");
+  // The ERANGE analogue: a plausible prefix of absurd length falls back.
+  const std::string absurd(store::kMaxDirLength + 1, 'x');
+  EXPECT_EQ(store::parse_dir(absurd.c_str(), "fallback"), "fallback");
+  const std::string exactly_max(store::kMaxDirLength, 'x');
+  EXPECT_EQ(store::parse_dir(exactly_max.c_str(), "fallback"), exactly_max);
+}
+
+TEST(StoreEnvTest, LoadsSavesHalves) {
+  using store::Mode;
+  EXPECT_FALSE(store::loads(Mode::kOff));
+  EXPECT_FALSE(store::saves(Mode::kOff));
+  EXPECT_TRUE(store::loads(Mode::kLoad));
+  EXPECT_FALSE(store::saves(Mode::kLoad));
+  EXPECT_FALSE(store::loads(Mode::kSave));
+  EXPECT_TRUE(store::saves(Mode::kSave));
+  EXPECT_TRUE(store::loads(Mode::kLoadSave));
+  EXPECT_TRUE(store::saves(Mode::kLoadSave));
+}
+
+TEST(StoreEnvTest, SnapshotFilenameSanitizes) {
+  EXPECT_EQ(store::snapshot_filename("M^mf/S1", 3, 1),
+            "M_mf_S1.n3.t1.lacon.store");
+  EXPECT_EQ(store::snapshot_filename("Sync/S^t", 4, 2),
+            "Sync_S_t.n4.t2.lacon.store");
+  EXPECT_EQ(store::snapshot_path("/data", "M^mf/S1", 3, 1),
+            "/data/M_mf_S1.n3.t1.lacon.store");
+  EXPECT_EQ(store::snapshot_path("/data/", "M^mf/S1", 3, 1),
+            "/data/M_mf_S1.n3.t1.lacon.store");
+}
+
+}  // namespace
+}  // namespace lacon
