@@ -43,8 +43,11 @@ run_config() {
     # (truncated/corrupt file parsing is exactly where ASan earns its keep);
     # service_test is the satellite TSan soak: concurrent socket clients
     # sharing one session's arenas, layer cache and valence memo.
+    # simd_test rides along so the AVX2/NEON kernels and the scalar
+    # reference run their randomized equivalence sweeps under both
+    # sanitizers (ASan in particular audits the tail-masked lane reads).
     for soak_bin in guard_test runtime_test fuzz_test trace_test \
-                    store_test service_test; do
+                    store_test service_test simd_test; do
       LACON_FAULT_SEED="${LACON_FAULT_SEED:-20260805}" \
       LACON_FAULT_RATE="${LACON_FAULT_RATE:-0.05}" \
       LACON_TRACE=spans \
@@ -52,6 +55,14 @@ run_config() {
     done
   fi
   if [[ "$name" == "plain" ]]; then
+    # Forced-scalar lane: the SIMD dispatch contract says LACON_SIMD=scalar
+    # changes speed, never results. Re-run the kernel-facing suites with the
+    # knob pinned so the portable path stays green on hosts whose auto pick
+    # is avx2/neon (regression coverage for scalar-only fallback hosts).
+    echo "=== [$name] LACON_SIMD=scalar lane (kernel-facing suites)"
+    for scalar_bin in simd_test core_test relation_test store_test; do
+      LACON_SIMD=scalar "$dir/tests/$scalar_bin" --gtest_brief=1
+    done
     # Perf trajectory: a small-size bench pass on the unsanitized build,
     # emitting one BENCH_*.json per experiment into bench_results/. Compare
     # against the committed reference under bench/baseline/ (regenerate it
@@ -77,8 +88,10 @@ run_config() {
     # same smoke budget when a PR intentionally moves performance. The gated
     # JSONs (plus their metrics snapshots) are copied to the repo top level
     # as CI artifacts.
-    echo "=== [$name] bench regression gate (t9+t10 vs bench/baseline/)"
-    for tag in t9_runtime t10_arena; do
+    # t12 rides the same hard gate: its per-kernel A/B rows regress only if
+    # a kernel or its dispatch got slower, never because a workload grew.
+    echo "=== [$name] bench regression gate (t9+t10+t12 vs bench/baseline/)"
+    for tag in t9_runtime t10_arena t12_simd; do
       python3 bench/compare_baseline.py \
         "bench/baseline/BENCH_$tag.json" "bench_results/BENCH_$tag.json" \
         --max-regression 0.25 \

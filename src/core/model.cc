@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/simd_dispatch.hpp"
+
 namespace lacon {
 
 std::vector<std::vector<Value>> all_binary_inputs(int n) {
@@ -55,9 +57,15 @@ const std::uint64_t* LayeredModel::fingerprint_row(StateId x) {
     return cached;
   }
   auto* mine = new std::uint64_t[static_cast<std::size_t>(n_)];
+  fingerprint_row_into(x, mine);
+#ifndef NDEBUG
   for (ProcessId j = 0; j < n_; ++j) {
-    mine[static_cast<std::size_t>(j)] = similarity_fingerprint(x, j);
+    // The batched row must be bit-identical to the per-j definition; a model
+    // that overrode similarity_fingerprint without fingerprint_row_into (or
+    // a divergent SIMD kernel) trips here immediately.
+    assert(mine[static_cast<std::size_t>(j)] == similarity_fingerprint(x, j));
   }
+#endif
   const std::uint64_t* expected = nullptr;
   if (slot.compare_exchange_strong(expected, mine, std::memory_order_acq_rel,
                                    std::memory_order_acquire)) {
@@ -161,6 +169,14 @@ std::uint64_t LayeredModel::similarity_fingerprint(StateId x,
     h = hash_combine(h, static_cast<std::uint64_t>(s.decisions[idx]));
   }
   return h;
+}
+
+void LayeredModel::fingerprint_row_into(StateId x, std::uint64_t* out) const {
+  const StateRef s = state(x);
+  const std::uint64_t env_hash = hash_range(s.env, 0x73696d666970ULL);
+  simd::active().fingerprint_lanes(env_hash, s.locals.data(),
+                                   s.decisions.data(),
+                                   static_cast<std::size_t>(n_), out);
 }
 
 std::string LayeredModel::env_to_string(StateId x) const {

@@ -101,6 +101,16 @@ class LayeredModel {
   // and mask the same words.
   virtual std::uint64_t similarity_fingerprint(StateId x, ProcessId j) const;
 
+  // Writes the whole erase-one row at once: out[j] = similarity_fingerprint
+  // (x, j) for j in [0, n). The base implementation hashes the env prefix
+  // once and folds every locals/decisions lane into all n-1 non-erased row
+  // entries in a single pass over the state (simd::fingerprint_lanes), which
+  // is how fingerprint_row publication avoids n separate state walks. A
+  // model that overrides similarity_fingerprint MUST override this too (the
+  // message-passing models loop their own per-j hash); fingerprint_row
+  // debug-asserts the row against the per-j virtual entry by entry.
+  virtual void fingerprint_row_into(StateId x, std::uint64_t* out) const;
+
   // --- Snapshot hooks (lacon::store, store/snapshot.hpp) ------------------
   //
   // The store serializes the interned space through the public read API

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "runtime/fault.hpp"
+#include "runtime/simd_dispatch.hpp"
 #include "runtime/stats.hpp"
 
 namespace lacon {
@@ -52,26 +53,30 @@ std::size_t arena_shard_count() noexcept {
 }
 
 bool operator==(const StateRef& a, const StateRef& b) noexcept {
-  return std::equal(a.env.begin(), a.env.end(), b.env.begin(), b.env.end()) &&
-         std::equal(a.locals.begin(), a.locals.end(), b.locals.begin(),
-                    b.locals.end()) &&
-         std::equal(a.decisions.begin(), a.decisions.end(),
-                    b.decisions.begin(), b.decisions.end());
+  if (a.env.size() != b.env.size() || a.locals.size() != b.locals.size() ||
+      a.decisions.size() != b.decisions.size()) {
+    return false;
+  }
+  const simd::Kernels& k = simd::active();
+  const std::size_t n = a.locals.size();
+  return k.words_equal(a.env.data(), b.env.data(), a.env.size()) &&
+         k.lanes_equal_skip(a.locals.data(), b.locals.data(), n,
+                            simd::kNoSkip) &&
+         k.lanes_equal_skip(a.decisions.data(), b.decisions.data(), n,
+                            simd::kNoSkip);
 }
 
 bool agree_modulo(const StateRef& x, const StateRef& y, ProcessId j) {
   assert(x.locals.size() == y.locals.size());
-  if (!std::equal(x.env.begin(), x.env.end(), y.env.begin(), y.env.end())) {
-    return false;
-  }
-  const int n = static_cast<int>(x.locals.size());
-  for (ProcessId i = 0; i < n; ++i) {
-    if (i == j) continue;
-    const auto idx = static_cast<std::size_t>(i);
-    if (x.locals[idx] != y.locals[idx]) return false;
-    if (x.decisions[idx] != y.decisions[idx]) return false;
-  }
-  return true;
+  if (x.env.size() != y.env.size()) return false;
+  // The kernels read exactly size() elements, so vector-backed candidate
+  // refs (no padded tail) and pool-backed refs mix freely here.
+  const simd::Kernels& k = simd::active();
+  if (!k.words_equal(x.env.data(), y.env.data(), x.env.size())) return false;
+  const std::size_t n = x.locals.size();
+  const auto skip = static_cast<std::size_t>(j);  // j == -1 -> kNoSkip
+  return k.lanes_equal_skip(x.locals.data(), y.locals.data(), n, skip) &&
+         k.lanes_equal_skip(x.decisions.data(), y.decisions.data(), n, skip);
 }
 
 StateArena::StateArena()
@@ -132,6 +137,18 @@ StateId StateArena::intern_impl(GlobalState s,
     }
     std::memcpy(lanes_base, s.locals.data(), n * sizeof(ViewId));
     std::memcpy(lanes_base + lanes, s.decisions.data(), n * sizeof(Value));
+#ifndef NDEBUG
+    if (n % 2 != 0) {
+      // SIMD kernels may read whole packed words; the odd-n padding lanes
+      // must stay zero forever (intern AND restore both land here). See
+      // DESIGN.md §13 and the store_test restored-padding case.
+      assert(reinterpret_cast<const std::uint32_t*>(lanes_base)[n] == 0 &&
+             "odd-n locals padding lane must be zero");
+      assert(reinterpret_cast<const std::uint32_t*>(lanes_base + lanes)[n] ==
+                 0 &&
+             "odd-n decisions padding lane must be zero");
+    }
+#endif
   }
   const StateId id =
       static_cast<StateId>(next_id_.fetch_add(1, std::memory_order_acq_rel));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/simd_dispatch.hpp"
 #include "util/permutations.hpp"
 
 namespace lacon {
@@ -168,11 +169,13 @@ StateId MsgPassModel::apply_schedule(StateId x, const Schedule& schedule) {
 bool MsgPassModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
   const StateRef sx = state(x);
   const StateRef sy = state(y);
-  for (ProcessId i = 0; i < n(); ++i) {
-    if (i == j) continue;
-    const auto idx = static_cast<std::size_t>(i);
-    if (sx.locals[idx] != sy.locals[idx]) return false;
-    if (sx.decisions[idx] != sy.decisions[idx]) return false;
+  const simd::Kernels& k = simd::active();
+  const auto nn = static_cast<std::size_t>(n());
+  const auto skip = static_cast<std::size_t>(j);
+  if (!k.lanes_equal_skip(sx.locals.data(), sy.locals.data(), nn, skip) ||
+      !k.lanes_equal_skip(sx.decisions.data(), sy.decisions.data(), nn,
+                          skip)) {
+    return false;
   }
   // The messages addressed to j form j's mailbox and belong to j's local
   // state; everything else in transit must coincide. Both encodings are
@@ -193,6 +196,16 @@ bool MsgPassModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
 std::uint64_t MsgPassModel::similarity_fingerprint(StateId x,
                                                    ProcessId j) const {
   return mailbox_masked_fingerprint(state(x), n(), j);
+}
+
+void MsgPassModel::fingerprint_row_into(StateId x, std::uint64_t* out) const {
+  // The mailbox masking makes the env contribution j-dependent, so the
+  // one-pass lane kernel of the base class does not apply; the row is still
+  // published in one batch, just hashed per erased coordinate.
+  const StateRef s = state(x);
+  for (ProcessId j = 0; j < n(); ++j) {
+    out[static_cast<std::size_t>(j)] = mailbox_masked_fingerprint(s, n(), j);
+  }
 }
 
 std::string transit_env_to_string(const ViewArena& views, const StateRef& s) {

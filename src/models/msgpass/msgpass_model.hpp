@@ -59,6 +59,7 @@ class MsgPassModel final : public LayeredModel {
 
   bool agree_modulo(StateId x, StateId y, ProcessId j) const override;
   std::uint64_t similarity_fingerprint(StateId x, ProcessId j) const override;
+  void fingerprint_row_into(StateId x, std::uint64_t* out) const override;
   std::string env_to_string(StateId x) const override;
 
   // All layer actions for this model size (the three types above).

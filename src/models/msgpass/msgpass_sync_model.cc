@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "models/msgpass/msgpass_model.hpp"
+#include "runtime/simd_dispatch.hpp"
 
 namespace lacon {
 namespace {
@@ -122,11 +123,13 @@ bool MsgPassSyncModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
   // messages addressed to j belong to j's local state.
   const StateRef sx = state(x);
   const StateRef sy = state(y);
-  for (ProcessId i = 0; i < n(); ++i) {
-    if (i == j) continue;
-    const auto idx = static_cast<std::size_t>(i);
-    if (sx.locals[idx] != sy.locals[idx]) return false;
-    if (sx.decisions[idx] != sy.decisions[idx]) return false;
+  const simd::Kernels& k = simd::active();
+  const auto nn = static_cast<std::size_t>(n());
+  const auto skip = static_cast<std::size_t>(j);
+  if (!k.lanes_equal_skip(sx.locals.data(), sy.locals.data(), nn, skip) ||
+      !k.lanes_equal_skip(sx.decisions.data(), sy.decisions.data(), nn,
+                          skip)) {
+    return false;
   }
   auto it_x = sx.env.begin();
   auto it_y = sy.env.begin();
@@ -146,6 +149,16 @@ bool MsgPassSyncModel::agree_modulo(StateId x, StateId y, ProcessId j) const {
 std::uint64_t MsgPassSyncModel::similarity_fingerprint(StateId x,
                                                        ProcessId j) const {
   return mailbox_masked_fingerprint(state(x), n(), j);
+}
+
+void MsgPassSyncModel::fingerprint_row_into(StateId x,
+                                            std::uint64_t* out) const {
+  // Mailbox masking makes the env hash j-dependent; batch the row per
+  // erased coordinate (see MsgPassModel::fingerprint_row_into).
+  const StateRef s = state(x);
+  for (ProcessId j = 0; j < n(); ++j) {
+    out[static_cast<std::size_t>(j)] = mailbox_masked_fingerprint(s, n(), j);
+  }
 }
 
 std::string MsgPassSyncModel::env_to_string(StateId x) const {

@@ -142,12 +142,37 @@ std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
   return dist;
 }
 
+std::size_t Graph::bfs_eccentricity(std::size_t source,
+                                    EccScratch& s) const {
+  const std::size_t n = size();
+  s.visited.reset(n);
+  s.next.reset(n);
+  s.frontier.resize(n);  // a level is at most the whole vertex set
+  s.visited.mark(source);
+  s.frontier[0] = static_cast<Vertex>(source);
+  std::size_t frontier_len = 1;
+  std::size_t reached = 1;
+  std::size_t levels = 0;
+  while (frontier_len != 0) {
+    for (std::size_t i = 0; i < frontier_len; ++i) {
+      const Vertex v = s.frontier[i];
+      for (std::size_t e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+        s.next.mark(csr_[e]);
+      }
+    }
+    frontier_len = s.next.drain_fresh_into(s.visited, s.frontier.data());
+    if (frontier_len == 0) break;
+    ++levels;
+    reached += frontier_len;
+  }
+  return reached == n ? levels : kUnreached;
+}
+
 bool Graph::connected() const {
   if (size() <= 1) return true;
   ensure_csr();
-  const std::vector<std::size_t> dist = bfs_distances(0);
-  return std::none_of(dist.begin(), dist.end(),
-                      [](std::size_t d) { return d == kUnreached; });
+  EccScratch scratch;
+  return bfs_eccentricity(0, scratch) != kUnreached;
 }
 
 std::vector<std::size_t> Graph::components() const {
@@ -191,16 +216,10 @@ guard::Partial<std::optional<std::size_t>> Graph::diameter(
   std::vector<std::size_t> ecc(size(), 0);
   const std::size_t done =
       runtime::parallel_for_guarded(g, size(), [&](std::size_t v) {
-        const std::vector<std::size_t> dist = bfs_distances(v);
-        std::size_t best = 0;
-        for (std::size_t d : dist) {
-          if (d == kUnreached) {
-            best = kUnreached;
-            break;
-          }
-          best = std::max(best, d);
-        }
-        ecc[v] = best;
+        // One scratch per worker thread: the BFS bit sets and frontier are
+        // reset per source but their allocations persist across sources.
+        static thread_local EccScratch scratch;
+        ecc[v] = bfs_eccentricity(v, scratch);
       });
   stats.counter("relation.diameter_sources").add(done);
   out.completed = done;
@@ -239,13 +258,12 @@ std::optional<std::size_t> Graph::diameter() const {
   const std::vector<std::size_t> partial =
       runtime::parallel_map_chunks<std::size_t>(
           size(), [&](std::size_t begin, std::size_t end) {
+            EccScratch scratch;  // reused across this chunk's sources
             std::size_t best = 0;
             for (std::size_t v = begin; v < end; ++v) {
-              const std::vector<std::size_t> dist = bfs_distances(v);
-              for (std::size_t d : dist) {
-                if (d == kUnreached) return kUnreached;
-                best = std::max(best, d);
-              }
+              const std::size_t e = bfs_eccentricity(v, scratch);
+              if (e == kUnreached) return kUnreached;
+              best = std::max(best, e);
             }
             return best;
           });

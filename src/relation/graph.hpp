@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/guard.hpp"
+#include "util/bitset.hpp"
 
 namespace lacon {
 
@@ -87,10 +88,28 @@ class Graph {
   std::vector<std::size_t> shortest_path(std::size_t a, std::size_t b) const;
 
  private:
+  // Reusable per-thread buffers for bfs_eccentricity: the visited/next bit
+  // sets of the level-synchronous BFS plus the current frontier. reset()
+  // between sources keeps the allocations.
+  struct EccScratch {
+    DenseBitset visited;
+    DenseBitset next;
+    std::vector<Vertex> frontier;
+  };
+
   // Rebuilds offsets_/csr_ from edge_list_ if edges were added since the
   // last build. Counting pass over degrees, prefix-sum, cursor fill.
   void ensure_csr() const;
   std::vector<std::size_t> bfs_distances(std::size_t source) const;
+
+  // Eccentricity of `source` by level-synchronous bitmap BFS: mark every
+  // frontier neighbor into `next`, then one fused frontier_advance kernel
+  // step (fresh = next & ~visited; visited |= fresh; emit fresh indices)
+  // yields the following frontier. Level counts equal queue-BFS distances,
+  // so the value matches max(bfs_distances(source)) exactly; returns
+  // SIZE_MAX (kUnreached) when some vertex is unreachable. Requires a
+  // finalized CSR.
+  std::size_t bfs_eccentricity(std::size_t source, EccScratch& scratch) const;
 
   std::size_t size_ = 0;
   std::vector<Edge> edge_list_;

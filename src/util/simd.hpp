@@ -1,0 +1,190 @@
+// SIMD kernel library over the flat WordPool state encoding (DESIGN.md §13).
+//
+// PR 4 flattened every interned GlobalState into one contiguous word region
+// — env int64 words, then locals and decisions packed as 32-bit lanes, two
+// per word, with odd-n padding lanes zeroed — precisely so the pairwise hot
+// loops of the layered analysis could vectorize. This header defines those
+// loops as a table of kernels:
+//
+//   (1) words_equal / lanes_equal_skip  — the agree_modulo compare: bulk
+//       env-word equality plus a 32-bit-lane compare that masks out the
+//       erased process j's slot (core/state.cc).
+//   (2) fingerprint_lanes — all n erase-one similarity fingerprints of a
+//       state in one pass over its lanes instead of n (core/model.cc).
+//   (3) bitset_or/and/andnot/popcount/find_first — DenseBitset bulk sweeps
+//       (util/bitset.hpp; explore seen-sets, diameter visited-sets).
+//   (4) frontier_advance — the fused CSR frontier-expansion step of the
+//       level-synchronous BFS behind Graph::diameter (relation/graph.cc):
+//       fresh = next & ~visited; visited |= fresh; emit fresh bit indices.
+//
+// The scalar implementations below are the semantic definition; the AVX2 /
+// NEON implementations in runtime/simd_dispatch.cc must be bit-identical
+// (same fingerprints, same graphs, same truncation depths — the identity
+// contract tests/simd_test.cc enforces). Call sites fetch the selected
+// table once per operation via lacon::simd::active() (runtime dispatch,
+// LACON_SIMD knob); the scalar table stays reachable through
+// scalar_kernels() for A/B benches and equivalence tests.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace lacon::simd {
+
+// "No lane erased" sentinel for lanes_equal_skip (any value >= n works).
+inline constexpr std::size_t kNoSkip = ~std::size_t{0};
+
+// "Not found" result of bitset_find_first.
+inline constexpr std::size_t kNpos = ~std::size_t{0};
+
+struct Kernels {
+  // Implementation name for logs/benches: "scalar" | "avx2" | "neon".
+  const char* name;
+
+  // All n 64-bit words equal.
+  bool (*words_equal)(const std::int64_t* a, const std::int64_t* b,
+                      std::size_t n) noexcept;
+
+  // All n 32-bit lanes equal, ignoring lane `skip` (pass kNoSkip to compare
+  // every lane). Reads exactly n lanes from each side — callers may hand in
+  // vector-backed spans without padded tails.
+  bool (*lanes_equal_skip)(const std::int32_t* a, const std::int32_t* b,
+                           std::size_t n, std::size_t skip) noexcept;
+
+  // Erase-one fingerprint row: out[j] becomes the fold of hash_combine over
+  //   seed, locals[0], decisions[0], ..., locals[n-1], decisions[n-1]
+  // with locals[j] and decisions[j] skipped — exactly
+  // LayeredModel::similarity_fingerprint(x, j) when `seed` is the state's
+  // env hash. Lanes are sign-extended to 64 bits before combining, matching
+  // the scalar static_cast<std::uint64_t>(ViewId) on int32 lanes.
+  void (*fingerprint_lanes)(std::uint64_t seed, const std::int32_t* locals,
+                            const std::int32_t* decisions, std::size_t n,
+                            std::uint64_t* out) noexcept;
+
+  // dst[i] |= src[i] / dst[i] &= src[i] / dst[i] &= ~src[i], i in [0, n).
+  void (*bitset_or)(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) noexcept;
+  void (*bitset_and)(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) noexcept;
+  void (*bitset_andnot)(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) noexcept;
+
+  // Total set bits across n words.
+  std::uint64_t (*bitset_popcount)(const std::uint64_t* w,
+                                   std::size_t n) noexcept;
+
+  // Index of the lowest set bit across n words, kNpos when all zero.
+  std::size_t (*bitset_find_first)(const std::uint64_t* w,
+                                   std::size_t n) noexcept;
+
+  // One level of bitmap BFS over `nwords`-word sets: for every word,
+  //   fresh      = next & ~visited
+  //   visited   |= fresh
+  //   next       = 0
+  // and the bit indices of every fresh word are appended to `out` in
+  // ascending order. Returns the number of fresh bits (out must have room
+  // for 64 * nwords entries in the worst case).
+  std::size_t (*frontier_advance)(std::uint64_t* next, std::uint64_t* visited,
+                                  std::size_t nwords,
+                                  std::uint32_t* out) noexcept;
+};
+
+// --- Scalar reference kernels (the semantic definition) ---------------------
+
+namespace scalar {
+
+inline bool words_equal(const std::int64_t* a, const std::int64_t* b,
+                        std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+inline bool lanes_equal_skip(const std::int32_t* a, const std::int32_t* b,
+                             std::size_t n, std::size_t skip) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != skip && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+inline void fingerprint_lanes(std::uint64_t seed, const std::int32_t* locals,
+                              const std::int32_t* decisions, std::size_t n,
+                              std::uint64_t* out) noexcept {
+  for (std::size_t j = 0; j < n; ++j) out[j] = seed;
+  // Item-major instead of row-major: each lane j still receives exactly the
+  // per-j fold's operations in the per-j fold's order (items of i < i' are
+  // combined before i'), so the row is bit-identical to n independent
+  // similarity_fingerprint calls while touching each lane pair once.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto l =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(locals[i]));
+    const auto d =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(decisions[i]));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      out[j] = hash_combine(hash_combine(out[j], l), d);
+    }
+  }
+}
+
+inline void bitset_or(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+inline void bitset_and(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+inline void bitset_andnot(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+inline std::uint64_t bitset_popcount(const std::uint64_t* w,
+                                     std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+inline std::size_t bitset_find_first(const std::uint64_t* w,
+                                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w[i] != 0) {
+      return i * 64 + static_cast<std::size_t>(std::countr_zero(w[i]));
+    }
+  }
+  return kNpos;
+}
+
+inline std::size_t frontier_advance(std::uint64_t* next,
+                                    std::uint64_t* visited, std::size_t nwords,
+                                    std::uint32_t* out) noexcept {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t fresh = next[w] & ~visited[w];
+    next[w] = 0;
+    if (fresh == 0) continue;
+    visited[w] |= fresh;
+    const auto base = static_cast<std::uint32_t>(w * 64);
+    do {
+      out[count++] =
+          base + static_cast<std::uint32_t>(std::countr_zero(fresh));
+      fresh &= fresh - 1;
+    } while (fresh != 0);
+  }
+  return count;
+}
+
+}  // namespace scalar
+
+}  // namespace lacon::simd

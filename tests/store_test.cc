@@ -111,6 +111,36 @@ TEST_F(StoreTest, RoundTripPreservesContentAndIds) {
   EXPECT_EQ(view_hashes(*warm.model), view_hashes(*cold.model));
 }
 
+// PR-4/§13 invariant: the padding halves of odd-n packed locals/decisions
+// words are zero at intern time AND after a snapshot restore (restore goes
+// through the same intern path). The SIMD kernels may read whole packed
+// words, so a restore that left stale bytes in the padding lane would make
+// pool-word comparisons diverge from lane-exact semantics.
+TEST_F(StoreTest, RestoredOddNStatesKeepZeroedPadding) {
+  constexpr std::size_t kN = 3;  // odd: one padding lane per packed array
+  auto cold = make_instance(ModelKind::kMobile, kN, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("padding.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  auto warm = make_instance(ModelKind::kMobile, kN, 1, 3);
+  const store::Result r = store::load(*warm.model, file, warm.engine.get());
+  ASSERT_TRUE(r.ok()) << r.detail;
+  ASSERT_GT(warm.model->num_states(), 0u);
+  for (std::size_t id = 0; id < warm.model->num_states(); ++id) {
+    const StateRef s = warm.model->state(static_cast<StateId>(id));
+    ASSERT_EQ(s.locals.size(), kN);
+    // Lane kN is the high half of the last packed word — one past the span
+    // but inside the pool allocation ((n+1)/2 whole words per array).
+    const auto* locals32 =
+        reinterpret_cast<const std::uint32_t*>(s.locals.data());
+    const auto* decisions32 =
+        reinterpret_cast<const std::uint32_t*>(s.decisions.data());
+    EXPECT_EQ(locals32[kN], 0u) << "state " << id;
+    EXPECT_EQ(decisions32[kN], 0u) << "state " << id;
+  }
+}
+
 TEST_F(StoreTest, WarmAnalysisInternsNothingNew) {
   auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
   analyze(cold, 2);
