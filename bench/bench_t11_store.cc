@@ -30,6 +30,7 @@
 #include "relation/similarity.hpp"
 #include "runtime/stats.hpp"
 #include "store/snapshot.hpp"
+#include "store/wal.hpp"
 #include "util/table.hpp"
 
 namespace lacon {
@@ -154,6 +155,55 @@ void BM_Save(benchmark::State& state, const Workload& w) {
   }
 }
 
+// One WAL commit of the entire workload delta (record encode + write +
+// fsync): the per-request durability tax laconrd pays with LACON_WAL=on,
+// measured at its worst case (a cold session's first commit; steady-state
+// records are far smaller). reset_to() rewinds the watermarks each
+// iteration so the same content re-appends as a fresh record.
+void BM_WalAppend(benchmark::State& state, const Workload& w) {
+  Instance inst = make_instance(w);
+  run_analysis(inst, w);
+  const std::string path = snapshot_file(w) + ".append.wal";
+  store::Wal wal;
+  store::Result r = wal.open(*inst.model, path);
+  if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  for (auto _ : state) {
+    r = wal.reset_to(*inst.model, 0, 0, inst.engine.get());
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    r = wal.append(*inst.model, inst.engine.get());
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  }
+  state.counters["record_bytes"] = static_cast<double>(wal.log_bytes());
+}
+
+// Crash recovery itself: replaying that record into an empty model —
+// BM_Load's sibling for the log path.
+void BM_WalReplay(benchmark::State& state, const Workload& w) {
+  const std::string path = snapshot_file(w) + ".replay.wal";
+  {
+    Instance inst = make_instance(w);
+    store::Wal wal;
+    store::Result r = wal.open(*inst.model, path);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    wal.replay(*inst.model, inst.engine.get(), nullptr);
+    run_analysis(inst, w);
+    r = wal.append(*inst.model, inst.engine.get());
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  }
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    Instance inst = make_instance(w);
+    store::Wal wal;
+    store::Result r = wal.open(*inst.model, path);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    store::WalReplayStats rs;
+    r = wal.replay(*inst.model, inst.engine.get(), &rs);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    states = rs.states_applied;
+  }
+  state.counters["states_replayed"] = static_cast<double>(states);
+}
+
 // Cold-vs-warm audit: one measured run each, with the counter evidence that
 // the warm analysis hit the restored index instead of re-interning.
 void print_table() {
@@ -226,6 +276,8 @@ int main(int argc, char** argv) {
   lacon::register_workloads("BM_Warm", lacon::BM_Warm);
   lacon::register_workloads("BM_Load", lacon::BM_Load);
   lacon::register_workloads("BM_Save", lacon::BM_Save);
+  lacon::register_workloads("BM_WalAppend", lacon::BM_WalAppend);
+  lacon::register_workloads("BM_WalReplay", lacon::BM_WalReplay);
   lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

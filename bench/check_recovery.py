@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Assert laconrd kill-and-recover produced byte-identical, zero-re-intern
+responses (ci.sh kill-and-recover lane; DESIGN.md §14).
+
+Usage:
+  check_recovery.py BEFORE.jsonl AFTER.jsonl PROBE.json
+
+BEFORE.jsonl  responses served by the WAL-enabled daemon before SIGKILL
+AFTER.jsonl   responses to the identical requests after restart
+PROBE.json    one response with "metrics":true from the restarted daemon
+
+Checks:
+  * every pre-crash response was "ok" (the lane actually exercised work);
+  * line for line, the post-restart response carries the identical result
+    payload (everything except the per-request "metrics"/"snapshot" blocks,
+    compared with sorted keys so the check is content-exact);
+  * every post-restart response re-interned nothing (metrics.new_states and
+    metrics.new_views are 0) — recovery came from the log, not re-analysis;
+  * the restarted daemon's counters show arena.state_restored > 0 and
+    arena.state_misses == 0.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_recovery: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def result_payload(line):
+    doc = json.loads(line)
+    return {k: v for k, v in doc.items() if k not in ("metrics", "snapshot")}
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    before = [l for l in open(sys.argv[1]) if l.strip()]
+    after = [l for l in open(sys.argv[2]) if l.strip()]
+    probe = json.load(open(sys.argv[3]))
+
+    if not before:
+        fail("no pre-crash responses")
+    if len(before) != len(after):
+        fail(f"{len(before)} pre-crash responses but {len(after)} after")
+
+    for i, (b, a) in enumerate(zip(before, after)):
+        if json.loads(b).get("status") != "ok":
+            fail(f"pre-crash response {i} was not ok: {b.strip()}")
+        want = json.dumps(result_payload(b), sort_keys=True)
+        got = json.dumps(result_payload(a), sort_keys=True)
+        if want != got:
+            fail(f"response {i} diverged after recovery\n"
+                 f"  want {want}\n  got  {got}")
+        metrics = json.loads(a).get("metrics", {})
+        if metrics.get("new_states") != 0 or metrics.get("new_views") != 0:
+            fail(f"response {i} re-interned after recovery: {metrics}")
+
+    counters = probe.get("snapshot", {}).get("counters", {})
+    if counters.get("arena.state_restored", 0) <= 0:
+        fail("arena.state_restored == 0: nothing was replayed from the WAL")
+    if counters.get("arena.state_misses", -1) != 0:
+        fail(f"arena.state_misses == {counters.get('arena.state_misses')}: "
+             "recovery re-interned into the arena")
+
+    print(f"check_recovery: OK ({len(before)} responses byte-identical, "
+          f"{counters['arena.state_restored']:.0f} objects restored, "
+          "0 re-interns)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,13 @@ run_config() {
       LACON_TRACE=spans \
         "$dir/tests/$soak_bin" --gtest_brief=1
     done
+    # Kill-and-recover soak: SIGKILL a WAL-enabled daemon mid-workload and
+    # assert the restart serves byte-identical responses with zero
+    # re-interns (examples/crash_recover.cc). The harness parent stays
+    # single-threaded, so the fork is sanitizer-safe; the forked daemons
+    # run the full threaded server under the sanitizer.
+    echo "=== [$name] kill-and-recover soak (crash_recover)"
+    "$dir/examples/crash_recover"
   fi
   if [[ "$name" == "plain" ]]; then
     # Forced-scalar lane: the SIMD dispatch contract says LACON_SIMD=scalar
@@ -164,6 +171,64 @@ run_config() {
     grep -q '"status":"ok"' store_artifacts/free.json
     kill -TERM "$laconrd_pid"
     wait "$laconrd_pid"
+    # Kill-and-recover lane (DESIGN.md §14): a WAL-enabled daemon serves a
+    # workload, gets SIGKILLed with a request in flight, and the restart
+    # over the same store dir must answer the identical requests with
+    # byte-identical result payloads, zero re-interns (new_states == 0 on
+    # every response) and arena.state_restored covering the replayed space
+    # — all asserted by bench/check_recovery.py. The in-process variant of
+    # this lane (examples/crash_recover.cc) also runs under TSan/ASan.
+    echo "=== [$name] kill-and-recover lane (LACON_WAL=on + SIGKILL)"
+    "$dir/examples/crash_recover"
+    wal_dir="store_artifacts/wal_recover"
+    rm -rf "$wal_dir" && mkdir -p "$wal_dir"
+    wal_reqs=(
+      '{"id":1,"model":"mobile","n":3,"query":"layers","depth":2}'
+      '{"id":2,"model":"mobile","n":3,"query":"valence","depth":2,"horizon":3}'
+      '{"id":3,"model":"mobile","n":3,"query":"diameter","depth":2}'
+      '{"id":4,"model":"mobile","n":3,"query":"similarity","depth":2}'
+    )
+    wsock="/tmp/laconrd_wal1_$$.sock"
+    LACON_WAL=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
+      "$dir/examples/laconrd" --socket "$wsock" &
+    wal_pid=$!
+    for _ in $(seq 50); do [[ -S "$wsock" ]] && break; sleep 0.1; done
+    [[ -S "$wsock" ]]
+    : > "$wal_dir/before.jsonl"
+    for r in "${wal_reqs[@]}"; do
+      "$dir/examples/laconrd" --socket "$wsock" --client "$r" \
+        >> "$wal_dir/before.jsonl"
+    done
+    # A larger request goes in flight, then the SIGKILL lands under it.
+    "$dir/examples/laconrd" --socket "$wsock" --timeout 10000 --client \
+      '{"id":5,"model":"mobile","n":4,"query":"layers","depth":3}' \
+      > /dev/null 2>&1 &
+    inflight_pid=$!
+    sleep 0.1
+    kill -KILL "$wal_pid"
+    wait "$wal_pid" && exit 1 || true  # must report the kill, not exit 0
+    wait "$inflight_pid" || true       # may have lost its connection: fine
+    # Restart over the same store dir on a fresh socket (the old socket
+    # file survived the kill and would defeat the readiness probe).
+    wsock2="/tmp/laconrd_wal2_$$.sock"
+    LACON_WAL=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
+      "$dir/examples/laconrd" --socket "$wsock2" &
+    wal_pid=$!
+    for _ in $(seq 50); do [[ -S "$wsock2" ]] && break; sleep 0.1; done
+    [[ -S "$wsock2" ]]
+    : > "$wal_dir/after.jsonl"
+    for r in "${wal_reqs[@]}"; do
+      "$dir/examples/laconrd" --socket "$wsock2" --client "$r" \
+        >> "$wal_dir/after.jsonl"
+    done
+    "$dir/examples/laconrd" --socket "$wsock2" --client \
+      '{"id":9,"model":"mobile","n":3,"query":"layers","depth":2,"metrics":true}' \
+      > "$wal_dir/probe.json"
+    python3 bench/check_recovery.py \
+      "$wal_dir/before.jsonl" "$wal_dir/after.jsonl" "$wal_dir/probe.json"
+    kill -TERM "$wal_pid"
+    wait "$wal_pid"
+    rm -f "$wsock" "$wsock2"
   fi
 }
 

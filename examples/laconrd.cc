@@ -6,18 +6,24 @@
 // so repeated queries warm-start on each other's work. With
 // LACON_STORE=load|loadsave the daemon warm-starts sessions from
 // lacon.store.v1 snapshots in LACON_STORE_DIR; with save|loadsave it
-// persists every session on clean shutdown (SIGINT/SIGTERM).
+// persists every session on clean shutdown (SIGINT/SIGTERM). With
+// LACON_WAL=on every served request is additionally committed to a
+// crash-durable write-ahead log before its response is written, so even a
+// kill -9 recovers the sessions to their exact pre-crash content
+// (DESIGN.md §14).
 //
 // Usage:
 //   laconrd [--socket PATH]              serve until SIGINT/SIGTERM
 //   laconrd [--socket PATH] --client R   send request line R, print response
+//   laconrd ... --client R --timeout MS  fail the client after MS ms
 //
 // The --client mode makes smoke tests and transcripts dependency-free:
 //   laconrd --socket /tmp/lacon.sock &
-//   laconrd --socket /tmp/lacon.sock \
-//     --client '{"id":1,"model":"mobile","n":3,"query":"layers","depth":2}'
+//   laconrd --socket /tmp/lacon.sock --client
+//     '{"id":1,"model":"mobile","n":3,"query":"layers","depth":2}'
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -33,7 +39,9 @@ void handle_signal(int) { g_stop = 1; }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--socket PATH] [--client REQUEST_JSON]\n", argv0);
+               "usage: %s [--socket PATH] [--client REQUEST_JSON] "
+               "[--timeout MS]\n",
+               argv0);
   return 2;
 }
 
@@ -43,6 +51,7 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/laconrd.sock";
   std::string client_request;
   bool client_mode = false;
+  int timeout_ms = 30'000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -51,6 +60,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--client" && i + 1 < argc) {
       client_mode = true;
       client_request = argv[++i];
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -62,7 +73,7 @@ int main(int argc, char** argv) {
   if (client_mode) {
     std::string response, error;
     if (!lacon::service::Server::request(socket_path, client_request,
-                                         &response, &error)) {
+                                         &response, &error, timeout_ms)) {
       std::fprintf(stderr, "laconrd: %s\n", error.c_str());
       return 1;
     }
@@ -76,9 +87,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "laconrd: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "laconrd: listening on %s (store mode: %s)\n",
+  std::fprintf(stderr, "laconrd: listening on %s (store mode: %s, wal: %s)\n",
                socket_path.c_str(),
-               lacon::store::to_string(lacon::store::mode()));
+               lacon::store::to_string(lacon::store::mode()),
+               lacon::store::wal_enabled() ? "on" : "off");
 
   struct sigaction sa;
   std::memset(&sa, 0, sizeof sa);

@@ -14,6 +14,7 @@
 #include "runtime/trace.hpp"
 #include "store/env.hpp"
 #include "store/snapshot.hpp"
+#include "store/wal.hpp"
 
 namespace lacon::service {
 
@@ -126,6 +127,8 @@ Session::Session(ModelKind kind, int n, int t)
       rule_(min_after_round(kind == ModelKind::kSync ? t + 1 : 2)),
       model_(make_model(kind, n, t, *rule_)) {}
 
+Session::~Session() = default;
+
 ValenceEngine& Session::engine(int horizon) {
   std::lock_guard<std::mutex> lock(engines_mu_);
   auto it = engines_.find(horizon);
@@ -143,14 +146,100 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
   std::lock_guard<std::mutex> lock(store_mu_);
   if (store_attempted_) return;
   store_attempted_ = true;
-  if (!store::loads(store::mode())) return;
+  const bool wal_on = store::wal_enabled();
+  if (!store::loads(store::mode()) && !wal_on) return;
+
+  // Snapshot first: with the WAL on it is the base the log replays over
+  // (and the compaction target), so it loads even when LACON_STORE itself
+  // is off.
   const std::string path = store::snapshot_path(*model_);
   const store::Result r = store::load(*model_, path, eng);
-  if (!r.ok() && r.status != store::Status::kIoError) {
+  if (r.ok()) {
+    store::SnapshotMeta meta;
+    if (store::probe(path, &meta).ok()) snapshot_bytes_ = meta.file_bytes;
+  } else if (r.status != store::Status::kIoError) {
     // kIoError is the common no-snapshot-yet case; anything else means a
     // snapshot existed and was rejected — say why, then cold-start.
     std::fprintf(stderr, "laconrd: snapshot load failed (%s): %s\n",
                  store::to_string(r.status), r.detail.c_str());
+  }
+
+  if (!wal_on) return;
+  wal_ = std::make_unique<store::Wal>();
+  const std::string wpath = store::wal_path(*model_);
+  store::Result w = wal_->open(*model_, wpath);
+  if (w.ok()) {
+    store::WalReplayStats rs;
+    w = wal_->replay(*model_, eng, &rs);
+    if (w.ok() && rs.truncated_bytes > 0) {
+      std::fprintf(stderr,
+                   "laconrd: wal %s: truncated %llu torn tail bytes, "
+                   "replayed %llu records\n",
+                   wpath.c_str(),
+                   static_cast<unsigned long long>(rs.truncated_bytes),
+                   static_cast<unsigned long long>(rs.records_applied));
+    }
+  }
+  if (!w.ok()) {
+    // A log we cannot trust end to end gets quarantined, the current model
+    // content is made durable by an immediate snapshot, and a fresh log
+    // starts from there. The daemon never refuses to serve over a bad log.
+    std::fprintf(stderr,
+                 "laconrd: wal recovery failed (%s): %s; quarantining to "
+                 "%s.bad\n",
+                 store::to_string(w.status), w.detail.c_str(), wpath.c_str());
+    wal_->close();
+    std::rename(wpath.c_str(), (wpath + ".bad").c_str());
+    const store::Result s = store::save(*model_, path, eng);
+    if (s.ok()) {
+      store::SnapshotMeta meta;
+      if (store::probe(path, &meta).ok()) snapshot_bytes_ = meta.file_bytes;
+    } else {
+      std::fprintf(stderr, "laconrd: snapshot save failed (%s): %s\n",
+                   store::to_string(s.status), s.detail.c_str());
+    }
+    store::Result reopened = wal_->open(*model_, wpath);
+    if (reopened.ok()) reopened = wal_->replay(*model_, eng, nullptr);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "laconrd: wal disabled for this session (%s): %s\n",
+                   store::to_string(reopened.status),
+                   reopened.detail.c_str());
+      wal_.reset();
+    }
+  }
+}
+
+void Session::commit_wal(ValenceEngine* eng) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (wal_ == nullptr) return;
+  const store::Result r = wal_->append(*model_, eng);
+  if (!r.ok()) {
+    std::fprintf(stderr, "laconrd: wal append failed (%s): %s\n",
+                 store::to_string(r.status), r.detail.c_str());
+    return;
+  }
+  if (!wal_->should_compact(snapshot_bytes_, store::wal_compact_ratio())) {
+    return;
+  }
+  // The log dwarfs the snapshot: fold everything into a fresh snapshot and
+  // restart the log from it. The watermark counts come from the file just
+  // written (probe), not the live model — interning may have raced the
+  // save.
+  const std::string path = store::snapshot_path(*model_);
+  const store::Result s = store::save(*model_, path, eng);
+  if (!s.ok()) {
+    std::fprintf(stderr, "laconrd: compaction snapshot failed (%s): %s\n",
+                 store::to_string(s.status), s.detail.c_str());
+    return;
+  }
+  store::SnapshotMeta meta;
+  if (!store::probe(path, &meta).ok()) return;
+  snapshot_bytes_ = meta.file_bytes;
+  const store::Result t =
+      wal_->reset_to(*model_, meta.num_views, meta.num_states, eng);
+  if (!t.ok()) {
+    std::fprintf(stderr, "laconrd: wal reset failed (%s): %s\n",
+                 store::to_string(t.status), t.detail.c_str());
   }
 }
 
@@ -166,8 +255,20 @@ bool Session::store_save() {
   if (!r.ok()) {
     std::fprintf(stderr, "laconrd: snapshot save failed (%s): %s\n",
                  store::to_string(r.status), r.detail.c_str());
+    return false;
   }
-  return r.ok();
+  // The fresh snapshot supersedes every logged record; restart the log so
+  // the next run replays nothing it already has. Skipping this is safe
+  // (replay skips covered records) but leaves the log to grow stale bytes.
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (wal_ != nullptr) {
+    store::SnapshotMeta meta;
+    if (store::probe(path, &meta).ok()) {
+      snapshot_bytes_ = meta.file_bytes;
+      wal_->reset_to(*model_, meta.num_views, meta.num_states, eng);
+    }
+  }
+  return true;
 }
 
 Session& SessionManager::session(ModelKind kind, int n, int t) {
@@ -271,6 +372,12 @@ Json handle_request(SessionManager& sessions, const Request& req) {
     g.note_memory_exhausted();
     reason = guard::TruncationReason::kStateBudget;
   }
+
+  // Durability commit BEFORE the response exists: once the client reads a
+  // response line, every state/view/cache entry it depended on is fsync'd
+  // in the WAL (LACON_WAL=on; no-op otherwise), so kill -9 after a
+  // response never loses that response's work.
+  session.commit_wal(&engine);
 
   resp.set("status", reason == guard::TruncationReason::kNone
                          ? Json("ok")

@@ -44,6 +44,10 @@
 #include "analysis/reports.hpp"
 #include "service/json.hpp"
 
+namespace lacon::store {
+class Wal;
+}  // namespace lacon::store
+
 namespace lacon::service {
 
 struct Request {
@@ -67,6 +71,7 @@ bool parse_request(const Json& doc, Request* out, std::string* error);
 class Session {
  public:
   Session(ModelKind kind, int n, int t);
+  ~Session();
 
   LayeredModel& model() noexcept { return *model_; }
   ModelKind kind() const noexcept { return kind_; }
@@ -77,14 +82,27 @@ class Session {
   // shared by every request at that horizon).
   ValenceEngine& engine(int horizon);
 
-  // First-request hook: when LACON_STORE asks for a load and a snapshot for
-  // this instance exists, replays it into the (still empty) model — with
-  // `eng`'s memo imported when the stored horizon/mode match. Runs at most
-  // once per session; failures fall back to a cold start (one stderr line).
+  // First-request hook: when LACON_STORE asks for a load (or LACON_WAL is
+  // on) and a snapshot for this instance exists, replays it into the (still
+  // empty) model — with `eng`'s memo imported when the stored horizon/mode
+  // match — then, with LACON_WAL on, opens the session's WAL and replays
+  // its records over the snapshot (kill -9 recovery). An unreadable WAL is
+  // quarantined to `<path>.bad` and restarted fresh rather than ever
+  // crashing the daemon. Runs at most once per session; failures fall back
+  // to a cold start (one stderr line).
   void ensure_store_loaded(ValenceEngine* eng);
 
+  // Durability commit point (LACON_WAL=on; no-op otherwise): appends
+  // everything interned/cached since the last commit to the WAL and fsyncs
+  // it. handle_request calls this after analysis and BEFORE the response is
+  // serialized, so a response on the wire implies its work survives
+  // kill -9. Compacts the log into a fresh snapshot once it outgrows
+  // LACON_WAL_COMPACT times the snapshot.
+  void commit_wal(ValenceEngine* eng);
+
   // Saves the session per LACON_STORE; uses the most recently used engine's
-  // memo. Returns false (with a stderr line) if the save failed.
+  // memo. Returns false (with a stderr line) if the save failed. With the
+  // WAL on, a successful save also resets the log to the new snapshot.
   bool store_save();
 
  private:
@@ -98,6 +116,8 @@ class Session {
   ValenceEngine* last_engine_ = nullptr;
   std::mutex store_mu_;
   bool store_attempted_ = false;
+  std::unique_ptr<store::Wal> wal_;       // null unless LACON_WAL=on
+  std::uint64_t snapshot_bytes_ = 0;      // compaction baseline
 };
 
 // Owns every session; thread-safe. Sessions are created on demand and live

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "runtime/stats.hpp"
@@ -13,6 +14,8 @@
 namespace lacon::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* error) {
   if (path.empty() || path.size() >= sizeof addr->sun_path) {
@@ -25,9 +28,11 @@ bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* error) {
   return true;
 }
 
-bool write_all(int fd, const char* data, std::size_t bytes) {
+// All daemon-side writes go through send+MSG_NOSIGNAL: a client that closed
+// its end mid-response costs an EPIPE return, never a SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t bytes) {
   while (bytes > 0) {
-    const ssize_t n = ::write(fd, data, bytes);
+    const ssize_t n = ::send(fd, data, bytes, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -36,6 +41,29 @@ bool write_all(int fd, const char* data, std::size_t bytes) {
     bytes -= static_cast<std::size_t>(n);
   }
   return true;
+}
+
+constexpr char kOverloadedResponse[] =
+    "{\"id\":null,\"status\":\"error\",\"error\":\"overloaded\"}\n";
+constexpr char kIdleTimeoutResponse[] =
+    "{\"id\":null,\"status\":\"error\",\"error\":\"idle timeout\"}\n";
+constexpr char kLineTooLongResponse[] =
+    "{\"id\":null,\"status\":\"error\",\"error\":\"request line too "
+    "long\"}\n";
+
+// Milliseconds left until `deadline`, for poll(): never negative, and -1
+// (poll's "wait forever") when no deadline was set.
+int remaining_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+bool fail_errno(std::string* error, const std::string& what, int err) {
+  if (error != nullptr) *error = what + ": " + std::strerror(err);
+  return false;
 }
 
 }  // namespace
@@ -82,39 +110,120 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::vector<std::thread> workers;
+  // Kick every live connection out of its poll: shutdown makes the next
+  // poll/read return immediately (POLLHUP / 0), so idle clients cannot
+  // stall the join. The fds stay open until after the joins — a thread may
+  // still be mid-read on one, and closing first would race fd reuse.
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    workers.swap(workers_);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
   }
   ::unlink(options_.socket_path.c_str());
 }
 
+void Server::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
 void Server::accept_loop() {
+  auto& stats = runtime::Stats::global();
   while (!stopping_.load(std::memory_order_acquire)) {
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    runtime::Stats::global().counter("service.connections").increment();
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+
+    bool overloaded;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      overloaded = connections_.size() >= options_.max_connections;
+    }
+    if (overloaded) {
+      // Shed instead of queueing: a bounded worker set keeps one greedy
+      // client population from starving the daemon of threads, and the
+      // typed error lets well-behaved clients back off and retry.
+      send_all(fd, kOverloadedResponse, sizeof kOverloadedResponse - 1);
+      ::close(fd);
+      stats.counter("service.connections_shed").increment();
+      continue;
+    }
+
+    stats.counter("service.connections").increment();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(Connection* conn) {
+  const int fd = conn->fd;
   std::string buffer;
   char chunk[4096];
+  auto last_activity = Clock::now();
+
   while (!stopping_.load(std::memory_order_acquire)) {
+    // Short poll ticks instead of a blocking read: stop() and the idle
+    // deadline are both observed within ~100ms no matter how quiet the
+    // client is.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0 &&
+          Clock::now() - last_activity >=
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        send_all(fd, kIdleTimeoutResponse, sizeof kIdleTimeoutResponse - 1);
+        runtime::Stats::global()
+            .counter("service.connections_idle_closed")
+            .increment();
+        break;
+      }
+      continue;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
+    last_activity = Clock::now();
 
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
@@ -124,53 +233,109 @@ void Server::serve_connection(int fd) {
       start = nl + 1;
       if (line.empty()) continue;
       const std::string response = handle_line(sessions_, line) + "\n";
-      if (!write_all(fd, response.data(), response.size())) {
-        ::close(fd);
+      if (!send_all(fd, response.data(), response.size())) {
+        conn->done.store(true, std::memory_order_release);
         return;
       }
+      last_activity = Clock::now();
     }
     buffer.erase(0, start);
 
     if (buffer.size() > options_.max_line_bytes) {
-      const std::string response =
-          "{\"id\":null,\"status\":\"error\",\"error\":\"request line too "
-          "long\"}\n";
-      write_all(fd, response.data(), response.size());
+      send_all(fd, kLineTooLongResponse, sizeof kLineTooLongResponse - 1);
       break;
     }
   }
-  ::close(fd);
+  conn->done.store(true, std::memory_order_release);
 }
 
 bool Server::request(const std::string& socket_path,
                      const std::string& request_line, std::string* response,
-                     std::string* error) {
+                     std::string* error, int timeout_ms) {
   sockaddr_un addr;
   if (!fill_addr(socket_path, &addr, error)) return false;
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+
+  const bool has_deadline = timeout_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
+
+  // Non-blocking connect + poll: a daemon that accepted its backlog but
+  // stopped accepting can otherwise park the client in connect() forever.
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    if (error != nullptr) {
-      *error = std::string("connect to ") + socket_path + ": " +
-               std::strerror(errno);
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      fail_errno(error, "connect to " + socket_path, errno);
+      ::close(fd);
+      return false;
     }
-    ::close(fd);
-    return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(has_deadline, deadline));
+    if (ready <= 0) {
+      fail_errno(error, "connect to " + socket_path,
+                 ready == 0 ? ETIMEDOUT : errno);
+      ::close(fd);
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      fail_errno(error, "connect to " + socket_path,
+                 so_error != 0 ? so_error : errno);
+      ::close(fd);
+      return false;
+    }
   }
+
   const std::string line = request_line + "\n";
-  if (!write_all(fd, line.data(), line.size())) {
-    if (error != nullptr) *error = std::string("write: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(has_deadline, deadline));
+    if (ready <= 0) {
+      fail_errno(error, "write to " + socket_path,
+                 ready == 0 ? ETIMEDOUT : errno);
+      ::close(fd);
+      return false;
+    }
+    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        // The daemon answered and closed before reading our request — the
+        // overload-shed path does exactly this. Its parting response is
+        // still in our receive buffer; go collect it.
+        break;
+      }
+      fail_errno(error, "write to " + socket_path, errno);
+      ::close(fd);
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
   }
+
   response->clear();
   char chunk[4096];
   while (response->find('\n') == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(has_deadline, deadline));
+    if (ready <= 0) {
+      fail_errno(error, "read from " + socket_path,
+                 ready == 0 ? ETIMEDOUT : errno);
+      ::close(fd);
+      return false;
+    }
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     if (n <= 0) {
       if (error != nullptr) *error = "connection closed before a response";
       ::close(fd);

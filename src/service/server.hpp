@@ -8,10 +8,21 @@
 // runtime (runtime/parallel.hpp) — so two clients analyzing the same
 // session genuinely share the interned space, the layer cache and the
 // valence memo while each keeps its own per-request guard.
+//
+// Fault posture: connection threads never block indefinitely — reads go
+// through poll with a short tick, so stop() always returns promptly even
+// against idle clients (it also ::shutdown()s live fds to kick any read in
+// flight). Idle connections past idle_timeout_ms are told so and dropped;
+// accepts past max_connections are shed with a JSON "overloaded" error
+// instead of queueing unboundedly; every socket write is SIGPIPE-safe
+// (send + MSG_NOSIGNAL), so a client vanishing mid-response can never kill
+// the daemon; finished connection threads are reaped as the accept loop
+// ticks rather than accumulating until shutdown.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,6 +38,12 @@ struct ServerOptions {
   // Requests are one line; anything longer than this without a newline is
   // answered with an error and the connection dropped.
   std::size_t max_line_bytes = 1 << 20;
+  // Accepts beyond this many live connections are answered with a JSON
+  // "overloaded" error and closed immediately (load shedding, not queueing).
+  std::size_t max_connections = 64;
+  // A connection with no complete request for this long is sent a JSON
+  // "idle timeout" error and dropped. 0 disables the timeout.
+  int idle_timeout_ms = 300'000;
 };
 
 class Server {
@@ -41,8 +58,10 @@ class Server {
   // accept loop on a background thread. False + `error` on failure.
   bool start(std::string* error);
 
-  // Stops accepting, closes the listener, joins every connection thread and
-  // unlinks the socket file. Idempotent. Does NOT save sessions — shutdown
+  // Stops accepting, closes the listener, shuts down and joins every
+  // connection and unlinks the socket file. Returns promptly (worst case a
+  // poll tick plus whatever request is mid-flight) even when clients sit
+  // idle on open connections. Idempotent. Does NOT save sessions — shutdown
   // policy (store::env knobs) belongs to the caller (examples/laconrd.cc).
   void stop();
 
@@ -56,14 +75,29 @@ class Server {
 
   // Connects to `socket_path`, sends one request line, returns the response
   // line (without the newline). Used by `laconrd --client` and the tests;
-  // false + `error` on connect/IO failure.
+  // false + `error` on connect/IO failure. The whole exchange (connect,
+  // write, read) shares one `timeout_ms` deadline — on expiry the error
+  // carries strerror(ETIMEDOUT), so a hung daemon fails a smoke fast
+  // instead of hanging it. timeout_ms <= 0 waits forever.
   static bool request(const std::string& socket_path,
                       const std::string& request_line, std::string* response,
-                      std::string* error);
+                      std::string* error, int timeout_ms = 30'000);
 
  private:
+  // A connection owns its fd for its whole lifetime: the thread polls and
+  // reads it, but only reap/stop — after joining the thread — close it.
+  // Closing only after the join is what makes stop()'s ::shutdown of live
+  // fds safe against fd-number reuse.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Connection* conn);
+  // Joins and erases finished connections (accept-loop tick + stop()).
+  void reap_finished();
 
   ServerOptions options_;
   SessionManager sessions_;
@@ -71,8 +105,8 @@ class Server {
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace lacon::service

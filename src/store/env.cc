@@ -1,6 +1,7 @@
 #include "store/env.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,25 @@ void warn_dir_once(std::size_t length, const std::string& used) {
                "lacon: ignoring overlong LACON_STORE_DIR (%zu bytes, max "
                "%zu); using '%s'\n",
                length, kMaxDirLength, used.c_str());
+}
+
+void warn_wal_once(const char* text, bool used) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr,
+               "lacon: ignoring malformed LACON_WAL='%s' (want off|on); "
+               "using '%s'\n",
+               text, used ? "on" : "off");
+}
+
+void warn_wal_compact_once(const char* text, std::uint64_t used) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr,
+               "lacon: ignoring malformed LACON_WAL_COMPACT='%s' (want an "
+               "integer in [1, %llu]); using %llu\n",
+               text, static_cast<unsigned long long>(kMaxWalCompactRatio),
+               static_cast<unsigned long long>(used));
 }
 
 }  // namespace
@@ -65,10 +85,38 @@ std::string parse_dir(const char* text, const std::string& fallback) {
   return std::string(text);
 }
 
+bool parse_wal(const char* text, bool fallback) noexcept {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (std::strcmp(text, "off") == 0) return false;
+  if (std::strcmp(text, "on") == 0) return true;
+  warn_wal_once(text, fallback);
+  return fallback;
+}
+
+std::uint64_t parse_wal_compact(const char* text,
+                                std::uint64_t fallback) noexcept {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < 1 ||
+      value > kMaxWalCompactRatio) {
+    warn_wal_compact_once(text, fallback);
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
 Mode mode() { return parse_mode(std::getenv("LACON_STORE"), Mode::kOff); }
 
 std::string dir() {
   return parse_dir(std::getenv("LACON_STORE_DIR"), "lacon_store");
+}
+
+bool wal_enabled() { return parse_wal(std::getenv("LACON_WAL"), false); }
+
+std::uint64_t wal_compact_ratio() {
+  return parse_wal_compact(std::getenv("LACON_WAL_COMPACT"), 8);
 }
 
 std::string snapshot_filename(const std::string& model_name, int n,
@@ -94,6 +142,10 @@ std::string snapshot_path(const std::string& directory,
 
 std::string snapshot_path(const LayeredModel& model) {
   return snapshot_path(dir(), model.name(), model.n(), model.max_faulty());
+}
+
+std::string wal_path(const LayeredModel& model) {
+  return snapshot_path(model) + ".wal";
 }
 
 }  // namespace lacon::store

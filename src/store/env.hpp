@@ -1,7 +1,10 @@
 // Environment knobs for the persistent snapshot store (lacon::store).
 //
-//   LACON_STORE      off | load | save | loadsave   (default: off)
-//   LACON_STORE_DIR  directory snapshots live in    (default: lacon_store)
+//   LACON_STORE        off | load | save | loadsave   (default: off)
+//   LACON_STORE_DIR    directory snapshots live in    (default: lacon_store)
+//   LACON_WAL          off | on                       (default: off)
+//   LACON_WAL_COMPACT  log-to-snapshot size ratio that triggers compaction,
+//                      integer in [1, 1024]           (default: 8)
 //
 // `load` warm-starts a model from an existing snapshot before analysis,
 // `save` writes one after analysis, `loadsave` does both (load if present,
@@ -46,9 +49,23 @@ Mode parse_mode(const char* text, Mode fallback) noexcept;
 inline constexpr std::size_t kMaxDirLength = 3072;
 std::string parse_dir(const char* text, const std::string& fallback);
 
+// Parses a LACON_WAL-style value: "off"/"on". Empty/null yields the
+// fallback silently; anything else warns once per process and yields the
+// fallback.
+bool parse_wal(const char* text, bool fallback) noexcept;
+
+// Parses a LACON_WAL_COMPACT-style value: a decimal integer clamped-by-
+// rejection to [1, kMaxWalCompactRatio] (out-of-range or non-numeric warns
+// once and yields the fallback).
+inline constexpr std::uint64_t kMaxWalCompactRatio = 1024;
+std::uint64_t parse_wal_compact(const char* text,
+                                std::uint64_t fallback) noexcept;
+
 // The knobs as configured by the environment right now.
 Mode mode();
 std::string dir();
+bool wal_enabled();
+std::uint64_t wal_compact_ratio();
 
 // Canonical snapshot filename for a model instance:
 // <dir>/<sanitized-model-name>.n<n>.t<max_faulty>.lacon.store — model names
@@ -62,5 +79,8 @@ std::string snapshot_path(const std::string& directory,
 // Convenience overload reading name/n/max_faulty off the model and the
 // directory off LACON_STORE_DIR.
 std::string snapshot_path(const LayeredModel& model);
+
+// The WAL lives next to the snapshot it replays over: snapshot path + ".wal".
+std::string wal_path(const LayeredModel& model);
 
 }  // namespace lacon::store

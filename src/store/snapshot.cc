@@ -1,6 +1,11 @@
 #include "store/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -14,78 +19,15 @@
 #include "engine/valence.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/trace.hpp"
+#include "store/codec.hpp"
 
 namespace lacon::store {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Primitives.
-
-std::uint64_t fnv1a(const std::uint8_t* p, std::size_t bytes) noexcept {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-// Append-only little-endian byte sink. The host is little-endian (the
-// toolchain this repo targets), so fixed-width stores are plain memcpy; a
-// big-endian port would swap here and in Reader, nowhere else.
-class Writer {
- public:
-  void raw(const void* p, std::size_t bytes) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + bytes);
-  }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void i32(std::int32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void i64(std::int64_t v) { raw(&v, sizeof v); }
-  void pad_to_8() {
-    while (buf_.size() % 8 != 0) buf_.push_back(0);
-  }
-
-  std::size_t size() const noexcept { return buf_.size(); }
-  const std::uint8_t* data() const noexcept { return buf_.data(); }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
-};
-
-// Bounds-checked reads over a byte span; every getter reports truncation
-// instead of walking off the end, so a short or lying file can never make
-// the loader read wild memory.
-class Reader {
- public:
-  Reader(const std::uint8_t* p, std::size_t bytes) : p_(p), end_(p + bytes) {}
-
-  bool raw(void* out, std::size_t bytes) {
-    if (static_cast<std::size_t>(end_ - p_) < bytes) return false;
-    std::memcpy(out, p_, bytes);
-    p_ += bytes;
-    return true;
-  }
-  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
-  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
-  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
-  bool i64(std::int64_t* v) { return raw(v, sizeof *v); }
-  bool skip(std::size_t bytes) {
-    if (static_cast<std::size_t>(end_ - p_) < bytes) return false;
-    p_ += bytes;
-    return true;
-  }
-  std::size_t remaining() const noexcept {
-    return static_cast<std::size_t>(end_ - p_);
-  }
-
- private:
-  const std::uint8_t* p_;
-  const std::uint8_t* end_;
-};
+using codec::Reader;
+using codec::Writer;
+using codec::fnv1a;
 
 // ---------------------------------------------------------------------------
 // On-disk structures.
@@ -158,33 +100,18 @@ void append_section(Writer& file, std::vector<SectionEntry>& table,
   file.raw(body.data(), body.size());
 }
 
-Writer encode_views(const ViewArena& views) {
+Writer encode_views(const ViewArena& views, std::uint64_t count) {
   Writer w;
-  const std::size_t count = views.size();
-  for (std::size_t id = 0; id < count; ++id) {
-    const ViewNode& v = views.node(static_cast<ViewId>(id));
-    w.i32(static_cast<std::int32_t>(v.owner));
-    w.i32(v.round);
-    w.i32(static_cast<std::int32_t>(v.input));
-    w.i32(static_cast<std::int32_t>(v.prev));
-    w.u32(static_cast<std::uint32_t>(v.obs.size()));
-    for (const Obs& o : v.obs) {
-      w.i32(o.source);
-      w.i32(static_cast<std::int32_t>(o.view));
-    }
+  for (std::uint64_t id = 0; id < count; ++id) {
+    codec::encode_view(w, views.node(static_cast<ViewId>(id)));
   }
   return w;
 }
 
-Writer encode_states(const LayeredModel& model) {
+Writer encode_states(const LayeredModel& model, std::uint64_t count) {
   Writer w;
-  const std::size_t count = model.num_states();
-  for (std::size_t id = 0; id < count; ++id) {
-    const StateRef s = model.state(static_cast<StateId>(id));
-    w.u64(s.env.size());
-    for (std::int64_t word : s.env) w.i64(word);
-    for (ViewId v : s.locals) w.i32(static_cast<std::int32_t>(v));
-    for (Value d : s.decisions) w.i32(static_cast<std::int32_t>(d));
+  for (std::uint64_t id = 0; id < count; ++id) {
+    codec::encode_state(w, model.state(static_cast<StateId>(id)));
   }
   return w;
 }
@@ -198,18 +125,9 @@ Writer encode_digests(const std::vector<std::uint64_t>& sums) {
 Writer encode_layer_cache(
     const std::vector<std::pair<StateId, std::vector<StateId>>>& entries) {
   Writer w;
-  for (const auto& [x, succ] : entries) {
-    w.u32(x);
-    w.u32(static_cast<std::uint32_t>(succ.size()));
-    for (StateId y : succ) w.u32(y);
-  }
+  for (const auto& [x, succ] : entries) codec::encode_layer_entry(w, x, succ);
   return w;
 }
-
-constexpr std::uint32_t kMemoV0 = 1u << 0;
-constexpr std::uint32_t kMemoV1 = 1u << 1;
-constexpr std::uint32_t kMemoExact = 1u << 2;
-constexpr std::uint32_t kMemoDeep = 1u << 3;
 
 Writer encode_memo(ValenceEngine& engine,
                    const std::vector<ValenceEngine::MemoEntry>& entries) {
@@ -217,32 +135,21 @@ Writer encode_memo(ValenceEngine& engine,
   w.i32(engine.horizon());
   w.u32(engine.mode() == Exactness::kConvergence ? 1 : 0);
   w.u64(entries.size());
-  for (const auto& e : entries) {
-    w.u32(e.x);
-    w.i32(e.lookahead);
-    std::uint32_t flags = 0;
-    if (e.v0) flags |= kMemoV0;
-    if (e.v1) flags |= kMemoV1;
-    if (e.exact) flags |= kMemoExact;
-    if (e.deep) flags |= kMemoDeep;
-    w.u32(flags);
-  }
+  for (const auto& e : entries) codec::encode_memo_entry(w, e);
   return w;
 }
 
-Writer encode_fingerprints(const LayeredModel& model, std::uint64_t* rows) {
+Writer encode_fingerprints(const LayeredModel& model, std::uint64_t count,
+                           std::uint64_t* rows) {
   Writer w;
   *rows = 0;
-  const std::size_t count = model.num_states();
   const int n = model.n();
-  for (std::size_t id = 0; id < count; ++id) {
+  for (std::uint64_t id = 0; id < count; ++id) {
     const std::uint64_t* row =
         model.cached_fingerprint_row(static_cast<StateId>(id));
     if (row == nullptr) continue;
     ++*rows;
-    w.u32(static_cast<StateId>(id));
-    w.u32(0);  // pad: keeps the u64 hashes 8-aligned within the section
-    for (int j = 0; j < n; ++j) w.u64(row[static_cast<std::size_t>(j)]);
+    codec::encode_fingerprint_row(w, static_cast<StateId>(id), row, n);
   }
   return w;
 }
@@ -363,6 +270,64 @@ Result checksum_section(const std::vector<std::uint8_t>& bytes,
   return {};
 }
 
+// Durable tmp+rename: write, fsync the tmp file, rename over the target,
+// fsync the parent directory so the rename itself survives a power cut.
+// Plain ofstream+rename only survives process crashes, not power failures —
+// the WAL's whole point is to remove that caveat, so the snapshot the WAL
+// compacts into must hold to the same standard.
+Result write_file_durably(const std::string& path, const std::uint8_t* data,
+                          std::size_t bytes) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return fail(Status::kIoError,
+                "cannot write " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t left = bytes;
+  const std::uint8_t* p = data;
+  while (left > 0) {
+    const ssize_t put = ::write(fd, p, left);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail(Status::kIoError,
+                  "cannot write " + tmp + ": " + std::strerror(errno));
+    }
+    p += put;
+    left -= static_cast<std::size_t>(put);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(Status::kIoError,
+                "cannot fsync " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(Status::kIoError, "cannot rename " + tmp + " -> " + path);
+  }
+
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return fail(Status::kIoError, "cannot open dir " + dir);
+  }
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) {
+    return fail(Status::kIoError, "cannot fsync dir " + dir);
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* to_string(Status status) noexcept {
@@ -396,35 +361,53 @@ Result save(LayeredModel& model, const std::string& path,
   const std::uint32_t digest_shards =
       static_cast<std::uint32_t>(arena_shard_count());
 
+  // Capture the id horizons ONCE, states before views: with S read first,
+  // every view a state < S references exists (< V) even if interning races
+  // this save. All sections are filtered against the captured horizons so
+  // the file is internally consistent regardless of concurrent growth.
+  const std::uint64_t num_states = model.num_states();
+  const std::uint64_t num_views = model.num_views();
+
   Header h;
   h.n = static_cast<std::uint32_t>(model.n());
   h.max_faulty = static_cast<std::uint32_t>(model.max_faulty());
   h.digest_shards = digest_shards;
   h.name = model.name();
   h.name_len = static_cast<std::uint32_t>(h.name.size());
-  h.num_views = model.num_views();
-  h.num_states = model.num_states();
+  h.num_views = num_views;
+  h.num_states = num_states;
 
   DigestAccumulator view_digests(digest_shards);
-  for (std::size_t id = 0; id < model.num_views(); ++id) {
+  for (std::uint64_t id = 0; id < num_views; ++id) {
     view_digests.add(
         ViewArena::content_hash(model.views().node(static_cast<ViewId>(id))));
   }
   DigestAccumulator state_digests(digest_shards);
-  for (std::size_t id = 0; id < model.num_states(); ++id) {
+  for (std::uint64_t id = 0; id < num_states; ++id) {
     state_digests.add(
         StateArena::content_hash(model.state(static_cast<StateId>(id))));
   }
 
-  const auto layers = model.export_layer_cache();
+  // Cache entries referencing states past the captured horizon wait for the
+  // next save; they would otherwise dangle for a loader that only knows
+  // num_states ids.
+  std::vector<std::pair<StateId, std::vector<StateId>>> layers;
+  for (auto& [x, succ] : model.export_layer_cache()) {
+    if (static_cast<std::uint64_t>(x) >= num_states) continue;
+    bool in_range = true;
+    for (StateId y : succ) {
+      in_range = in_range && static_cast<std::uint64_t>(y) < num_states;
+    }
+    if (in_range) layers.emplace_back(x, std::move(succ));
+  }
   std::uint64_t fingerprint_rows = 0;
 
   Writer payload;
   std::vector<SectionEntry> table;
-  append_section(payload, table, SectionKind::kViews, model.num_views(),
-                 encode_views(model.views()));
-  append_section(payload, table, SectionKind::kStates, model.num_states(),
-                 encode_states(model));
+  append_section(payload, table, SectionKind::kViews, num_views,
+                 encode_views(model.views(), num_views));
+  append_section(payload, table, SectionKind::kStates, num_states,
+                 encode_states(model, num_states));
   append_section(payload, table, SectionKind::kStateDigests, digest_shards,
                  encode_digests(state_digests.sums()));
   append_section(payload, table, SectionKind::kViewDigests, digest_shards,
@@ -432,11 +415,18 @@ Result save(LayeredModel& model, const std::string& path,
   append_section(payload, table, SectionKind::kLayerCache, layers.size(),
                  encode_layer_cache(layers));
   if (engine != nullptr) {
-    const auto memo = engine->export_memo();
+    auto memo = engine->export_memo();
+    memo.erase(std::remove_if(memo.begin(), memo.end(),
+                              [num_states](const auto& e) {
+                                return static_cast<std::uint64_t>(e.x) >=
+                                       num_states;
+                              }),
+               memo.end());
     append_section(payload, table, SectionKind::kValenceMemo, memo.size(),
                    encode_memo(*engine, memo));
   }
-  Writer fingerprints = encode_fingerprints(model, &fingerprint_rows);
+  Writer fingerprints =
+      encode_fingerprints(model, num_states, &fingerprint_rows);
   append_section(payload, table, SectionKind::kFingerprints, fingerprint_rows,
                  std::move(fingerprints));
 
@@ -457,23 +447,9 @@ Result save(LayeredModel& model, const std::string& path,
   file.raw(header.data(), header.size());
   file.raw(payload.data(), payload.size());
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::error_code ec;
-    const auto parent = std::filesystem::path(path).parent_path();
-    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out ||
-        !out.write(reinterpret_cast<const char*>(file.data()),
-                   static_cast<std::streamsize>(file.size()))) {
-      return fail(Status::kIoError, "cannot write " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return fail(Status::kIoError, "cannot rename " + tmp + " -> " + path);
+  if (Result r = write_file_durably(path, file.data(), file.size());
+      !r.ok()) {
+    return r;
   }
   stats.counter("store.bytes_written").add(file.size());
   stats.counter("store.snapshots_saved").increment();
@@ -556,24 +532,10 @@ Result load(LayeredModel& model, const std::string& path,
       Reader r(bytes.data() + views_sec->offset, views_sec->bytes);
       for (std::uint64_t id = 0; id < views_sec->count; ++id) {
         ViewNode v;
-        std::int32_t owner = 0, input = 0, prev = 0;
-        std::uint32_t obs_count = 0;
-        if (!r.i32(&owner) || !r.i32(&v.round) || !r.i32(&input) ||
-            !r.i32(&prev) || !r.u32(&obs_count) ||
-            obs_count > r.remaining() / 8) {
+        if (!codec::decode_view(r, &v)) {
           return fail(Status::kTruncated,
                       path + ": view record " + std::to_string(id) +
                           " extends past its section");
-        }
-        v.owner = static_cast<ProcessId>(owner);
-        v.input = static_cast<Value>(input);
-        v.prev = static_cast<ViewId>(prev);
-        v.obs.resize(obs_count);
-        for (Obs& o : v.obs) {
-          r.i32(&o.source);
-          std::int32_t view = 0;
-          r.i32(&view);
-          o.view = static_cast<ViewId>(view);
         }
         if (v.owner < 0 || v.owner >= n ||
             (v.prev != kNoView &&
@@ -614,36 +576,17 @@ Result load(LayeredModel& model, const std::string& path,
       const std::uint64_t num_views = views_sec->count;
       for (std::uint64_t id = 0; id < states_sec->count; ++id) {
         GlobalState s;
-        std::uint64_t env_len = 0;
-        if (!r.u64(&env_len) || env_len > r.remaining() / 8) {
+        if (!codec::decode_state(r, n, &s)) {
           return fail(Status::kTruncated,
                       path + ": state record " + std::to_string(id) +
                           " extends past its section");
         }
-        s.env.resize(static_cast<std::size_t>(env_len));
-        for (std::int64_t& w : s.env) r.i64(&w);
-        s.locals.resize(static_cast<std::size_t>(n));
-        s.decisions.resize(static_cast<std::size_t>(n));
-        bool ok = true;
-        for (ViewId& v : s.locals) {
-          std::int32_t raw = 0;
-          ok = ok && r.i32(&raw);
-          v = static_cast<ViewId>(raw);
+        for (ViewId v : s.locals) {
           if (v < 0 || static_cast<std::uint64_t>(v) >= num_views) {
             return fail(Status::kCorrupt,
                         path + ": state record " + std::to_string(id) +
                             " references an unknown view");
           }
-        }
-        for (Value& d : s.decisions) {
-          std::int32_t raw = 0;
-          ok = ok && r.i32(&raw);
-          d = static_cast<Value>(raw);
-        }
-        if (!ok) {
-          return fail(Status::kTruncated,
-                      path + ": state record " + std::to_string(id) +
-                          " extends past its section");
         }
         state_digests.add(StateArena::content_hash(s));
         const StateId got = model.restore_state(std::move(s));
@@ -678,23 +621,21 @@ Result load(LayeredModel& model, const std::string& path,
       std::vector<std::pair<StateId, std::vector<StateId>>> entries;
       entries.reserve(static_cast<std::size_t>(e->count));
       for (std::uint64_t i = 0; i < e->count; ++i) {
-        std::uint32_t x = 0, len = 0;
-        if (!r.u32(&x) || !r.u32(&len) || len > r.remaining() / 4 ||
-            x >= num_states) {
+        StateId x = 0;
+        std::vector<StateId> succ;
+        if (!codec::decode_layer_entry(r, &x, &succ) || x >= num_states) {
           return fail(Status::kCorrupt,
                       path + ": layer-cache entry " + std::to_string(i) +
                           " malformed");
         }
-        std::vector<StateId> succ(len);
-        for (StateId& y : succ) {
-          r.u32(&y);
+        for (StateId y : succ) {
           if (y >= num_states) {
             return fail(Status::kCorrupt,
                         path + ": layer-cache entry " + std::to_string(i) +
                             " references an unknown state");
           }
         }
-        entries.emplace_back(static_cast<StateId>(x), std::move(succ));
+        entries.emplace_back(x, std::move(succ));
       }
       model.import_layer_cache(std::move(entries));
       stats.counter("store.layers_loaded").add(e->count);
@@ -717,19 +658,16 @@ Result load(LayeredModel& model, const std::string& path,
       if (matches) entries.reserve(static_cast<std::size_t>(count));
       for (std::uint64_t i = 0; i < count; ++i) {
         ValenceEngine::MemoEntry m;
-        std::uint32_t flags = 0;
-        r.u32(&m.x);
-        r.i32(&m.lookahead);
-        r.u32(&flags);
+        if (!codec::decode_memo_entry(r, &m)) {
+          return fail(Status::kCorrupt,
+                      path + ": memo entry " + std::to_string(i) +
+                          " malformed");
+        }
         if (m.x >= num_states) {
           return fail(Status::kCorrupt,
                       path + ": memo entry " + std::to_string(i) +
                           " references an unknown state");
         }
-        m.v0 = (flags & kMemoV0) != 0;
-        m.v1 = (flags & kMemoV1) != 0;
-        m.exact = (flags & kMemoExact) != 0;
-        m.deep = (flags & kMemoDeep) != 0;
         if (matches) entries.push_back(m);
       }
       if (matches) {
@@ -745,20 +683,18 @@ Result load(LayeredModel& model, const std::string& path,
       Reader r(bytes.data() + e->offset, e->bytes);
       std::vector<std::uint64_t> row(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < e->count; ++i) {
-        std::uint32_t x = 0, pad = 0;
-        if (!r.u32(&x) || !r.u32(&pad) || x >= num_states) {
+        StateId x = 0;
+        if (!codec::decode_fingerprint_row(r, n, &x, row.data())) {
+          return fail(Status::kTruncated,
+                      path + ": fingerprint row " + std::to_string(i) +
+                          " extends past its section");
+        }
+        if (x >= num_states) {
           return fail(Status::kCorrupt,
                       path + ": fingerprint row " + std::to_string(i) +
                           " malformed");
         }
-        for (std::uint64_t& v : row) {
-          if (!r.u64(&v)) {
-            return fail(Status::kTruncated,
-                        path + ": fingerprint row " + std::to_string(i) +
-                            " extends past its section");
-          }
-        }
-        model.restore_fingerprint_row(static_cast<StateId>(x), row.data());
+        model.restore_fingerprint_row(x, row.data());
       }
       stats.counter("store.fingerprints_loaded").add(e->count);
     }

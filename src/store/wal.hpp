@@ -1,0 +1,161 @@
+// lacon.wal.v1 — an append-only write-ahead log of interned-space deltas.
+//
+// A snapshot (store/snapshot.hpp) captures the whole interned space at one
+// quiescent moment; the WAL makes the space *crash-durable between*
+// snapshots. After each unit of work that interned new content (for
+// `laconrd`, each served request), the owner calls append(): the log gains
+// one checksummed, length-prefixed record holding exactly the delta since
+// the previous commit — newly interned views and flat state words, newly
+// cached layer entries, newly memoized valence entries, newly published
+// fingerprint rows — in the same per-record encodings the snapshot sections
+// use (store/codec.hpp). The record is fsync'd before append() returns, so
+// a `kill -9` (or power cut) after a response was written loses nothing
+// that response depended on.
+//
+// Layout (little-endian, records 8-aligned):
+//
+//   prelude   magic "LACONWL1" | u32 version=1 | u32 header_bytes
+//             | u64 header_checksum (FNV-1a 64 over the header body)
+//   header    u32 n, max_faulty, name_len, reserved
+//             | name bytes (zero-padded to 8)
+//   records   each: frame {u32 record_magic, u32 reserved,
+//                          u64 body_bytes, u64 body_checksum}
+//             body  u64 seq
+//                   | u64 base_views, new_views, base_states, new_states
+//                   | view records | state records
+//                   | u64 layer_count | layer entries
+//                   | u32 memo_present, reserved
+//                     [i32 horizon, u32 mode, u64 memo_count, entries]
+//                   | u64 fingerprint_count | fingerprint rows
+//             (body zero-padded to 8; body_bytes is the padded length)
+//
+// Recovery contract (replay): the log is read over a model already holding
+// the last full snapshot (or nothing). Records whose base counts match the
+// model apply in order; records fully covered by the snapshot (saved after
+// they were logged, crash before the log was reset) are skipped. The FIRST
+// record that is torn, corrupt, or inconsistent — bad frame, checksum
+// mismatch, short body, out-of-range reference — truncates the file back to
+// the last valid record and replay returns kOk with the loss accounted in
+// WalReplayStats; a torn tail is an expected crash artifact, never an
+// error. Only damage to the prelude/header earns a typed failure.
+//
+// Compaction: once the log dwarfs the snapshot (should_compact), the owner
+// saves a fresh snapshot and calls reset_to(), which truncates the log back
+// to its header and re-derives the persisted-watermarks from what that
+// snapshot actually covers.
+//
+// A Wal instance is not internally synchronized: callers serialize open/
+// replay/append/reset_to (laconrd holds a per-session store mutex).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "store/snapshot.hpp"  // Status / Result
+
+namespace lacon {
+class LayeredModel;
+class ValenceEngine;
+}  // namespace lacon
+
+namespace lacon::store {
+
+inline constexpr char kWalMagic[8] = {'L', 'A', 'C', 'O', 'N', 'W', 'L', '1'};
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+inline constexpr std::uint32_t kWalRecordMagic = 0x4352574Cu;  // "LWRC"
+
+// What replay() did: applied records extend the model, skipped records were
+// already covered by the snapshot, truncated bytes were cut off a torn or
+// corrupt tail (truncation is recovery, not failure).
+struct WalReplayStats {
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_skipped = 0;
+  std::uint64_t views_applied = 0;
+  std::uint64_t states_applied = 0;
+  std::uint64_t truncated_bytes = 0;
+};
+
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if absent) the log at `path` for `model`'s identity.
+  // A new file gets a fresh fsync'd header; an existing file's header must
+  // match the model (name, n, max_faulty) or the open fails typed —
+  // kBadMagic / kBadVersion / kCorrupt / kModelMismatch — leaving the file
+  // untouched so the caller can quarantine it.
+  Result open(const LayeredModel& model, const std::string& path);
+
+  // Replays the log over `model` (already snapshot-warm or empty) per the
+  // recovery contract above, then derives the persisted watermarks from the
+  // model: everything it now holds is durable. Call exactly once, after
+  // open() and before the first append(). `engine` receives matching memo
+  // entries; `stats_out` may be null.
+  Result replay(LayeredModel& model, ValenceEngine* engine,
+                WalReplayStats* stats_out);
+
+  // Appends one delta record covering everything interned/cached past the
+  // watermarks, fsyncs it, and advances the watermarks. A no-op (kOk)
+  // when nothing new exists. On a short write the file is truncated back to
+  // the previous record boundary so a failed append never leaves a torn
+  // middle. Requires a quiescent model (same rule as snapshot save).
+  Result append(LayeredModel& model, ValenceEngine* engine);
+
+  // True once the live log payload outweighs `snapshot_bytes` by more than
+  // `ratio` (with a 64 KiB floor so tiny snapshots don't force compaction
+  // on every record).
+  bool should_compact(std::uint64_t snapshot_bytes,
+                      std::uint64_t ratio) const noexcept;
+
+  // After a fresh snapshot of `model` was durably saved covering
+  // `num_views`/`num_states` (read them off store::probe, not the live
+  // model — interning may have raced the save): truncates the log back to
+  // its header, fsyncs, and recomputes the watermarks to exactly what that
+  // snapshot holds.
+  Result reset_to(LayeredModel& model, std::uint64_t num_views,
+                  std::uint64_t num_states, ValenceEngine* engine);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  // Bytes of record payload currently in the log (excludes the header).
+  std::uint64_t log_bytes() const noexcept {
+    return log_end_ - header_end_;
+  }
+  std::uint64_t records_appended() const noexcept { return seq_; }
+
+  void close();
+
+ private:
+  Result write_and_sync(const std::uint8_t* data, std::size_t bytes,
+                        std::uint64_t at_offset);
+  // Rebuilds the persisted cache-entry sets from the model, counting only
+  // content below the given id horizons.
+  void mark_persisted_from(LayeredModel& model, std::uint64_t num_views,
+                           std::uint64_t num_states, ValenceEngine* engine);
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t header_end_ = 0;  // file offset where records begin
+  std::uint64_t log_end_ = 0;     // file offset past the last valid record
+  std::uint64_t seq_ = 0;         // next record sequence number
+
+  // Durability watermarks: everything below is on disk (snapshot or log).
+  std::uint64_t persisted_views_ = 0;
+  std::uint64_t persisted_states_ = 0;
+  std::vector<bool> persisted_layers_;       // by StateId key
+  std::vector<bool> persisted_fingerprints_; // by StateId
+  // Memo entries are keyed (x, lookahead, flags): a later *stronger* entry
+  // for the same state re-appends (import_memo merges strongest-wins).
+  std::unordered_set<std::uint64_t> persisted_memo_;
+  std::int32_t memo_horizon_ = -1;
+  std::uint32_t memo_mode_ = 0;
+};
+
+}  // namespace lacon::store

@@ -8,8 +8,17 @@
 // one interned state space (the second request's new_states is 0 once the
 // first finished exploring).
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -379,6 +388,173 @@ TEST_F(ServerTest, PipelinedRequestsOnOneConnection) {
   const auto doc = Json::parse(r1);
   ASSERT_TRUE(doc.has_value()) << r1;
   EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "ok");
+}
+
+// --- fault posture (robustness PR): shutdown, shedding, timeouts -----------
+
+// A raw connected client socket with no protocol behavior: the pathological
+// peer the fault posture is written against.
+int raw_connect(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                socket_path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads until the peer closes (or 5 s pass); returns everything received.
+std::string read_until_closed(int fd) {
+  std::string out;
+  char buf[4096];
+  struct pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, 5000);
+    if (ready <= 0) break;
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got <= 0) break;
+    out.append(buf, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+// Satellite (a): the shutdown hang. A client that connects and then says
+// nothing used to park a connection thread in a blocking read forever;
+// stop() must now come back well under a second.
+TEST_F(ServerTest, StopReturnsPromptlyWithIdleClient) {
+  const int fd = raw_connect(socket_path_);
+  ASSERT_GE(fd, 0);
+  // Let the accept loop register the connection before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server_->stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  ::close(fd);
+}
+
+TEST(ServerFaultTest, IdleConnectionIsToldAndDropped) {
+  const std::string path =
+      "/tmp/laconrd_idle_" + std::to_string(::getpid()) + ".sock";
+  Server server(
+      ServerOptions{.socket_path = path, .idle_timeout_ms = 200});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = raw_connect(path);
+  ASSERT_GE(fd, 0);
+  const std::string out = read_until_closed(fd);
+  ::close(fd);
+  EXPECT_NE(out.find("idle timeout"), std::string::npos) << out;
+  server.stop();
+}
+
+TEST(ServerFaultTest, OverloadShedsWithJsonError) {
+  const std::string path =
+      "/tmp/laconrd_shed_" + std::to_string(::getpid()) + ".sock";
+  Server server(
+      ServerOptions{.socket_path = path, .max_connections = 1});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Occupy the single slot and prove it is registered by completing one
+  // round trip on it.
+  const int held = raw_connect(path);
+  ASSERT_GE(held, 0);
+  const std::string probe = "{\"id\":0,\"model\":\"mobile\",\"depth\":0}\n";
+  ASSERT_EQ(::send(held, probe.data(), probe.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(probe.size()));
+  char buf[4096];
+  ASSERT_GT(::read(held, buf, sizeof buf), 0);
+
+  // The next connection must be shed with a parseable error, not queued.
+  std::string response;
+  ASSERT_TRUE(Server::request(path, "{\"id\":1}", &response, &error, 5000))
+      << error;
+  const auto doc = Json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(find_path(*doc, {"status"})->as_string(), "error");
+  EXPECT_EQ(find_path(*doc, {"error"})->as_string(), "overloaded");
+
+  ::close(held);
+  server.stop();
+}
+
+// Satellite (c): a connect that succeeds against a listener that never
+// accepts or answers must fail with ETIMEDOUT after the deadline, not hang.
+TEST(ServerFaultTest, RequestTimesOutAgainstSilentServer) {
+  const std::string path =
+      "/tmp/laconrd_silent_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);  // ...and never accept
+
+  std::string response, error;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Server::request(path, "{\"id\":1}", &response, &error, 300));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(error.find(std::strerror(ETIMEDOUT)), std::string::npos) << error;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+// The durability loop at the protocol level (no sockets): every handled
+// request commits to the WAL before responding, so a second manager over
+// the same store dir — with no snapshot ever saved — re-serves the session
+// without interning anything new.
+TEST(ProtocolWalTest, HandledRequestsAreDurableWithoutSnapshotSave) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("lacon_service_wal_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  ::setenv("LACON_WAL", "on", 1);
+  ::setenv("LACON_STORE_DIR", dir.c_str(), 1);
+  ::setenv("LACON_STORE", "off", 1);
+
+  const std::string query =
+      "{\"id\":1,\"model\":\"mobile\",\"n\":3,\"depth\":2,"
+      "\"query\":\"valence\"}";
+  std::string first;
+  {
+    SessionManager sessions;
+    first = handle_line(sessions, query);
+    // No save_all: the manager dies as a kill -9 would leave it.
+  }
+  SessionManager recovered;
+  const std::string second = handle_line(recovered, query);
+
+  const auto doc1 = Json::parse(first);
+  const auto doc2 = Json::parse(second);
+  ASSERT_TRUE(doc1.has_value() && doc2.has_value());
+  EXPECT_EQ(find_path(*doc1, {"status"})->as_string(), "ok");
+  EXPECT_EQ(find_path(*doc2, {"result"})->dump(),
+            find_path(*doc1, {"result"})->dump());
+  EXPECT_EQ(find_path(*doc2, {"metrics", "new_states"})->as_number(), 0.0);
+  EXPECT_EQ(find_path(*doc2, {"metrics", "new_views"})->as_number(), 0.0);
+
+  ::unsetenv("LACON_WAL");
+  ::unsetenv("LACON_STORE_DIR");
+  ::unsetenv("LACON_STORE");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

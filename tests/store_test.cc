@@ -25,6 +25,7 @@
 #include "runtime/stats.hpp"
 #include "store/env.hpp"
 #include "store/snapshot.hpp"
+#include "store/wal.hpp"
 
 namespace lacon {
 namespace {
@@ -346,6 +347,308 @@ TEST_F(StoreTest, SaveWithoutEngineOmitsMemo) {
   EXPECT_TRUE(store::load(*warm.model, file, warm.engine.get()).ok());
 }
 
+// --- WAL (lacon.wal.v1): crash-durable deltas over snapshots --------------
+
+std::vector<char> read_file(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& file, const char* data, std::size_t len) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(data, static_cast<std::streamsize>(len));
+}
+
+// Interns one novel state (a copy of state 0 with a perturbed decision),
+// giving the WAL a deliberately tiny delta record for tail-fuzz tests.
+void intern_one_extra_state(LayeredModel& model) {
+  const StateRef s = model.state(0);
+  GlobalState copy;
+  copy.env.assign(s.env.begin(), s.env.end());
+  copy.locals.assign(s.locals.begin(), s.locals.end());
+  copy.decisions.assign(s.decisions.begin(), s.decisions.end());
+  copy.decisions[0] = copy.decisions[0] == 7 ? 8 : 7;
+  const std::size_t before = model.num_states();
+  ASSERT_EQ(model.restore_state(std::move(copy)), before);
+}
+
+TEST_F(StoreTest, WalAppendReplayRoundTrip) {
+  const std::string file = path("roundtrip.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(*cold.model, file).ok());
+    ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+    analyze(cold, 2);
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+    EXPECT_EQ(wal.records_appended(), 1u);
+    // Nothing new interned since the commit: append is a no-op.
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+    EXPECT_EQ(wal.records_appended(), 1u);
+  }
+
+  auto& stats = runtime::Stats::global();
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*warm.model, file).ok());
+  store::WalReplayStats rs;
+  const store::Result r = wal.replay(*warm.model, warm.engine.get(), &rs);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(rs.records_applied, 1u);
+  EXPECT_EQ(rs.truncated_bytes, 0u);
+  EXPECT_EQ(rs.states_applied, cold.model->num_states());
+
+  ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
+  ASSERT_EQ(warm.model->num_views(), cold.model->num_views());
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+  EXPECT_EQ(view_hashes(*warm.model), view_hashes(*cold.model));
+
+  // Re-running the analysis interns nothing new (zero re-interns contract)
+  // and the imported memo answers agree entry for entry.
+  const std::uint64_t misses_before =
+      stats.counter("arena.state_misses").value();
+  const auto frontier = analyze(warm, 2);
+  EXPECT_EQ(stats.counter("arena.state_misses").value(), misses_before);
+  EXPECT_EQ(warm.model->num_states(), cold.model->num_states());
+  const auto cold_frontier = analyze(cold, 2);
+  ASSERT_EQ(frontier.size(), cold_frontier.size());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const ValenceInfo a = warm.engine->valence(frontier[i]);
+    const ValenceInfo b = cold.engine->valence(cold_frontier[i]);
+    EXPECT_EQ(a.v0, b.v0);
+    EXPECT_EQ(a.v1, b.v1);
+  }
+}
+
+TEST_F(StoreTest, WalReplaysDeltaOverSnapshot) {
+  const std::string snap = path("delta.store");
+  const std::string file = path("delta.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  // Snapshot bare depth-1 exploration (no valence lookahead yet), so the
+  // full analysis afterwards is guaranteed to intern past it.
+  reachable_by_depth(*cold.model, 1);
+  ASSERT_TRUE(store::save(*cold.model, snap, nullptr).ok());
+  {
+    // The WAL opens over the snapshot-covered model and logs only what the
+    // deeper analysis adds past it.
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(*cold.model, file).ok());
+    ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+    analyze(cold, 2);
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  }
+
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  ASSERT_TRUE(store::load(*warm.model, snap, warm.engine.get()).ok());
+  const std::size_t from_snapshot = warm.model->num_states();
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*warm.model, file).ok());
+  store::WalReplayStats rs;
+  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), &rs).ok());
+  EXPECT_EQ(rs.records_applied, 1u);
+  EXPECT_GT(warm.model->num_states(), from_snapshot);
+  ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+  EXPECT_EQ(view_hashes(*warm.model), view_hashes(*cold.model));
+}
+
+TEST_F(StoreTest, WalSkipsRecordsCoveredBySnapshot) {
+  const std::string snap = path("covered.store");
+  const std::string file = path("covered.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(*cold.model, file).ok());
+    ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+    analyze(cold, 1);
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+    intern_one_extra_state(*cold.model);
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+    // Snapshot saved AFTER both records, crash before the log was reset:
+    // replay must recognize both records as covered and skip them.
+    ASSERT_TRUE(store::save(*cold.model, snap, cold.engine.get()).ok());
+  }
+
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  ASSERT_TRUE(store::load(*warm.model, snap, warm.engine.get()).ok());
+  const std::size_t from_snapshot = warm.model->num_states();
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*warm.model, file).ok());
+  store::WalReplayStats rs;
+  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), &rs).ok());
+  EXPECT_EQ(rs.records_applied, 0u);
+  EXPECT_EQ(rs.records_skipped, 2u);
+  EXPECT_EQ(warm.model->num_states(), from_snapshot);
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+}
+
+// Satellite (d): SIGKILL can land mid-write, so the final record may end at
+// ANY byte. Fuzz every truncation point of the last record and demand the
+// same answer each time: kOk, everything before the tear intact, the torn
+// tail physically truncated, and the log usable for appends again.
+TEST_F(StoreTest, WalTornTailRecoversAtEveryByteOffset) {
+  const std::string file = path("torn.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*cold.model, file).ok());
+  ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+  analyze(cold, 1);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  const std::size_t record1_states = cold.model->num_states();
+  const auto boundary = static_cast<std::size_t>(fs::file_size(file));
+  intern_one_extra_state(*cold.model);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  wal.close();
+  const std::vector<char> bytes = read_file(file);
+  ASSERT_GT(bytes.size(), boundary);
+
+  for (std::size_t keep = boundary; keep < bytes.size(); ++keep) {
+    const std::string cut = path("torn.cut.wal");
+    write_file(cut, bytes.data(), keep);
+
+    auto target = make_instance(ModelKind::kMobile, 3, 1, 3);
+    store::Wal w;
+    ASSERT_TRUE(w.open(*target.model, cut).ok()) << "keep=" << keep;
+    store::WalReplayStats rs;
+    const store::Result r = w.replay(*target.model, target.engine.get(), &rs);
+    ASSERT_TRUE(r.ok()) << "keep=" << keep << ": " << r.detail;
+    EXPECT_EQ(rs.records_applied, 1u) << "keep=" << keep;
+    EXPECT_EQ(rs.truncated_bytes, keep - boundary) << "keep=" << keep;
+    EXPECT_EQ(target.model->num_states(), record1_states) << "keep=" << keep;
+    // Replay physically cut the tail back to the last valid record...
+    EXPECT_EQ(fs::file_size(cut), boundary) << "keep=" << keep;
+    // ...so the log keeps working: the next commit lands cleanly.
+    intern_one_extra_state(*target.model);
+    ASSERT_TRUE(w.append(*target.model, target.engine.get()).ok())
+        << "keep=" << keep;
+  }
+}
+
+TEST_F(StoreTest, WalBitFlippedTailIsTruncatedNotFatal) {
+  const std::string file = path("flip.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*cold.model, file).ok());
+  ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+  analyze(cold, 1);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  const std::size_t record1_states = cold.model->num_states();
+  const auto boundary = static_cast<std::size_t>(fs::file_size(file));
+  intern_one_extra_state(*cold.model);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  wal.close();
+
+  std::vector<char> bytes = read_file(file);
+  // Flip one byte in the final record's body: the frame parses but the
+  // checksum refutes it, so replay truncates the record, not the process.
+  bytes[boundary + 30] = static_cast<char>(bytes[boundary + 30] ^ 0x10);
+  write_file(file, bytes.data(), bytes.size());
+
+  auto target = make_instance(ModelKind::kMobile, 3, 1, 3);
+  store::Wal w;
+  ASSERT_TRUE(w.open(*target.model, file).ok());
+  store::WalReplayStats rs;
+  ASSERT_TRUE(w.replay(*target.model, target.engine.get(), &rs).ok());
+  EXPECT_EQ(rs.records_applied, 1u);
+  EXPECT_EQ(rs.truncated_bytes, bytes.size() - boundary);
+  EXPECT_EQ(target.model->num_states(), record1_states);
+  EXPECT_EQ(fs::file_size(file), boundary);
+}
+
+TEST_F(StoreTest, WalHeaderDamageIsTyped) {
+  const std::string file = path("header.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 2);
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(*cold.model, file).ok());
+  }
+  const std::vector<char> bytes = read_file(file);
+
+  // Wrong identity: same file, different instance.
+  auto wrong_n = make_instance(ModelKind::kMobile, 4, 1, 2);
+  store::Wal w1;
+  EXPECT_EQ(w1.open(*wrong_n.model, file).status,
+            store::Status::kModelMismatch);
+  auto wrong_kind = make_instance(ModelKind::kSync, 3, 1, 2);
+  store::Wal w2;
+  EXPECT_EQ(w2.open(*wrong_kind.model, file).status,
+            store::Status::kModelMismatch);
+
+  // Garbage prelude.
+  write_file(file, "not a write-ahead log....", 25);
+  store::Wal w3;
+  EXPECT_EQ(w3.open(*cold.model, file).status, store::Status::kBadMagic);
+
+  // Future version.
+  std::vector<char> versioned = bytes;
+  versioned[8] = 2;  // the u32 version right after the magic
+  write_file(file, versioned.data(), versioned.size());
+  store::Wal w4;
+  EXPECT_EQ(w4.open(*cold.model, file).status, store::Status::kBadVersion);
+
+  // Corrupted header body (checksum mismatch).
+  std::vector<char> flipped = bytes;
+  flipped[26] = static_cast<char>(flipped[26] ^ 0x04);
+  write_file(file, flipped.data(), flipped.size());
+  store::Wal w5;
+  EXPECT_EQ(w5.open(*cold.model, file).status, store::Status::kCorrupt);
+
+  // Header prefixes: every cut inside prelude+header is a typed refusal
+  // (unlike a torn record tail, which is recovery).
+  for (std::size_t keep = 1; keep < bytes.size(); ++keep) {
+    write_file(file, bytes.data(), keep);
+    store::Wal w;
+    const store::Result r = w.open(*cold.model, file);
+    EXPECT_FALSE(r.ok()) << "header prefix of " << keep << " bytes accepted";
+    EXPECT_FALSE(w.is_open());
+  }
+}
+
+TEST_F(StoreTest, WalResetToAfterSnapshotLogsOnlyNewWork) {
+  const std::string snap = path("compact.store");
+  const std::string file = path("compact.wal");
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(*cold.model, file).ok());
+  ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get(), nullptr).ok());
+  analyze(cold, 1);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  EXPECT_GT(wal.log_bytes(), 0u);
+
+  // Compaction: fold the log into a snapshot, then reset the log to it.
+  ASSERT_TRUE(store::save(*cold.model, snap, cold.engine.get()).ok());
+  store::SnapshotMeta meta;
+  ASSERT_TRUE(store::probe(snap, &meta).ok());
+  ASSERT_TRUE(
+      wal.reset_to(*cold.model, meta.num_views, meta.num_states,
+                   cold.engine.get())
+          .ok());
+  EXPECT_EQ(wal.log_bytes(), 0u);
+  EXPECT_EQ(wal.records_appended(), 0u);
+
+  // Post-compaction commits log only the new work; snapshot + log together
+  // still recover the full space.
+  analyze(cold, 2);
+  ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  EXPECT_EQ(wal.records_appended(), 1u);
+  wal.close();
+
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  ASSERT_TRUE(store::load(*warm.model, snap, warm.engine.get()).ok());
+  store::Wal w;
+  ASSERT_TRUE(w.open(*warm.model, file).ok());
+  store::WalReplayStats rs;
+  ASSERT_TRUE(w.replay(*warm.model, warm.engine.get(), &rs).ok());
+  EXPECT_EQ(rs.records_applied, 1u);
+  ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+
+  // should_compact has a 64 KiB floor: a small log never forces compaction
+  // just because the snapshot is tiny.
+  EXPECT_FALSE(w.should_compact(/*snapshot_bytes=*/1, /*ratio=*/1));
+}
+
 // --- env knob parsing (the LACON_THREADS warn-once contract) --------------
 
 TEST(StoreEnvTest, ParseModeKeywords) {
@@ -395,6 +698,41 @@ TEST(StoreEnvTest, SnapshotFilenameSanitizes) {
             "/data/M_mf_S1.n3.t1.lacon.store");
   EXPECT_EQ(store::snapshot_path("/data/", "M^mf/S1", 3, 1),
             "/data/M_mf_S1.n3.t1.lacon.store");
+}
+
+TEST(StoreEnvTest, ParseWalKeywords) {
+  EXPECT_FALSE(store::parse_wal("off", true));
+  EXPECT_TRUE(store::parse_wal("on", false));
+  // Null/empty fall back silently; malformed values fall back with a warn.
+  EXPECT_TRUE(store::parse_wal(nullptr, true));
+  EXPECT_FALSE(store::parse_wal("", false));
+  EXPECT_FALSE(store::parse_wal("ON", false));
+  EXPECT_FALSE(store::parse_wal("1", false));
+  EXPECT_FALSE(store::parse_wal("yes", false));
+}
+
+TEST(StoreEnvTest, ParseWalCompactRange) {
+  EXPECT_EQ(store::parse_wal_compact(nullptr, 8), 8u);
+  EXPECT_EQ(store::parse_wal_compact("", 8), 8u);
+  EXPECT_EQ(store::parse_wal_compact("1", 8), 1u);
+  EXPECT_EQ(store::parse_wal_compact("16", 8), 16u);
+  EXPECT_EQ(store::parse_wal_compact(
+                std::to_string(store::kMaxWalCompactRatio).c_str(), 8),
+            store::kMaxWalCompactRatio);
+  // Out-of-range and malformed values fall back, never clamp.
+  EXPECT_EQ(store::parse_wal_compact("0", 8), 8u);
+  EXPECT_EQ(store::parse_wal_compact(
+                std::to_string(store::kMaxWalCompactRatio + 1).c_str(), 8),
+            8u);
+  EXPECT_EQ(store::parse_wal_compact("-4", 8), 8u);
+  EXPECT_EQ(store::parse_wal_compact("8x", 8), 8u);
+  EXPECT_EQ(store::parse_wal_compact("ratio", 8), 8u);
+}
+
+TEST(StoreEnvTest, WalPathRidesSnapshotPath) {
+  auto rule = min_after_round(2);
+  auto model = make_model(ModelKind::kMobile, 3, 1, *rule);
+  EXPECT_EQ(store::wal_path(*model), store::snapshot_path(*model) + ".wal");
 }
 
 }  // namespace
