@@ -197,7 +197,7 @@ void BM_WalReplay(benchmark::State& state, const Workload& w) {
     store::Result r = wal.open(*inst.model, path);
     if (!r.ok()) state.SkipWithError(r.detail.c_str());
     store::WalReplayStats rs;
-    r = wal.replay(*inst.model, inst.engine.get(), &rs);
+    r = wal.replay(*inst.model, inst.engine.get(), nullptr, &rs);
     if (!r.ok()) state.SkipWithError(r.detail.c_str());
     states = rs.states_applied;
   }

@@ -1,0 +1,123 @@
+// T13 — Process-permutation symmetry quotient (core/sym.hpp).
+//
+// A/B bench of the orbit-quotiented intern path against the full state
+// space on the IIS model (full symmetric group, permutation-closed inputs):
+// the same exploration + valence classification runs with the quotient
+// forced off and forced on via sym::ScopedSymmetry, so the pair of rows
+// measures exactly what the canonicalization buys (and costs — shape
+// hashing plus tie-group enumeration are paid per intern). The printed
+// table is EXPERIMENTS.md T13: per n, the full and orbit state counts, the
+// fold counter, and the reduction factor n!/|Stab| realizes in practice.
+//
+// Both modes are registered regardless of the LACON_SYMMETRY environment so
+// bench names stay stable for the ci.sh baseline comparison.
+#include <benchmark/benchmark.h>
+
+#include "bench_flags.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "core/sym.hpp"
+#include "engine/explore.hpp"
+#include "engine/valence.hpp"
+#include "models/iis/iis_model.hpp"
+#include "runtime/stats.hpp"
+#include "util/table.hpp"
+
+namespace lacon {
+namespace {
+
+constexpr int kDepth = 1;    // one full layer below Con_0
+constexpr int kHorizon = 2;  // valence budget for the classify rows
+
+std::size_t explore_total(IisModel& model, int depth) {
+  std::size_t total = 0;
+  for (const auto& level : reachable_by_depth(model, depth)) {
+    total += level.size();
+  }
+  return total;
+}
+
+void explore_and_classify(benchmark::State& state, int n, bool symmetry) {
+  sym::ScopedSymmetry mode(symmetry);
+  const auto rule = min_after_round(2);
+  for (auto _ : state) {
+    IisModel model(n, *rule);
+    const auto levels = reachable_by_depth(model, kDepth);
+    ValenceEngine engine(model, kHorizon, Exactness::kQuiescence);
+    engine.classify_all(levels.back());
+    benchmark::DoNotOptimize(model.num_states());
+  }
+}
+
+// The benchmark n sweep stops at 4: the full-space rows are the cost being
+// quotiented away, and already at n=5 the unquotiented classify runs tens
+// of seconds — the T13 table above covers the larger n via exploration
+// counts, which is where the cut itself is measured.
+void register_n_sweep(const char* name, bool symmetry) {
+  for (const int n : {3, 4}) {
+    benchmark::RegisterBenchmark(
+        (std::string(name) + "/n:" + std::to_string(n)).c_str(),
+        explore_and_classify, n, symmetry)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+// T13: measured state-space cut per n. The weighted column re-expands each
+// representative by its orbit weight; matching the full count is the
+// correctness identity the quotient rests on.
+void print_table() {
+  auto& folds = runtime::Stats::global().counter("arena.sym_folds");
+  Table table({"n", "full states", "orbit reps", "weighted", "sym_folds",
+               "reduction"});
+  const auto rule = min_after_round(2);
+  for (int n = 3; n <= 6; ++n) {
+    std::size_t full_total = 0;
+    {
+      sym::ScopedSymmetry off(false);
+      IisModel model(n, *rule);
+      full_total = explore_total(model, kDepth);
+    }
+    const std::uint64_t folds_before = folds.value();
+    sym::ScopedSymmetry on(true);
+    IisModel model(n, *rule);
+    std::size_t quotient_total = 0;
+    std::uint64_t weighted_total = 0;
+    for (const auto& level : reachable_by_depth(model, kDepth)) {
+      quotient_total += level.size();
+      for (const StateId x : level) weighted_total += model.orbit_weight(x);
+    }
+    char reduction[32];
+    std::snprintf(reduction, sizeof(reduction), "%.2fx",
+                  quotient_total != 0
+                      ? static_cast<double>(full_total) /
+                            static_cast<double>(quotient_total)
+                      : 0.0);
+    table.add_row({std::to_string(n), std::to_string(full_total),
+                   std::to_string(quotient_total),
+                   std::to_string(weighted_total),
+                   std::to_string(folds.value() - folds_before), reduction});
+  }
+  std::fputs(table
+                 .to_string("T13: orbit quotient state-space cut "
+                            "(IIS, depth " +
+                            std::to_string(kDepth) + ")")
+                 .c_str(),
+             stdout);
+}
+
+}  // namespace
+}  // namespace lacon
+
+int main(int argc, char** argv) {
+  lacon::benchflags::init(&argc, argv);
+  lacon::print_table();
+  lacon::register_n_sweep("BM_ExploreClassifyFull", false);
+  lacon::register_n_sweep("BM_ExploreClassifyQuotient", true);
+  lacon::benchflags::add_json_context();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  lacon::benchflags::finish();
+  return 0;
+}

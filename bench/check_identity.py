@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quotient-vs-full identity gate for the laconrd protocol (ci.sh lane).
+
+Usage:
+    bench/check_identity.py FULL.jsonl QUOTIENT.jsonl
+
+Both files hold one laconrd response per line, produced by the same request
+sequence against a LACON_SYMMETRY=off daemon (FULL) and a LACON_SYMMETRY=on
+daemon (QUOTIENT). The symmetry contract (DESIGN.md §15) says the quotient
+may only change how much work an answer costs, never the answer: the
+mode-independent response fields — id, status, truncation, error, result —
+must match byte-for-byte after JSON canonicalization. The "metrics" object
+is deliberately excluded: raw arena counts are mode-dependent (one
+representative per orbit) and elapsed_ms varies run to run.
+
+The gate also refuses to pass vacuously: at least one QUOTIENT response
+must carry metrics.symmetry == true, proving the on-daemon actually folded
+orbits rather than silently falling back to the full space.
+"""
+
+import json
+import sys
+
+_KEPT = ("id", "status", "truncation", "error", "result")
+
+
+def canonical_rows(path):
+    rows = []
+    quotiented = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            rows.append({k: doc[k] for k in _KEPT if k in doc})
+            if doc.get("metrics", {}).get("symmetry") is True:
+                quotiented += 1
+    return rows, quotiented
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    full_path, quot_path = sys.argv[1], sys.argv[2]
+    full, _ = canonical_rows(full_path)
+    quot, quotiented = canonical_rows(quot_path)
+
+    if len(full) != len(quot):
+        print(f"FAIL: {full_path} has {len(full)} response(s), "
+              f"{quot_path} has {len(quot)}", file=sys.stderr)
+        return 1
+    if not full:
+        print("FAIL: no responses to compare", file=sys.stderr)
+        return 1
+
+    bad = 0
+    for i, (a, b) in enumerate(zip(full, quot)):
+        if a != b:
+            bad += 1
+            print(f"FAIL: response {i} (id={a.get('id')!r}) differs:",
+                  file=sys.stderr)
+            print(f"  full:     {json.dumps(a, sort_keys=True)}",
+                  file=sys.stderr)
+            print(f"  quotient: {json.dumps(b, sort_keys=True)}",
+                  file=sys.stderr)
+    if bad:
+        print(f"FAIL: {bad}/{len(full)} response(s) differ between "
+              f"LACON_SYMMETRY=off and =on", file=sys.stderr)
+        return 1
+
+    if quotiented == 0:
+        print(f"FAIL: no response in {quot_path} reports "
+              "metrics.symmetry=true — the quotient never engaged, the "
+              "identity check is vacuous", file=sys.stderr)
+        return 1
+
+    print(f"OK: {len(full)} response(s) identical across symmetry modes "
+          f"({quotiented} served from the quotient)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

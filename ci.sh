@@ -46,11 +46,16 @@ run_config() {
     # simd_test rides along so the AVX2/NEON kernels and the scalar
     # reference run their randomized equivalence sweeps under both
     # sanitizers (ASan in particular audits the tail-masked lane reads).
+    # LACON_SYMMETRY=on puts the orbit-canonicalization memos (core/sym.hpp,
+    # shared mutable state under parallel interning) on the sanitized paths;
+    # the symmetry contract says results cannot change, so the suites must
+    # stay green with the quotient folding wherever a model permits it.
     for soak_bin in guard_test runtime_test fuzz_test trace_test \
-                    store_test service_test simd_test; do
+                    store_test service_test simd_test sym_test; do
       LACON_FAULT_SEED="${LACON_FAULT_SEED:-20260805}" \
       LACON_FAULT_RATE="${LACON_FAULT_RATE:-0.05}" \
       LACON_TRACE=spans \
+      LACON_SYMMETRY=on \
         "$dir/tests/$soak_bin" --gtest_brief=1
     done
     # Kill-and-recover soak: SIGKILL a WAL-enabled daemon mid-workload and
@@ -134,6 +139,22 @@ run_config() {
       --metrics "bench_results/METRICS_t11_store.json"
     cp bench_results/BENCH_t11_store.json BENCH_t11_store.json
     cp bench_results/METRICS_t11_store.json METRICS_t11_store.json
+    # t13 gates both symmetry modes: the quotient rows catch the
+    # canonicalizer itself getting slower, the full rows catch the off-mode
+    # paying for machinery it is supposed to bypass entirely. It shares
+    # t11's looser threshold, not the hard 25% gate: the full-space rows
+    # explore-and-classify hundreds of thousands of states per iteration,
+    # and at smoke budgets that workload is allocator/cache noise on the
+    # order of ±20% run to run.
+    echo "=== [$name] bench regression gate (t13 symmetry vs bench/baseline/)"
+    python3 bench/compare_baseline.py \
+      "bench/baseline/BENCH_t13_symmetry.json" \
+      "bench_results/BENCH_t13_symmetry.json" \
+      --max-regression 0.75 \
+      --baseline-metrics "bench/baseline/METRICS_t13_symmetry.json" \
+      --metrics "bench_results/METRICS_t13_symmetry.json"
+    cp bench_results/BENCH_t13_symmetry.json BENCH_t13_symmetry.json
+    cp bench_results/METRICS_t13_symmetry.json METRICS_t13_symmetry.json
     # Persistence round trip (acceptance: snapshot round-trip is lossless).
     # A cold run saves a snapshot; a warm run loads it, reruns the identical
     # analysis and must (i) print byte-identical canonical output and (ii)
@@ -171,6 +192,42 @@ run_config() {
     grep -q '"status":"ok"' store_artifacts/free.json
     kill -TERM "$laconrd_pid"
     wait "$laconrd_pid"
+    # Symmetry identity lane (DESIGN.md §15): the same request sequence
+    # against a LACON_SYMMETRY=off and a LACON_SYMMETRY=on daemon must
+    # produce identical mode-independent response fields (id/status/result;
+    # the mode-dependent raw-arena "metrics" object is excluded), and the
+    # on-daemon must prove it actually quotiented at least one session —
+    # both asserted by bench/check_identity.py. msgpass is the full-symmetry
+    # model among the served four; the rest pin down that the knob cannot
+    # perturb trivially-symmetric sessions.
+    echo "=== [$name] symmetry identity lane (LACON_SYMMETRY off vs on)"
+    sym_reqs=(
+      '{"id":1,"model":"msgpass","n":3,"query":"layers","depth":2}'
+      '{"id":2,"model":"msgpass","n":3,"query":"valence","depth":1,"horizon":2}'
+      '{"id":3,"model":"msgpass","n":3,"query":"diameter","depth":1}'
+      '{"id":4,"model":"msgpass","n":3,"query":"similarity","depth":1}'
+      '{"id":5,"model":"mobile","n":4,"query":"layers","depth":2}'
+      '{"id":6,"model":"sharedmem","n":3,"query":"valence","depth":2,"horizon":2}'
+      '{"id":7,"model":"sync","n":4,"t":2,"query":"layers","depth":2}'
+    )
+    for sym_mode in off on; do
+      ssock="/tmp/laconrd_sym_${sym_mode}_$$.sock"
+      LACON_SYMMETRY="$sym_mode" LACON_STORE=off LACON_WAL=off \
+        "$dir/examples/laconrd" --socket "$ssock" &
+      sym_pid=$!
+      for _ in $(seq 50); do [[ -S "$ssock" ]] && break; sleep 0.1; done
+      [[ -S "$ssock" ]]
+      : > "store_artifacts/sym_$sym_mode.jsonl"
+      for r in "${sym_reqs[@]}"; do
+        "$dir/examples/laconrd" --socket "$ssock" --client "$r" \
+          >> "store_artifacts/sym_$sym_mode.jsonl"
+      done
+      kill -TERM "$sym_pid"
+      wait "$sym_pid"
+      rm -f "$ssock"
+    done
+    python3 bench/check_identity.py \
+      store_artifacts/sym_off.jsonl store_artifacts/sym_on.jsonl
     # Kill-and-recover lane (DESIGN.md §14): a WAL-enabled daemon serves a
     # workload, gets SIGKILLed with a request in flight, and the restart
     # over the same store dir must answer the identical requests with

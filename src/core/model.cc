@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+#include <set>
 
 #include "runtime/simd_dispatch.hpp"
+#include "runtime/stats.hpp"
 
 namespace lacon {
 
@@ -26,7 +29,9 @@ LayeredModel::LayeredModel(int n, const DecisionRule& rule,
     : n_(n),
       rule_(&rule),
       initial_inputs_(std::move(initial_inputs)),
-      views_(n) {
+      views_(n),
+      canon_(std::make_unique<sym::Canonicalizer>(views_, n)),
+      sym_folds_(&runtime::Stats::global().counter("arena.sym_folds")) {
   assert(n >= 2);
   if (initial_inputs_.empty()) initial_inputs_ = all_binary_inputs(n);
 #ifndef NDEBUG
@@ -130,9 +135,13 @@ const std::vector<StateId>& LayeredModel::initial_states() {
       s.decisions.assign(static_cast<std::size_t>(n_), kUndecided);
       initial_states_.push_back(intern(std::move(s)));
     }
-    // Input assignments are distinct, so the ids are too; keep them sorted
-    // for deterministic iteration.
+    // Keep them sorted for deterministic iteration, and deduplicate: under
+    // the symmetry quotient, orbit-equivalent input assignments fold onto
+    // one canonical initial state.
     std::sort(initial_states_.begin(), initial_states_.end());
+    initial_states_.erase(
+        std::unique(initial_states_.begin(), initial_states_.end()),
+        initial_states_.end());
   });
   return initial_states_;
 }
@@ -194,6 +203,112 @@ Value LayeredModel::updated_decision(ProcessId i, Value current,
   if (current != kUndecided) return current;  // d_i is write-once
   const std::optional<Value> d = rule_->decide(i, new_view, views_);
   return d.value_or(kUndecided);
+}
+
+void LayeredModel::sym_env_key(const StateRef& s, sym::Relabeling&,
+                               std::vector<std::uint64_t>* out) const {
+  // Default: the environment carries no process identity and no interned
+  // ids, so its words are their own relabeled key. Models with
+  // process-indexed or ViewId-bearing environments override.
+  for (const std::int64_t w : s.env) {
+    out->push_back(static_cast<std::uint64_t>(w));
+  }
+}
+
+std::vector<std::int64_t> LayeredModel::sym_permute_env(
+    const StateRef& s, sym::Relabeling&) const {
+  return {s.env.begin(), s.env.end()};
+}
+
+bool LayeredModel::inputs_permutation_closed() const {
+  // Adjacent transpositions generate S_n, so closure under them is closure
+  // under every permutation.
+  const std::set<std::vector<Value>> inputs(initial_inputs_.begin(),
+                                            initial_inputs_.end());
+  for (const auto& assignment : inputs) {
+    std::vector<Value> swapped = assignment;
+    for (int i = 0; i + 1 < n_; ++i) {
+      std::swap(swapped[static_cast<std::size_t>(i)],
+                swapped[static_cast<std::size_t>(i + 1)]);
+      if (!inputs.contains(swapped)) return false;
+      std::swap(swapped[static_cast<std::size_t>(i)],
+                swapped[static_cast<std::size_t>(i + 1)]);
+    }
+  }
+  return true;
+}
+
+bool LayeredModel::sym_quotient_active() {
+  std::call_once(sym_once_, [this] {
+    sym_active_ = sym::enabled() &&
+                  symmetry() == sym::SymmetryClass::kFull && n_ <= 15 &&
+                  inputs_permutation_closed();
+  });
+  return sym_active_;
+}
+
+StateId LayeredModel::intern_canonical(GlobalState s) {
+  if (!sym_quotient_active()) return arena_.intern(std::move(s));
+  bool folded = false;
+  const std::uint64_t stab = canon_->canonicalize(*this, &s, &folded);
+  if (folded) sym_folds_->increment();
+  const StateId id = arena_.intern(std::move(s));
+  auto& weight = orbit_weights_.slot(static_cast<std::size_t>(id));
+  if (weight.load(std::memory_order_relaxed) == 0) {
+    weight.store(sym::factorial(n_) / stab, std::memory_order_relaxed);
+  }
+  return id;
+}
+
+std::uint64_t LayeredModel::orbit_weight(StateId x) {
+  if (!sym_quotient_active()) return 1;
+  auto& slot = orbit_weights_.slot(static_cast<std::size_t>(x));
+  const std::uint64_t cached = slot.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Unset: x entered the arena without passing through intern_canonical
+  // (snapshot restore). Its content is already canonical, so
+  // re-canonicalizing recovers the exact stabilizer size; racing
+  // computations agree.
+  const StateRef ref = state(x);
+  GlobalState copy{{ref.env.begin(), ref.env.end()},
+                   {ref.locals.begin(), ref.locals.end()},
+                   {ref.decisions.begin(), ref.decisions.end()}};
+  bool folded = false;
+  const std::uint64_t stab = canon_->canonicalize(*this, &copy, &folded);
+  assert(!folded && "states in a quotiented arena are orbit representatives");
+  const std::uint64_t weight = sym::factorial(n_) / stab;
+  slot.store(weight, std::memory_order_relaxed);
+  return weight;
+}
+
+std::vector<StateId> LayeredModel::unfold_orbit(StateId x) {
+  if (!sym_quotient_active()) return {x};
+  // Closure under adjacent transpositions (they generate S_n): each member
+  // is probed against each of the n-1 transpositions, so the cost is
+  // orbit-linear instead of factorial. Interns bypass canonicalization —
+  // the whole point is materializing the non-canonical members.
+  std::vector<StateId> members = {x};
+  std::set<StateId> seen = {x};
+  Permutation swap_adj(static_cast<std::size_t>(n_));
+  for (std::size_t frontier = 0; frontier < members.size(); ++frontier) {
+    const StateRef ref = state(members[frontier]);
+    for (int i = 0; i + 1 < n_; ++i) {
+      std::iota(swap_adj.begin(), swap_adj.end(), 0);
+      std::swap(swap_adj[static_cast<std::size_t>(i)],
+                swap_adj[static_cast<std::size_t>(i + 1)]);
+      const StateId member =
+          arena_.intern(canon_->permute(*this, ref, swap_adj));
+      if (seen.insert(member).second) members.push_back(member);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  assert(members.size() == orbit_weight(x));
+  return members;
+}
+
+std::pair<std::uint64_t, std::uint64_t> LayeredModel::canonical_signature(
+    StateId x) {
+  return canon_->signature(*this, state(x));
 }
 
 }  // namespace lacon

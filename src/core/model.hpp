@@ -22,6 +22,7 @@
 
 #include "core/decision_rule.hpp"
 #include "core/state.hpp"
+#include "core/sym.hpp"
 #include "core/types.hpp"
 #include "core/view.hpp"
 #include "util/process_set.hpp"
@@ -151,6 +152,74 @@ class LayeredModel {
       std::vector<std::pair<StateId, std::vector<StateId>>> entries);
   // ------------------------------------------------------------------------
 
+  // --- Symmetry hooks (core/sym.hpp, DESIGN.md §15) -----------------------
+
+  // How this model's layering behaves under process relabeling. A model may
+  // declare kFull ONLY if (a) compute_layer commutes with every permutation
+  // π (π·S(x) = S(π·x) as sets) and (b) its decision rule is equivariant
+  // (decides from the *values* in a view, never from process indices — all
+  // shipped rules qualify). The quotient additionally requires the initial
+  // input assignments to be permutation-closed; that part is checked at
+  // runtime, so a kFull model constructed with asymmetric inputs silently
+  // degrades to the trivial quotient rather than producing wrong verdicts.
+  virtual sym::SymmetryClass symmetry() const {
+    return sym::SymmetryClass::kTrivial;
+  }
+
+  // Appends a comparison key of this state's environment as seen through
+  // relabeling `rel` — a function of the *relabeled* env content, never of
+  // raw ViewIds. The default copies the words verbatim, which is correct
+  // exactly when the environment is process-independent and id-free (empty
+  // envs, failure counters, ...). A model whose environment is indexed by
+  // process or embeds interned ViewIds MUST override this (and, if it also
+  // declares kFull, sym_permute_env below): snapshot registers and
+  // in-transit messages both do. Also used with the identity relabeling to
+  // form the id-free canonical_signature() that keys the lemma store, so
+  // id-bearing envs need the override even on kTrivial models.
+  virtual void sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                           std::vector<std::uint64_t>* out) const;
+
+  // The environment of π·s for the relabeling `rel`: every process index
+  // remapped through rel.new_of, every embedded view rewritten through
+  // rel.rewrite, re-canonicalized to the model's own env ordering. The
+  // default returns the words verbatim (valid for process-independent
+  // envs). Only called when the quotient is active, i.e. on kFull models.
+  virtual std::vector<std::int64_t> sym_permute_env(
+      const StateRef& s, sym::Relabeling& rel) const;
+
+  // True when states intern through the symmetry quotient: LACON_SYMMETRY
+  // resolves to on (or a sym::ScopedSymmetry forces it), symmetry() is
+  // kFull, the initial inputs are permutation-closed and n <= 15. Latched
+  // on first use, so one model never mixes quotiented and raw interning.
+  bool sym_quotient_active();
+
+  // |orbit(x)| — the number of distinct global states x stands for. 1
+  // whenever the quotient is inactive. Orbit-weighted sums over canonical
+  // representatives reproduce the unquotiented counts exactly (layer sizes,
+  // valence tallies); computed lazily so warm-started arenas pay only for
+  // states an analysis actually touches.
+  std::uint64_t orbit_weight(StateId x);
+
+  // All member states of x's orbit (x included), sorted by id, interned
+  // raw (bypassing canonicalization). Identity {x} when the quotient is
+  // inactive. Diameter/similarity queries unfold their frontier through
+  // this so connectivity verdicts match the unquotiented engine verbatim.
+  // Closure under adjacent transpositions, so the cost is
+  // O(orbit · n · rewrite) rather than n!.
+  std::vector<StateId> unfold_orbit(StateId x);
+
+  // Id-free 128-bit content signature of x: equal across runs, worker
+  // counts and warm restarts for equal content. Keys the cross-level lemma
+  // store (engine/lemma_store.hpp). Available for every symmetry class.
+  std::pair<std::uint64_t, std::uint64_t> canonical_signature(StateId x);
+
+  // The intern path explore/compute_layer use: folds s onto its orbit
+  // representative first whenever the quotient is active, and records the
+  // orbit weight for the interned id. Public so tests and orbit unfolding
+  // helpers can intern externally-built states through the same path.
+  StateId intern_canonical(GlobalState s);
+  // ------------------------------------------------------------------------
+
   // Canonical, id-free rendering of x's environment component. The default
   // prints the raw words — canonical only for models whose environment
   // holds plain scalars. Models whose environment embeds interned ViewIds
@@ -168,7 +237,13 @@ class LayeredModel {
   // Environment component of initial states; default: empty (constant env).
   virtual std::vector<std::int64_t> initial_env() const { return {}; }
 
-  StateId intern(GlobalState s) { return arena_.intern(std::move(s)); }
+  // Interns a successor state; routes through intern_canonical, so the
+  // symmetry quotient applies transparently to every model's compute_layer.
+  StateId intern(GlobalState s) { return intern_canonical(std::move(s)); }
+
+  // Raw arena interning, no canonicalization: orbit unfolding and tests
+  // that need non-canonical members in the arena.
+  StateId intern_raw(GlobalState s) { return arena_.intern(std::move(s)); }
 
   // Applies the decision rule to process i after it obtained `new_view`.
   // Respects the write-once semantics of d_i.
@@ -181,6 +256,11 @@ class LayeredModel {
     std::unordered_map<StateId, std::vector<StateId>> map;
   };
 
+  // True when every initial input assignment stays an initial input under
+  // any permutation of the processes (checked via adjacent transpositions,
+  // which generate S_n).
+  bool inputs_permutation_closed() const;
+
   int n_;
   const DecisionRule* rule_;
   std::vector<std::vector<Value>> initial_inputs_;
@@ -191,6 +271,13 @@ class LayeredModel {
   std::array<LayerShard, kLayerShards> layer_shards_;
   // Per-state fingerprint rows (n hashes each); nullptr until published.
   runtime::ConcurrentSlotVector<std::atomic<const std::uint64_t*>> fp_memo_;
+  // --- symmetry quotient (DESIGN.md §15) ---
+  std::unique_ptr<sym::Canonicalizer> canon_;
+  std::once_flag sym_once_;
+  bool sym_active_ = false;
+  // |orbit| per canonical state; 0 = not yet computed (slots value-init).
+  runtime::ConcurrentSlotVector<std::atomic<std::uint64_t>> orbit_weights_;
+  runtime::Counter* sym_folds_;
 };
 
 // All binary input assignments for n processes (the paper's Con_0 inputs).

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <tuple>
 
+#include "engine/lemma_store.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/trace.hpp"
@@ -33,8 +34,9 @@ ValenceInfo decided_valences(LayeredModel& model, StateId x) {
   return info;
 }
 
-ValenceEngine::ValenceEngine(LayeredModel& model, int horizon, Exactness mode)
-    : model_(model), horizon_(horizon), mode_(mode) {
+ValenceEngine::ValenceEngine(LayeredModel& model, int horizon, Exactness mode,
+                             LemmaStore* lemmas)
+    : model_(model), horizon_(horizon), mode_(mode), lemmas_(lemmas) {
   assert(horizon >= 0);
 }
 
@@ -74,6 +76,19 @@ ValenceInfo ValenceEngine::compute(Memo& memo, StateId x, int budget) {
     return info;
   }
 
+  // Lemma-store consultation sits exactly here — after the cheap immediate
+  // checks, before the subtree walk it can save. A hit is always an exact
+  // fact proven with lookahead <= budget, i.e. byte-identical to what the
+  // walk below would return (engine/lemma_store.hpp soundness contract).
+  LemmaStore::Signature sig{};
+  if (lemmas_ != nullptr) {
+    sig = model_.canonical_signature(x);
+    if (std::optional<ValenceInfo> hit = lemmas_->lookup(sig, budget)) {
+      memoize(memo, x, budget, *hit);
+      return *hit;
+    }
+  }
+
   info.exact = true;
   for (StateId y : model_.layer(x)) {
     const ValenceInfo sub = compute(memo, y, budget - 1);
@@ -86,6 +101,7 @@ ValenceInfo ValenceEngine::compute(Memo& memo, StateId x, int budget) {
     }
   }
   memoize(memo, x, budget, info);
+  if (lemmas_ != nullptr && info.exact) lemmas_->publish(sig, budget, info);
   return info;
 }
 

@@ -41,6 +41,8 @@
 
 namespace lacon {
 
+class LemmaStore;
+
 struct ValenceInfo {
   bool v0 = false;
   bool v1 = false;
@@ -64,8 +66,16 @@ class ValenceEngine {
   // valence. For a protocol whose decisions complete within r rounds, any
   // horizon >= r yields exact valences under kQuiescence in the synchronous
   // models.
+  //
+  // `lemmas` (optional, not owned, must outlive the engine) attaches a
+  // cross-level lemma store (engine/lemma_store.hpp): exact results are
+  // published under the state's canonical signature, and signature hits
+  // with sufficient lookahead short-circuit the subtree evaluation. One
+  // store may be shared by engines of different horizons over the same
+  // model/rule — exact facts are horizon-independent.
   ValenceEngine(LayeredModel& model, int horizon,
-                Exactness mode = Exactness::kQuiescence);
+                Exactness mode = Exactness::kQuiescence,
+                LemmaStore* lemmas = nullptr);
 
   ValenceInfo valence(StateId x);
 
@@ -101,6 +111,7 @@ class ValenceEngine {
   LayeredModel& model() noexcept { return model_; }
   int horizon() const noexcept { return horizon_; }
   Exactness mode() const noexcept { return mode_; }
+  LemmaStore* lemmas() const noexcept { return lemmas_; }
   std::size_t evaluations() const noexcept {
     return evaluations_.load(std::memory_order_relaxed);
   }
@@ -150,6 +161,7 @@ class ValenceEngine {
   LayeredModel& model_;
   int horizon_;
   Exactness mode_;
+  LemmaStore* lemmas_;
   Memo memo_;       // lookahead = horizon_
   Memo memo_deep_;  // lookahead = horizon_ + 1 (kConvergence only)
   std::atomic<std::size_t> evaluations_{0};

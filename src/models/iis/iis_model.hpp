@@ -33,6 +33,12 @@ class IisModel final : public LayeredModel {
 
   std::string name() const override { return "IIS"; }
 
+  // The ordered-partition action set is closed under relabeling and the
+  // environment is constant, so the full symmetric group quotients out.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kFull;
+  }
+
   // Applies one IIS round under the given ordered partition. Exposed for
   // the structural tests.
   StateId apply_partition(StateId x, const OrderedPartition& partition);

@@ -25,6 +25,13 @@ class MobileModel final : public LayeredModel {
 
   std::string name() const override { return "M^mf/S1"; }
 
+  // Deliberately kTrivial: S1 restricts loss sets to index prefixes [k],
+  // which relabeling does not preserve. (The full M^mf layer of
+  // full_layer() *is* symmetric, but the model's compute_layer is S1.)
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kTrivial;
+  }
+
   // x(j, [k]): the state after one synchronous round in which the messages
   // from j to processes 0..k-1 are lost. Public so tests can check the
   // paper's state identities (e.g. x(j,[0]) == x(j',[0])) directly.

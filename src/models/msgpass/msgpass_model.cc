@@ -1,6 +1,7 @@
 #include "models/msgpass/msgpass_model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "runtime/simd_dispatch.hpp"
@@ -223,6 +224,41 @@ std::string transit_env_to_string(const ViewArena& views, const StateRef& s) {
 
 std::string MsgPassModel::env_to_string(StateId x) const {
   return transit_env_to_string(views(), state(x));
+}
+
+void MsgPassModel::sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                               std::vector<std::uint64_t>* out) const {
+  // Key of the relabeled in-transit multiset: (sender', receiver', 128-bit
+  // payload key) tuples in sorted order — id-free, so equal relabeled
+  // multisets produce equal keys regardless of interning schedule.
+  std::vector<std::array<std::uint64_t, 3>> tuples;
+  tuples.reserve(s.env.size());
+  for (const std::int64_t m : s.env) {
+    const auto k = rel.rewrite_key(message_view(m));
+    const auto endpoints =
+        (static_cast<std::uint64_t>(rel.new_of(message_sender(m))) << 8) |
+        static_cast<std::uint64_t>(rel.new_of(message_receiver(m)));
+    tuples.push_back({endpoints, k.first, k.second});
+  }
+  std::sort(tuples.begin(), tuples.end());
+  for (const auto& t : tuples) {
+    out->push_back(t[0]);
+    out->push_back(t[1]);
+    out->push_back(t[2]);
+  }
+}
+
+std::vector<std::int64_t> MsgPassModel::sym_permute_env(
+    const StateRef& s, sym::Relabeling& rel) const {
+  std::vector<std::int64_t> transit;
+  transit.reserve(s.env.size());
+  for (const std::int64_t m : s.env) {
+    transit.push_back(pack_message(rel.new_of(message_sender(m)),
+                                   rel.new_of(message_receiver(m)),
+                                   rel.rewrite(message_view(m))));
+  }
+  std::sort(transit.begin(), transit.end());
+  return transit;
 }
 
 std::vector<StateId> MsgPassModel::compute_layer(StateId x) {

@@ -51,6 +51,20 @@ class MsgPassModel final : public LayeredModel {
 
   std::string name() const override { return "AsyncMP/S^per"; }
 
+  // The permutation layering's action set (full permutations, drop-one,
+  // adjacent concurrent pairs) is closed under relabeling, so the full
+  // symmetric group quotients out.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kFull;
+  }
+
+  // Relabeling remaps every in-transit message's sender/receiver, rewrites
+  // its payload view, and re-sorts the multiset into canonical order.
+  void sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                   std::vector<std::uint64_t>* out) const override;
+  std::vector<std::int64_t> sym_permute_env(
+      const StateRef& s, sym::Relabeling& rel) const override;
+
   // Applies one layer action given as a schedule of groups. Exposed so the
   // tests can verify the paper's diamond identity
   //   x[p1..pn][p1..p_{n-1}] == x[p1..p_{n-1}][pn p1..p_{n-1}]

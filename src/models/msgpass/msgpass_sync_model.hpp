@@ -33,6 +33,18 @@ class MsgPassSyncModel final : public LayeredModel {
 
   std::string name() const override { return "AsyncMP/S^sync"; }
 
+  // Deliberately kTrivial: the (j,k) actions split receivers by process
+  // *index* (who receives in R1 vs R2), so the layering is not closed under
+  // relabeling.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kTrivial;
+  }
+
+  // In-transit messages embed interned ViewIds, so the id-free canonical
+  // signature (lemma-store key) keys them structurally.
+  void sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                   std::vector<std::uint64_t>* out) const override;
+
   // x(j, k) and x(j, A), as above. Exposed for the structural tests.
   StateId apply_timed(StateId x, ProcessId j, int k);
   StateId apply_absent(StateId x, ProcessId j);

@@ -33,6 +33,19 @@ class SharedMemModel final : public LayeredModel {
 
   std::string name() const override { return "M^rw/S^rw"; }
 
+  // Deliberately kTrivial: the (j,k) actions split readers by process
+  // *index* ("proper processes with index < k read in R1"), so the layering
+  // is not closed under relabeling — a quotient would merge states whose
+  // futures differ.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kTrivial;
+  }
+
+  // Registers hold interned ViewIds, so the id-free canonical signature
+  // (lemma-store key) must key them structurally even without a quotient.
+  void sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                   std::vector<std::uint64_t>* out) const override;
+
   // x(j, k): see above. k in [0, n].
   StateId apply_timed(StateId x, ProcessId j, int k);
 

@@ -71,6 +71,36 @@ std::string SnapshotModel::env_to_string(StateId x) const {
   return out;
 }
 
+void SnapshotModel::sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                                std::vector<std::uint64_t>* out) const {
+  // Relabeled register file: position p holds old register old_at(p), with
+  // its view keyed structurally (id-free). kNoView keys as a sentinel pair.
+  for (std::size_t p = 0; p < s.env.size(); ++p) {
+    const std::int64_t w = s.env[static_cast<std::size_t>(rel.old_at(p))];
+    if (w == kNoView) {
+      out->push_back(0x756e777269747465ULL);  // "unwritte[n]"
+      out->push_back(0x6e6f76696577ULL);      // "noview"
+    } else {
+      const auto k = rel.rewrite_key(static_cast<ViewId>(w));
+      out->push_back(k.first);
+      out->push_back(k.second);
+    }
+  }
+}
+
+std::vector<std::int64_t> SnapshotModel::sym_permute_env(
+    const StateRef& s, sym::Relabeling& rel) const {
+  std::vector<std::int64_t> env(s.env.size());
+  for (std::size_t p = 0; p < s.env.size(); ++p) {
+    const std::int64_t w = s.env[static_cast<std::size_t>(rel.old_at(p))];
+    env[p] =
+        w == kNoView
+            ? static_cast<std::int64_t>(kNoView)
+            : static_cast<std::int64_t>(rel.rewrite(static_cast<ViewId>(w)));
+  }
+  return env;
+}
+
 std::vector<StateId> SnapshotModel::compute_layer(StateId x) {
   std::vector<StateId> succ;
   // Full participation ...

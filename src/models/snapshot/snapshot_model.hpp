@@ -29,6 +29,19 @@ class SnapshotModel final : public LayeredModel {
 
   std::string name() const override { return "M^snap/IS"; }
 
+  // Participant sets (everyone / everyone-but-one) and ordered partitions
+  // are closed under relabeling, so the full symmetric group quotients out.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kFull;
+  }
+
+  // Register p belongs to process p: relabeling permutes the register file
+  // and rewrites the interned views it holds.
+  void sym_env_key(const StateRef& s, sym::Relabeling& rel,
+                   std::vector<std::uint64_t>* out) const override;
+  std::vector<std::int64_t> sym_permute_env(
+      const StateRef& s, sym::Relabeling& rel) const override;
+
   // Applies one immediate-snapshot round in which exactly the processes in
   // the partition participate (others keep their state and register).
   StateId apply_partition(StateId x, const OrderedPartition& partition);

@@ -61,6 +61,12 @@ class SyncModel final : public LayeredModel {
   int t() const noexcept { return t_; }
   int max_faulty() const override { return t_; }
 
+  // Deliberately kTrivial: S^t loses message *prefixes* [k], an
+  // index-dependent action set that relabeling does not preserve.
+  sym::SymmetryClass symmetry() const override {
+    return sym::SymmetryClass::kTrivial;
+  }
+
   ProcessSet failed_at(StateId x) const override;
 
   // One synchronous round from x in which, additionally to the silencing of

@@ -28,6 +28,8 @@ constexpr Kernels kScalarTable = {
     &scalar::bitset_andnot,
     &scalar::bitset_popcount,
     &scalar::bitset_find_first,
+    &scalar::hash_words,
+    &scalar::hash_lanes,
     &scalar::frontier_advance,
 };
 
@@ -282,6 +284,77 @@ std::size_t bitset_find_first_avx2(const std::uint64_t* w,
   return kNpos;
 }
 
+// Shared tail of hash_words/hash_lanes: reduce the four vector accumulator
+// lanes, finish the scalar remainder, fold in the length. The per-position
+// mixes feed a wrapping sum, so lane order inside the reduction is free —
+// the result equals the scalar left-to-right fold exactly.
+LACON_TARGET_AVX2
+inline std::uint64_t hash_reduce_avx2(__m256i acc, std::uint64_t partial,
+                                      std::size_t n,
+                                      std::uint64_t seed) noexcept {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  partial += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  return hash_combine(hash_combine(seed, n), partial);
+}
+
+LACON_TARGET_AVX2
+std::uint64_t hash_words_avx2(const std::int64_t* w, std::size_t n,
+                              std::uint64_t seed) noexcept {
+  // Position keys seed + (i+1)*phi for four consecutive i per vector; the
+  // key vector strides by 4*phi (mod 2^64, matching the scalar wrap).
+  __m256i key = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(seed)),
+      _mm256_setr_epi64x(static_cast<long long>(1 * kHashPhi),
+                         static_cast<long long>(2 * kHashPhi),
+                         static_cast<long long>(3 * kHashPhi),
+                         static_cast<long long>(4 * kHashPhi)));
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * kHashPhi));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    acc = _mm256_add_epi64(acc, mix64_avx2(_mm256_xor_si256(v, key)));
+    key = _mm256_add_epi64(key, step);
+  }
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) {
+    tail += mix64(static_cast<std::uint64_t>(w[i]) ^
+                  (seed + (static_cast<std::uint64_t>(i) + 1) * kHashPhi));
+  }
+  return hash_reduce_avx2(acc, tail, n, seed);
+}
+
+LACON_TARGET_AVX2
+std::uint64_t hash_lanes_avx2(const std::int32_t* v, std::size_t n,
+                              std::uint64_t seed) noexcept {
+  __m256i key = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(seed)),
+      _mm256_setr_epi64x(static_cast<long long>(1 * kHashPhi),
+                         static_cast<long long>(2 * kHashPhi),
+                         static_cast<long long>(3 * kHashPhi),
+                         static_cast<long long>(4 * kHashPhi)));
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * kHashPhi));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Sign-extend four 32-bit lanes to 64 bits — the scalar cast chain
+    // int32 -> int64 -> uint64.
+    const __m256i wide = _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)));
+    acc = _mm256_add_epi64(acc, mix64_avx2(_mm256_xor_si256(wide, key)));
+    key = _mm256_add_epi64(key, step);
+  }
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) {
+    tail +=
+        mix64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v[i])) ^
+              (seed + (static_cast<std::uint64_t>(i) + 1) * kHashPhi));
+  }
+  return hash_reduce_avx2(acc, tail, n, seed);
+}
+
 LACON_TARGET_AVX2
 std::size_t frontier_advance_avx2(std::uint64_t* next, std::uint64_t* visited,
                                   std::size_t nwords,
@@ -338,6 +411,8 @@ const Kernels kAvx2Table = {
     &bitset_andnot_avx2,
     &bitset_popcount_avx2,
     &bitset_find_first_avx2,
+    &hash_words_avx2,
+    &hash_lanes_avx2,
     &frontier_advance_avx2,
 };
 
@@ -500,6 +575,10 @@ const Kernels kNeonTable = {
     &bitset_andnot_neon,
     &bitset_popcount_neon,
     &bitset_find_first_neon,
+    // The position-keyed hashes hit the same emulated-multiply wall as the
+    // fingerprint kernel on NEON, so they stay scalar here too.
+    &scalar::hash_words,
+    &scalar::hash_lanes,
     &frontier_advance_neon,
 };
 

@@ -1,12 +1,15 @@
 #include "service/protocol.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <new>
 #include <utility>
+#include <vector>
 
 #include "engine/explore.hpp"
+#include "engine/lemma_store.hpp"
 #include "engine/valence.hpp"
 #include "relation/similarity.hpp"
 #include "runtime/guard.hpp"
@@ -62,6 +65,34 @@ bool get_int(const Json& doc, const char* key, int fallback, int lo, int hi,
   }
   *out = static_cast<int>(d);
   return true;
+}
+
+// Quotiented sessions (LACON_SYMMETRY=on, core/sym.hpp) intern one orbit
+// representative per process-permutation class, so raw counts over the
+// arena undercount the full space. Responses stay mode-independent by
+// weighting every representative by |orbit| — a sum that reproduces the
+// unquotiented count exactly — and by unfolding path-query frontiers to
+// whole orbits. orbit_weight/unfold_orbit are identity when the quotient
+// is off, so the same code serves both modes.
+std::uint64_t orbit_sum(LayeredModel& model, const std::vector<StateId>& X,
+                        std::size_t count) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count && i < X.size(); ++i) {
+    total += model.orbit_weight(X[i]);
+  }
+  return total;
+}
+
+std::vector<StateId> unfold_frontier(LayeredModel& model,
+                                     const std::vector<StateId>& frontier) {
+  if (!model.sym_quotient_active()) return frontier;
+  std::vector<StateId> full;
+  for (StateId x : frontier) {
+    for (StateId y : model.unfold_orbit(x)) full.push_back(y);
+  }
+  std::sort(full.begin(), full.end());
+  full.erase(std::unique(full.begin(), full.end()), full.end());
+  return full;
 }
 
 }  // namespace
@@ -125,7 +156,8 @@ Session::Session(ModelKind kind, int n, int t)
       // about something: t+1 rounds solve consensus in Sync/S^t; round 2 is
       // the convention the bench harnesses use for the other three models.
       rule_(min_after_round(kind == ModelKind::kSync ? t + 1 : 2)),
-      model_(make_model(kind, n, t, *rule_)) {}
+      model_(make_model(kind, n, t, *rule_)),
+      lemmas_(std::make_unique<LemmaStore>()) {}
 
 Session::~Session() = default;
 
@@ -134,8 +166,10 @@ ValenceEngine& Session::engine(int horizon) {
   auto it = engines_.find(horizon);
   if (it == engines_.end()) {
     it = engines_
-             .emplace(horizon, std::make_unique<ValenceEngine>(
-                                   *model_, horizon, default_exactness(kind_)))
+             .emplace(horizon,
+                      std::make_unique<ValenceEngine>(
+                          *model_, horizon, default_exactness(kind_),
+                          lemmas_.get()))
              .first;
   }
   last_engine_ = it->second.get();
@@ -153,7 +187,7 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
   // (and the compaction target), so it loads even when LACON_STORE itself
   // is off.
   const std::string path = store::snapshot_path(*model_);
-  const store::Result r = store::load(*model_, path, eng);
+  const store::Result r = store::load(*model_, path, eng, lemmas_.get());
   if (r.ok()) {
     store::SnapshotMeta meta;
     if (store::probe(path, &meta).ok()) snapshot_bytes_ = meta.file_bytes;
@@ -170,7 +204,7 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
   store::Result w = wal_->open(*model_, wpath);
   if (w.ok()) {
     store::WalReplayStats rs;
-    w = wal_->replay(*model_, eng, &rs);
+    w = wal_->replay(*model_, eng, lemmas_.get(), &rs);
     if (w.ok() && rs.truncated_bytes > 0) {
       std::fprintf(stderr,
                    "laconrd: wal %s: truncated %llu torn tail bytes, "
@@ -190,7 +224,7 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
                  store::to_string(w.status), w.detail.c_str(), wpath.c_str());
     wal_->close();
     std::rename(wpath.c_str(), (wpath + ".bad").c_str());
-    const store::Result s = store::save(*model_, path, eng);
+    const store::Result s = store::save(*model_, path, eng, lemmas_.get());
     if (s.ok()) {
       store::SnapshotMeta meta;
       if (store::probe(path, &meta).ok()) snapshot_bytes_ = meta.file_bytes;
@@ -199,7 +233,7 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
                    store::to_string(s.status), s.detail.c_str());
     }
     store::Result reopened = wal_->open(*model_, wpath);
-    if (reopened.ok()) reopened = wal_->replay(*model_, eng, nullptr);
+    if (reopened.ok()) reopened = wal_->replay(*model_, eng, lemmas_.get());
     if (!reopened.ok()) {
       std::fprintf(stderr, "laconrd: wal disabled for this session (%s): %s\n",
                    store::to_string(reopened.status),
@@ -212,7 +246,7 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
 void Session::commit_wal(ValenceEngine* eng) {
   std::lock_guard<std::mutex> lock(store_mu_);
   if (wal_ == nullptr) return;
-  const store::Result r = wal_->append(*model_, eng);
+  const store::Result r = wal_->append(*model_, eng, lemmas_.get());
   if (!r.ok()) {
     std::fprintf(stderr, "laconrd: wal append failed (%s): %s\n",
                  store::to_string(r.status), r.detail.c_str());
@@ -226,7 +260,7 @@ void Session::commit_wal(ValenceEngine* eng) {
   // written (probe), not the live model — interning may have raced the
   // save.
   const std::string path = store::snapshot_path(*model_);
-  const store::Result s = store::save(*model_, path, eng);
+  const store::Result s = store::save(*model_, path, eng, lemmas_.get());
   if (!s.ok()) {
     std::fprintf(stderr, "laconrd: compaction snapshot failed (%s): %s\n",
                  store::to_string(s.status), s.detail.c_str());
@@ -235,8 +269,8 @@ void Session::commit_wal(ValenceEngine* eng) {
   store::SnapshotMeta meta;
   if (!store::probe(path, &meta).ok()) return;
   snapshot_bytes_ = meta.file_bytes;
-  const store::Result t =
-      wal_->reset_to(*model_, meta.num_views, meta.num_states, eng);
+  const store::Result t = wal_->reset_to(*model_, meta.num_views,
+                                         meta.num_states, eng, lemmas_.get());
   if (!t.ok()) {
     std::fprintf(stderr, "laconrd: wal reset failed (%s): %s\n",
                  store::to_string(t.status), t.detail.c_str());
@@ -251,7 +285,7 @@ bool Session::store_save() {
     eng = last_engine_;
   }
   const std::string path = store::snapshot_path(*model_);
-  const store::Result r = store::save(*model_, path, eng);
+  const store::Result r = store::save(*model_, path, eng, lemmas_.get());
   if (!r.ok()) {
     std::fprintf(stderr, "laconrd: snapshot save failed (%s): %s\n",
                  store::to_string(r.status), r.detail.c_str());
@@ -265,7 +299,8 @@ bool Session::store_save() {
     store::SnapshotMeta meta;
     if (store::probe(path, &meta).ok()) {
       snapshot_bytes_ = meta.file_bytes;
-      wal_->reset_to(*model_, meta.num_views, meta.num_states, eng);
+      wal_->reset_to(*model_, meta.num_views, meta.num_states, eng,
+                     lemmas_.get());
     }
   }
   return true;
@@ -322,10 +357,11 @@ Json handle_request(SessionManager& sessions, const Request& req) {
 
     if (req.query == "layers") {
       Json sizes{Json::Array{}};
-      std::size_t total = 0;
+      std::uint64_t total = 0;
       for (const auto& level : levels.value) {
-        sizes.array().push_back(Json(level.size()));
-        total += level.size();
+        const std::uint64_t weighted = orbit_sum(model, level, level.size());
+        sizes.array().push_back(Json(weighted));
+        total += weighted;
       }
       result.set("depth_completed", Json(levels.completed));
       result.set("level_sizes", std::move(sizes));
@@ -333,31 +369,38 @@ Json handle_request(SessionManager& sessions, const Request& req) {
     } else if (req.query == "valence") {
       auto infos = engine.classify_all(frontier, g);
       if (reason == guard::TruncationReason::kNone) reason = infos.truncation;
-      std::size_t bivalent = 0, uni0 = 0, uni1 = 0, exact = 0;
-      for (const ValenceInfo& v : infos.value) {
-        if (v.bivalent()) ++bivalent;
-        if (v.univalent() && v.value() == 0) ++uni0;
-        if (v.univalent() && v.value() == 1) ++uni1;
-        if (v.exact) ++exact;
+      // Valence is permutation-invariant (a symmetric rule decides the same
+      // values along π·run as along run), so one representative's verdict
+      // counts for its whole orbit.
+      std::uint64_t bivalent = 0, uni0 = 0, uni1 = 0, exact = 0;
+      for (std::size_t i = 0; i < infos.value.size(); ++i) {
+        const ValenceInfo& v = infos.value[i];
+        const std::uint64_t w = model.orbit_weight(frontier[i]);
+        if (v.bivalent()) bivalent += w;
+        if (v.univalent() && v.value() == 0) uni0 += w;
+        if (v.univalent() && v.value() == 1) uni1 += w;
+        if (v.exact) exact += w;
       }
-      result.set("frontier", Json(frontier.size()));
-      result.set("classified", Json(infos.completed));
+      result.set("frontier", Json(orbit_sum(model, frontier, frontier.size())));
+      result.set("classified", Json(orbit_sum(model, frontier, infos.completed)));
       result.set("bivalent", Json(bivalent));
       result.set("univalent0", Json(uni0));
       result.set("univalent1", Json(uni1));
       result.set("exact", Json(exact));
     } else if (req.query == "diameter") {
-      auto d = s_diameter(model, frontier, g);
+      const std::vector<StateId> full = unfold_frontier(model, frontier);
+      auto d = s_diameter(model, full, g);
       if (reason == guard::TruncationReason::kNone) reason = d.truncation;
-      result.set("frontier", Json(frontier.size()));
+      result.set("frontier", Json(full.size()));
       result.set("sources_completed", Json(d.completed));
       result.set("diameter",
                  d.value.has_value() ? Json(*d.value) : Json(nullptr));
       result.set("connected", Json(d.value.has_value()));
     } else {  // similarity
-      auto graph = similarity_graph(model, frontier, g);
+      const std::vector<StateId> full = unfold_frontier(model, frontier);
+      auto graph = similarity_graph(model, full, g);
       if (reason == guard::TruncationReason::kNone) reason = graph.truncation;
-      result.set("frontier", Json(frontier.size()));
+      result.set("frontier", Json(full.size()));
       result.set("edges", Json(graph.value.edge_count()));
       if (graph.complete()) {
         result.set("connected", Json(graph.value.connected()));
@@ -398,6 +441,10 @@ Json handle_request(SessionManager& sessions, const Request& req) {
   metrics.set("views", Json(model.num_views()));
   metrics.set("new_states", Json(model.num_states() - states_before));
   metrics.set("new_views", Json(model.num_views() - views_before));
+  // Raw arena counts are mode-dependent (a quotiented arena holds one
+  // representative per orbit); stamping the mode here keeps them
+  // interpretable. The "result" object above is mode-independent.
+  metrics.set("symmetry", Json(model.sym_quotient_active()));
   resp.set("metrics", std::move(metrics));
   if (req.include_metrics) {
     // The same lacon.metrics.v1 document the bench harnesses emit.

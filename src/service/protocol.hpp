@@ -44,6 +44,10 @@
 #include "analysis/reports.hpp"
 #include "service/json.hpp"
 
+namespace lacon {
+class LemmaStore;
+}  // namespace lacon
+
 namespace lacon::store {
 class Wal;
 }  // namespace lacon::store
@@ -79,8 +83,15 @@ class Session {
   int t() const noexcept { return t_; }
 
   // The engine for a given lookahead (created on first use; the memo is
-  // shared by every request at that horizon).
+  // shared by every request at that horizon). Every engine shares the
+  // session's lemma store, so an exact univalence fact proven at one
+  // horizon short-circuits the subtree walk at every other.
   ValenceEngine& engine(int horizon);
+
+  // The session-wide store of proven univalence facts, keyed by canonical
+  // state signature (engine/lemma_store.hpp). Persisted in snapshots and
+  // WAL records alongside the memo.
+  LemmaStore& lemmas() noexcept { return *lemmas_; }
 
   // First-request hook: when LACON_STORE asks for a load (or LACON_WAL is
   // on) and a snapshot for this instance exists, replays it into the (still
@@ -111,6 +122,7 @@ class Session {
   int t_;
   std::unique_ptr<DecisionRule> rule_;
   std::unique_ptr<LayeredModel> model_;
+  std::unique_ptr<LemmaStore> lemmas_;
   std::mutex engines_mu_;
   std::map<int, std::unique_ptr<ValenceEngine>> engines_;
   ValenceEngine* last_engine_ = nullptr;

@@ -25,6 +25,7 @@
 
 #include "core/state.hpp"
 #include "core/view.hpp"
+#include "engine/lemma_store.hpp"
 #include "engine/valence.hpp"
 
 namespace lacon::store::codec {
@@ -200,6 +201,33 @@ inline bool decode_memo_entry(Reader& r, ValenceEngine::MemoEntry* e) {
   e->v1 = (flags & kMemoV1) != 0;
   e->exact = (flags & kMemoExact) != 0;
   e->deep = (flags & kMemoDeep) != 0;
+  return true;
+}
+
+// --- Lemma fact (24 bytes: 128-bit canonical signature + proof metadata) ----
+
+inline constexpr std::uint32_t kLemmaV0 = 1u << 0;
+inline constexpr std::uint32_t kLemmaV1 = 1u << 1;
+inline constexpr std::size_t kLemmaEntryBytes = 24;
+
+inline void encode_lemma_entry(Writer& w, const LemmaStore::Fact& f) {
+  w.u64(f.sig_hi);
+  w.u64(f.sig_lo);
+  w.i32(f.lookahead);
+  std::uint32_t flags = 0;
+  if (f.v0) flags |= kLemmaV0;
+  if (f.v1) flags |= kLemmaV1;
+  w.u32(flags);
+}
+
+inline bool decode_lemma_entry(Reader& r, LemmaStore::Fact* f) {
+  std::uint32_t flags = 0;
+  if (!r.u64(&f->sig_hi) || !r.u64(&f->sig_lo) || !r.i32(&f->lookahead) ||
+      !r.u32(&flags) || f->lookahead < 0 || (flags & ~(kLemmaV0 | kLemmaV1))) {
+    return false;
+  }
+  f->v0 = (flags & kLemmaV0) != 0;
+  f->v1 = (flags & kLemmaV1) != 0;
   return true;
 }
 

@@ -52,7 +52,7 @@ struct Header {
   std::uint32_t digest_shards = 0;
   std::uint32_t name_len = 0;
   std::uint32_t section_count = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t symmetry = 0;  // effective quotient mode at save time (0|1)
   std::uint64_t num_views = 0;
   std::uint64_t num_states = 0;
   std::string name;
@@ -139,6 +139,12 @@ Writer encode_memo(ValenceEngine& engine,
   return w;
 }
 
+Writer encode_lemmas(const std::vector<LemmaStore::Fact>& facts) {
+  Writer w;
+  for (const LemmaStore::Fact& f : facts) codec::encode_lemma_entry(w, f);
+  return w;
+}
+
 Writer encode_fingerprints(const LayeredModel& model, std::uint64_t count,
                            std::uint64_t* rows) {
   Writer w;
@@ -166,7 +172,7 @@ Writer encode_header(const Header& h) {
   w.u32(h.digest_shards);
   w.u32(h.name_len);
   w.u32(h.section_count);
-  w.u32(h.reserved);
+  w.u32(h.symmetry);
   w.u64(h.num_views);
   w.u64(h.num_states);
   w.raw(h.name.data(), h.name.size());
@@ -221,9 +227,12 @@ Result parse_header(const std::vector<std::uint8_t>& bytes,
   bool ok = r.u32(&h->n) && r.u32(&h->max_faulty) && r.u32(&h->lane_bits) &&
             r.u32(&h->word_bytes) && r.u32(&h->digest_shards) &&
             r.u32(&h->name_len) && r.u32(&h->section_count) &&
-            r.u32(&h->reserved) && r.u64(&h->num_views) &&
+            r.u32(&h->symmetry) && r.u64(&h->num_views) &&
             r.u64(&h->num_states);
   if (!ok) return fail(Status::kCorrupt, path + ": header body too short");
+  if (h->symmetry > 1) {
+    return fail(Status::kCorrupt, path + ": unknown symmetry mode");
+  }
   if (h->name_len > header_bytes) {
     return fail(Status::kCorrupt, path + ": absurd model-name length");
   }
@@ -348,12 +357,14 @@ const char* to_string(Status status) noexcept {
       return "model-mismatch";
     case Status::kNotEmpty:
       return "not-empty";
+    case Status::kSymmetryMismatch:
+      return "symmetry-mismatch";
   }
   return "?";
 }
 
 Result save(LayeredModel& model, const std::string& path,
-            ValenceEngine* engine) {
+            ValenceEngine* engine, LemmaStore* lemmas) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("store.save_time"));
   LACON_TRACE_PHASE("store", "save", model.num_states());
@@ -374,6 +385,7 @@ Result save(LayeredModel& model, const std::string& path,
   h.digest_shards = digest_shards;
   h.name = model.name();
   h.name_len = static_cast<std::uint32_t>(h.name.size());
+  h.symmetry = model.sym_quotient_active() ? 1 : 0;
   h.num_views = num_views;
   h.num_states = num_states;
 
@@ -429,6 +441,14 @@ Result save(LayeredModel& model, const std::string& path,
       encode_fingerprints(model, num_states, &fingerprint_rows);
   append_section(payload, table, SectionKind::kFingerprints, fingerprint_rows,
                  std::move(fingerprints));
+  if (lemmas != nullptr) {
+    // Lemma facts are keyed by id-free canonical signatures, so unlike the
+    // memo they need no horizon filtering: every fact is valid in any future
+    // session of the same model identity.
+    const std::vector<LemmaStore::Fact> facts = lemmas->export_facts();
+    append_section(payload, table, SectionKind::kLemmas, facts.size(),
+                   encode_lemmas(facts));
+  }
 
   // Two passes over the header: encode once with payload-relative offsets to
   // learn its size, then rebase the offsets to absolute and re-encode.
@@ -478,12 +498,16 @@ Result probe(const std::string& path, SnapshotMeta* meta) {
     if (const auto* e = find_section(h, SectionKind::kFingerprints)) {
       meta->fingerprint_rows = e->count;
     }
+    if (const auto* e = find_section(h, SectionKind::kLemmas)) {
+      meta->lemma_entries = e->count;
+    }
+    meta->symmetry = h.symmetry == 1;
   }
   return {};
 }
 
 Result load(LayeredModel& model, const std::string& path,
-            ValenceEngine* engine) {
+            ValenceEngine* engine, LemmaStore* lemmas) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("store.load_time"));
 
@@ -502,6 +526,15 @@ Result load(LayeredModel& model, const std::string& path,
                     ", target is " + model.name() + " n=" +
                     std::to_string(model.n()) + " t=" +
                     std::to_string(model.max_faulty()));
+  }
+  const std::uint32_t want_symmetry = model.sym_quotient_active() ? 1 : 0;
+  if (h.symmetry != want_symmetry) {
+    return fail(Status::kSymmetryMismatch,
+                path + ": snapshot saved with the orbit quotient " +
+                    (h.symmetry != 0 ? "on" : "off") +
+                    ", target model runs it " +
+                    (want_symmetry != 0 ? "on" : "off") +
+                    " (LACON_SYMMETRY)");
   }
   if (model.num_states() != 0 || model.num_views() != 0) {
     return fail(Status::kNotEmpty,
@@ -697,6 +730,34 @@ Result load(LayeredModel& model, const std::string& path,
         model.restore_fingerprint_row(x, row.data());
       }
       stats.counter("store.fingerprints_loaded").add(e->count);
+    }
+
+    // --- Lemma facts. -------------------------------------------------------
+    if (const SectionEntry* e = find_section(h, SectionKind::kLemmas)) {
+      Reader r(bytes.data() + e->offset, e->bytes);
+      if (e->bytes != e->count * codec::kLemmaEntryBytes) {
+        return fail(Status::kCorrupt,
+                    path + ": lemma section size disagrees with its count");
+      }
+      std::vector<LemmaStore::Fact> facts;
+      if (lemmas != nullptr) {
+        facts.reserve(static_cast<std::size_t>(e->count));
+      }
+      for (std::uint64_t i = 0; i < e->count; ++i) {
+        LemmaStore::Fact f;
+        if (!codec::decode_lemma_entry(r, &f)) {
+          return fail(Status::kCorrupt,
+                      path + ": lemma entry " + std::to_string(i) +
+                          " malformed");
+        }
+        if (lemmas != nullptr) facts.push_back(f);
+      }
+      if (lemmas != nullptr) {
+        lemmas->import_facts(facts);
+        stats.counter("store.lemmas_loaded").add(e->count);
+      } else {
+        stats.counter("store.lemmas_skipped").add(e->count);
+      }
     }
   } catch (const std::bad_alloc&) {
     // Covers fault::InjectedAllocError (the arenas' restore path probes the

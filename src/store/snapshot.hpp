@@ -14,11 +14,20 @@
 //   prelude   magic "LACONST1" | u32 version=1 | u32 header_bytes
 //             | u64 header_checksum (FNV-1a 64 over the header body)
 //   header    u32 n, max_faulty, lane_bits=32, word_bytes=8,
-//             digest_shards, name_len, section_count, reserved
+//             digest_shards, name_len, section_count, symmetry
 //             | u64 num_views, num_states | name bytes (zero-padded to 8)
 //             | section table: {u32 kind, u32 reserved,
 //                               u64 offset, bytes, count, checksum} ...
 //   sections  each FNV-1a-checksummed; kinds in SectionKind below.
+//
+// The `symmetry` header word records the model's effective quotient mode at
+// save time (0 = full space, 1 = LACON_SYMMETRY orbit quotient,
+// core/sym.hpp): a quotiented snapshot stores only orbit representatives
+// and layer caches over them, so replaying it into a full-space model (or
+// vice versa) would silently corrupt every analysis. Mode-mismatched loads
+// are rejected with kSymmetryMismatch. The word reuses what v1 wrote as an
+// always-zero reserved field, so pre-symmetry snapshots load exactly when
+// the quotient is off — which is the mode they were saved under.
 //
 // The layout is mmap-friendly — fixed prelude, absolute section offsets,
 // aligned payloads — though the current loader simply reads the file.
@@ -34,6 +43,7 @@
 
 namespace lacon {
 class LayeredModel;
+class LemmaStore;
 class ValenceEngine;
 }  // namespace lacon
 
@@ -50,6 +60,7 @@ enum class SectionKind : std::uint32_t {
   kLayerCache = 5,        // (state, successor-list) entries
   kValenceMemo = 6,       // ValenceEngine memo entries (+ horizon, mode)
   kFingerprints = 7,      // published erase-one fingerprint rows
+  kLemmas = 8,            // LemmaStore facts (canonical-signature keyed)
 };
 
 enum class Status : std::uint8_t {
@@ -61,6 +72,7 @@ enum class Status : std::uint8_t {
   kCorrupt,         // checksum, digest or internal-consistency failure
   kModelMismatch,   // snapshot identity != target model identity
   kNotEmpty,        // load target has already interned content
+  kSymmetryMismatch,  // file's quotient mode != target model's (LACON_SYMMETRY)
 };
 
 const char* to_string(Status status) noexcept;
@@ -83,7 +95,9 @@ struct SnapshotMeta {
   std::uint64_t layer_entries = 0;
   std::uint64_t memo_entries = 0;
   std::uint64_t fingerprint_rows = 0;
+  std::uint64_t lemma_entries = 0;
   std::uint64_t file_bytes = 0;
+  bool symmetry = false;  // saved under the orbit quotient
 };
 
 // Serializes the model's interned space (and `engine`'s memo, when given) to
@@ -92,7 +106,7 @@ struct SnapshotMeta {
 // flight); the save side only takes the same shard locks export_layer_cache
 // and export_memo do.
 Result save(LayeredModel& model, const std::string& path,
-            ValenceEngine* engine = nullptr);
+            ValenceEngine* engine = nullptr, LemmaStore* lemmas = nullptr);
 
 // Replays `path` into `model`, which must be freshly constructed (same
 // name/n/max_faulty as at save time, nothing interned yet — call load
@@ -101,7 +115,7 @@ Result save(LayeredModel& model, const std::string& path,
 // otherwise the memo section is skipped. On any non-kOk result the model
 // may hold a partial replay and should be discarded.
 Result load(LayeredModel& model, const std::string& path,
-            ValenceEngine* engine = nullptr);
+            ValenceEngine* engine = nullptr, LemmaStore* lemmas = nullptr);
 
 // Validates the prelude + header of `path` and fills `meta` (may be null).
 // Does not checksum section payloads.

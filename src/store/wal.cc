@@ -49,6 +49,13 @@ std::uint64_t memo_key(const ValenceEngine::MemoEntry& e) noexcept {
          (static_cast<std::uint64_t>(e.lookahead & 0xFFFFFF) << 8) | flags;
 }
 
+// (sig, lookahead) key for the persisted-lemma set: a fact min-merged to a
+// cheaper proof re-appends, and the store's publish keeps the minimum.
+std::tuple<std::uint64_t, std::uint64_t, std::int32_t> lemma_key(
+    const LemmaStore::Fact& f) noexcept {
+  return {f.sig_hi, f.sig_lo, f.lookahead};
+}
+
 Result fsync_parent_dir(const std::string& path) {
   const auto parent = std::filesystem::path(path).parent_path();
   const std::string dir = parent.empty() ? "." : parent.string();
@@ -93,6 +100,7 @@ struct DecodedRecord {
   std::uint32_t memo_mode = 0;
   std::vector<ValenceEngine::MemoEntry> memo;
   std::vector<std::pair<StateId, std::vector<std::uint64_t>>> fingerprints;
+  std::vector<LemmaStore::Fact> lemmas;
 };
 
 // Decodes and semantically validates one record body. Returns false on any
@@ -176,7 +184,21 @@ bool decode_record(const std::uint8_t* body, std::size_t bytes, int n,
     }
   }
 
-  // Anything after the fingerprints is zero padding to the 8-byte boundary.
+  // Lemma block — absent in pre-lemma records, whose bodies end here with
+  // only zero padding (< 8 bytes) remaining.
+  if (r.remaining() >= 8) {
+    std::uint64_t lemma_count = 0;
+    if (!r.u64(&lemma_count) ||
+        lemma_count > r.remaining() / codec::kLemmaEntryBytes) {
+      return false;
+    }
+    rec->lemmas.resize(static_cast<std::size_t>(lemma_count));
+    for (LemmaStore::Fact& f : rec->lemmas) {
+      if (!codec::decode_lemma_entry(r, &f)) return false;
+    }
+  }
+
+  // Anything left is zero padding to the 8-byte boundary.
   return r.remaining() < 8;
 }
 
@@ -218,9 +240,10 @@ Result Wal::write_and_sync(const std::uint8_t* data, std::size_t bytes,
   return {};
 }
 
-Result Wal::open(const LayeredModel& model, const std::string& path) {
+Result Wal::open(LayeredModel& model, const std::string& path) {
   close();
   path_ = path;
+  const std::uint32_t want_symmetry = model.sym_quotient_active() ? 1 : 0;
 
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
@@ -247,7 +270,7 @@ Result Wal::open(const LayeredModel& model, const std::string& path) {
     body.u32(static_cast<std::uint32_t>(model.max_faulty()));
     const std::string name = model.name();
     body.u32(static_cast<std::uint32_t>(name.size()));
-    body.u32(0);
+    body.u32(want_symmetry);
     body.raw(name.data(), name.size());
     body.pad_to_8();
 
@@ -315,9 +338,9 @@ Result Wal::open(const LayeredModel& model, const std::string& path) {
     return fail(Status::kCorrupt, path + ": header checksum mismatch");
   }
   Reader r(header.data(), header.size());
-  std::uint32_t n = 0, max_faulty = 0, name_len = 0, reserved = 0;
+  std::uint32_t n = 0, max_faulty = 0, name_len = 0, symmetry = 0;
   if (!r.u32(&n) || !r.u32(&max_faulty) || !r.u32(&name_len) ||
-      !r.u32(&reserved) || name_len > r.remaining()) {
+      !r.u32(&symmetry) || symmetry > 1 || name_len > r.remaining()) {
     close();
     return fail(Status::kCorrupt, path + ": header body too short");
   }
@@ -332,6 +355,13 @@ Result Wal::open(const LayeredModel& model, const std::string& path) {
                     model.name() + " n=" + std::to_string(model.n()) +
                     " t=" + std::to_string(model.max_faulty()));
   }
+  if (symmetry != want_symmetry) {
+    close();
+    return fail(Status::kSymmetryMismatch,
+                path + ": wal written with the orbit quotient " +
+                    (symmetry != 0 ? "on" : "off") + ", target model runs it " +
+                    (want_symmetry != 0 ? "on" : "off") + " (LACON_SYMMETRY)");
+  }
 
   header_end_ = kWalPreludeBytes + header_bytes;
   log_end_ = file_bytes;  // replay() walks the records and trims the tail
@@ -340,7 +370,7 @@ Result Wal::open(const LayeredModel& model, const std::string& path) {
 }
 
 Result Wal::replay(LayeredModel& model, ValenceEngine* engine,
-                   WalReplayStats* stats_out) {
+                   LemmaStore* lemmas, WalReplayStats* stats_out) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("wal.replay_time"));
   LACON_TRACE_PHASE("store", "wal_replay", log_end_ - header_end_);
@@ -445,6 +475,9 @@ Result Wal::replay(LayeredModel& model, ValenceEngine* engine,
         for (const auto& [x, row] : rec.fingerprints) {
           model.restore_fingerprint_row(x, row.data());
         }
+        if (lemmas != nullptr && !rec.lemmas.empty()) {
+          lemmas->import_facts(rec.lemmas);
+        }
       } catch (const std::bad_alloc&) {
         // Same contract as snapshot load: the model holds a partial replay
         // and the caller falls back to a cold start.
@@ -460,7 +493,8 @@ Result Wal::replay(LayeredModel& model, ValenceEngine* engine,
   }
 
   // Everything the model now holds came from durable storage.
-  mark_persisted_from(model, model.num_views(), model.num_states(), engine);
+  mark_persisted_from(model, model.num_views(), model.num_states(), engine,
+                      lemmas);
 
   stats.counter("wal.records_replayed").add(rs.records_applied);
   stats.counter("wal.records_skipped").add(rs.records_skipped);
@@ -473,7 +507,8 @@ Result Wal::replay(LayeredModel& model, ValenceEngine* engine,
   return {};
 }
 
-Result Wal::append(LayeredModel& model, ValenceEngine* engine) {
+Result Wal::append(LayeredModel& model, ValenceEngine* engine,
+                   LemmaStore* lemmas) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("wal.append_time"));
   if (fd_ < 0) return fail(Status::kIoError, "wal not open");
@@ -520,10 +555,19 @@ Result Wal::append(LayeredModel& model, ValenceEngine* engine) {
     }
   }
 
+  std::vector<LemmaStore::Fact> facts;
+  if (lemmas != nullptr) {
+    // Signature-keyed, so no S-horizon filter applies: a fact is valid for
+    // any state of equal canonical content, interned or not.
+    for (const LemmaStore::Fact& f : lemmas->export_facts()) {
+      if (persisted_lemmas_.count(lemma_key(f)) == 0) facts.push_back(f);
+    }
+  }
+
   const std::uint64_t new_views = V - persisted_views_;
   const std::uint64_t new_states = S - persisted_states_;
   if (new_views == 0 && new_states == 0 && layers.empty() && memo.empty() &&
-      fp_ids.empty()) {
+      fp_ids.empty() && facts.empty()) {
     return {};  // nothing interned since the last commit
   }
 
@@ -556,6 +600,8 @@ Result Wal::append(LayeredModel& model, ValenceEngine* engine) {
   for (StateId x : fp_ids) {
     codec::encode_fingerprint_row(body, x, model.cached_fingerprint_row(x), n);
   }
+  body.u64(facts.size());
+  for (const LemmaStore::Fact& f : facts) codec::encode_lemma_entry(body, f);
   body.pad_to_8();
 
   Writer record;
@@ -577,6 +623,7 @@ Result Wal::append(LayeredModel& model, ValenceEngine* engine) {
   for (const auto& [x, succ] : layers) persisted_layers_[x] = true;
   for (const auto& e : memo) persisted_memo_.insert(memo_key(e));
   for (StateId x : fp_ids) persisted_fingerprints_[x] = true;
+  for (const LemmaStore::Fact& f : facts) persisted_lemmas_.insert(lemma_key(f));
 
   stats.counter("wal.records_appended").increment();
   stats.counter("wal.bytes_appended").add(record.size());
@@ -594,7 +641,8 @@ bool Wal::should_compact(std::uint64_t snapshot_bytes,
 }
 
 Result Wal::reset_to(LayeredModel& model, std::uint64_t num_views,
-                     std::uint64_t num_states, ValenceEngine* engine) {
+                     std::uint64_t num_states, ValenceEngine* engine,
+                     LemmaStore* lemmas) {
   if (fd_ < 0) return fail(Status::kIoError, "wal not open");
   if (::ftruncate(fd_, static_cast<off_t>(header_end_)) != 0 ||
       ::fsync(fd_) != 0) {
@@ -602,14 +650,14 @@ Result Wal::reset_to(LayeredModel& model, std::uint64_t num_views,
   }
   log_end_ = header_end_;
   seq_ = 0;
-  mark_persisted_from(model, num_views, num_states, engine);
+  mark_persisted_from(model, num_views, num_states, engine, lemmas);
   runtime::Stats::global().counter("wal.compactions").increment();
   return {};
 }
 
 void Wal::mark_persisted_from(LayeredModel& model, std::uint64_t num_views,
-                              std::uint64_t num_states,
-                              ValenceEngine* engine) {
+                              std::uint64_t num_states, ValenceEngine* engine,
+                              LemmaStore* lemmas) {
   persisted_views_ = num_views;
   persisted_states_ = num_states;
 
@@ -643,6 +691,14 @@ void Wal::mark_persisted_from(LayeredModel& model, std::uint64_t num_views,
       if (static_cast<std::uint64_t>(e.x) < num_states) {
         persisted_memo_.insert(memo_key(e));
       }
+    }
+  }
+  persisted_lemmas_.clear();
+  if (lemmas != nullptr) {
+    // Everything the store currently holds came off durable storage (the
+    // snapshot that was just saved, or the log that was just replayed).
+    for (const LemmaStore::Fact& f : lemmas->export_facts()) {
+      persisted_lemmas_.insert(lemma_key(f));
     }
   }
 }

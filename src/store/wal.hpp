@@ -16,7 +16,7 @@
 //
 //   prelude   magic "LACONWL1" | u32 version=1 | u32 header_bytes
 //             | u64 header_checksum (FNV-1a 64 over the header body)
-//   header    u32 n, max_faulty, name_len, reserved
+//   header    u32 n, max_faulty, name_len, symmetry
 //             | name bytes (zero-padded to 8)
 //   records   each: frame {u32 record_magic, u32 reserved,
 //                          u64 body_bytes, u64 body_checksum}
@@ -27,7 +27,19 @@
 //                   | u32 memo_present, reserved
 //                     [i32 horizon, u32 mode, u64 memo_count, entries]
 //                   | u64 fingerprint_count | fingerprint rows
+//                   | u64 lemma_count | lemma facts
 //             (body zero-padded to 8; body_bytes is the padded length)
+//
+// The header's `symmetry` word mirrors the snapshot's (store/snapshot.hpp):
+// it records the model's effective orbit-quotient mode when the log was
+// created, and an existing log whose mode differs from the opening model's
+// is refused with kSymmetryMismatch — a quotiented log holds only orbit
+// representatives and must never replay into a full-space model (or vice
+// versa). Pre-symmetry logs wrote the word as always-zero reserved padding,
+// so they open exactly when the quotient is off — the mode they were
+// written under. The lemma block at the end of each record is likewise
+// additive: pre-lemma records simply end after the fingerprints (only zero
+// padding remains), which decodes as zero lemma facts.
 //
 // Recovery contract (replay): the log is read over a model already holding
 // the last full snapshot (or nothing). Records whose base counts match the
@@ -49,7 +61,9 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
@@ -57,6 +71,7 @@
 
 namespace lacon {
 class LayeredModel;
+class LemmaStore;
 class ValenceEngine;
 }  // namespace lacon
 
@@ -87,25 +102,30 @@ class Wal {
 
   // Opens (creating if absent) the log at `path` for `model`'s identity.
   // A new file gets a fresh fsync'd header; an existing file's header must
-  // match the model (name, n, max_faulty) or the open fails typed —
-  // kBadMagic / kBadVersion / kCorrupt / kModelMismatch — leaving the file
-  // untouched so the caller can quarantine it.
-  Result open(const LayeredModel& model, const std::string& path);
+  // match the model (name, n, max_faulty, orbit-quotient mode) or the open
+  // fails typed — kBadMagic / kBadVersion / kCorrupt / kModelMismatch /
+  // kSymmetryMismatch — leaving the file untouched so the caller can
+  // quarantine it.
+  Result open(LayeredModel& model, const std::string& path);
 
   // Replays the log over `model` (already snapshot-warm or empty) per the
   // recovery contract above, then derives the persisted watermarks from the
   // model: everything it now holds is durable. Call exactly once, after
   // open() and before the first append(). `engine` receives matching memo
-  // entries; `stats_out` may be null.
+  // entries; `lemmas` (may be null) receives every record's lemma facts —
+  // signature-keyed, so they need no horizon match; `stats_out` may be
+  // null.
   Result replay(LayeredModel& model, ValenceEngine* engine,
-                WalReplayStats* stats_out);
+                LemmaStore* lemmas = nullptr,
+                WalReplayStats* stats_out = nullptr);
 
   // Appends one delta record covering everything interned/cached past the
   // watermarks, fsyncs it, and advances the watermarks. A no-op (kOk)
   // when nothing new exists. On a short write the file is truncated back to
   // the previous record boundary so a failed append never leaves a torn
   // middle. Requires a quiescent model (same rule as snapshot save).
-  Result append(LayeredModel& model, ValenceEngine* engine);
+  Result append(LayeredModel& model, ValenceEngine* engine,
+                LemmaStore* lemmas = nullptr);
 
   // True once the live log payload outweighs `snapshot_bytes` by more than
   // `ratio` (with a 64 KiB floor so tiny snapshots don't force compaction
@@ -119,7 +139,8 @@ class Wal {
   // its header, fsyncs, and recomputes the watermarks to exactly what that
   // snapshot holds.
   Result reset_to(LayeredModel& model, std::uint64_t num_views,
-                  std::uint64_t num_states, ValenceEngine* engine);
+                  std::uint64_t num_states, ValenceEngine* engine,
+                  LemmaStore* lemmas = nullptr);
 
   bool is_open() const noexcept { return fd_ >= 0; }
   const std::string& path() const noexcept { return path_; }
@@ -138,7 +159,8 @@ class Wal {
   // Rebuilds the persisted cache-entry sets from the model, counting only
   // content below the given id horizons.
   void mark_persisted_from(LayeredModel& model, std::uint64_t num_views,
-                           std::uint64_t num_states, ValenceEngine* engine);
+                           std::uint64_t num_states, ValenceEngine* engine,
+                           LemmaStore* lemmas);
 
   int fd_ = -1;
   std::string path_;
@@ -154,6 +176,11 @@ class Wal {
   // Memo entries are keyed (x, lookahead, flags): a later *stronger* entry
   // for the same state re-appends (import_memo merges strongest-wins).
   std::unordered_set<std::uint64_t> persisted_memo_;
+  // Lemma facts are keyed (sig_hi, sig_lo, lookahead): a fact whose
+  // lookahead was min-merged down re-appends under the new key (the
+  // store's publish keeps the cheaper proof).
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::int32_t>>
+      persisted_lemmas_;
   std::int32_t memo_horizon_ = -1;
   std::uint32_t memo_mode_ = 0;
 };

@@ -80,6 +80,22 @@ struct Kernels {
   std::size_t (*bitset_find_first)(const std::uint64_t* w,
                                    std::size_t n) noexcept;
 
+  // Position-keyed content hash over n 64-bit words — one section of
+  // StateArena::content_hash (explore's intern-path hot loop). Defined as
+  //   acc  = Σ_i mix64(w_i ^ (seed + (i+1) * kHashPhi))   (mod 2^64)
+  //   hash = hash_combine(hash_combine(seed, n), acc)
+  // The per-position mixes are independent and the fold is a wrapping sum
+  // (commutative, associative), so wide implementations keep vector
+  // accumulators and reduce horizontally — bit-identical by construction.
+  std::uint64_t (*hash_words)(const std::int64_t* w, std::size_t n,
+                              std::uint64_t seed) noexcept;
+
+  // Same hash over n 32-bit lanes, each sign-extended to 64 bits first
+  // (locals/decisions sections; matches static_cast<std::int64_t> on the
+  // lane value).
+  std::uint64_t (*hash_lanes)(const std::int32_t* v, std::size_t n,
+                              std::uint64_t seed) noexcept;
+
   // One level of bitmap BFS over `nwords`-word sets: for every word,
   //   fresh      = next & ~visited
   //   visited   |= fresh
@@ -91,6 +107,9 @@ struct Kernels {
                                   std::size_t nwords,
                                   std::uint32_t* out) noexcept;
 };
+
+// Position key stride of hash_words/hash_lanes (the splitmix64 increment).
+inline constexpr std::uint64_t kHashPhi = 0x9e3779b97f4a7c15ULL;
 
 // --- Scalar reference kernels (the semantic definition) ---------------------
 
@@ -130,6 +149,26 @@ inline void fingerprint_lanes(std::uint64_t seed, const std::int32_t* locals,
       out[j] = hash_combine(hash_combine(out[j], l), d);
     }
   }
+}
+
+inline std::uint64_t hash_words(const std::int64_t* w, std::size_t n,
+                                std::uint64_t seed) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += mix64(static_cast<std::uint64_t>(w[i]) ^
+                 (seed + (static_cast<std::uint64_t>(i) + 1) * kHashPhi));
+  }
+  return hash_combine(hash_combine(seed, n), acc);
+}
+
+inline std::uint64_t hash_lanes(const std::int32_t* v, std::size_t n,
+                                std::uint64_t seed) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += mix64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v[i])) ^
+                 (seed + (static_cast<std::uint64_t>(i) + 1) * kHashPhi));
+  }
+  return hash_combine(hash_combine(seed, n), acc);
 }
 
 inline void bitset_or(std::uint64_t* dst, const std::uint64_t* src,

@@ -1,0 +1,122 @@
+// Tests for the cross-level lemma store (engine/lemma_store.hpp): the
+// budget-vs-lookahead hit rule, the exact-facts-only filter, the merge
+// semantics of publish, export/import round-trips, and the engine
+// integration guarantee — a warm store never changes a verdict, it only
+// removes the subtree walks that would re-prove it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/explore.hpp"
+#include "engine/lemma_store.hpp"
+#include "engine/valence.hpp"
+#include "models/iis/iis_model.hpp"
+#include "runtime/stats.hpp"
+
+namespace lacon {
+namespace {
+
+ValenceInfo exact_info(bool v0, bool v1) {
+  ValenceInfo info;
+  info.v0 = v0;
+  info.v1 = v1;
+  info.exact = true;
+  return info;
+}
+
+TEST(LemmaStoreTest, HitRequiresBudgetToCoverLookahead) {
+  LemmaStore store;
+  store.publish({1, 2}, 3, exact_info(true, false));
+  // A shallower request must fall through to its own computation: serving
+  // the deeper fact would make truncated results depend on store warmth.
+  EXPECT_FALSE(store.lookup({1, 2}, 0).has_value());
+  EXPECT_FALSE(store.lookup({1, 2}, 2).has_value());
+  const auto hit = store.lookup({1, 2}, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->v0);
+  EXPECT_FALSE(hit->v1);
+  EXPECT_TRUE(hit->exact);
+  EXPECT_TRUE(store.lookup({1, 2}, 100).has_value());
+  EXPECT_FALSE(store.lookup({9, 9}, 100).has_value());
+}
+
+TEST(LemmaStoreTest, InexactResultsAreNotLemmas) {
+  LemmaStore store;
+  ValenceInfo truncated;
+  truncated.v0 = true;
+  truncated.exact = false;
+  store.publish({5, 5}, 4, truncated);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.lookup({5, 5}, 10).has_value());
+}
+
+TEST(LemmaStoreTest, RepublishKeepsCheapestProofAndFirstSet) {
+  LemmaStore store;
+  store.publish({7, 7}, 5, exact_info(false, true));
+  store.publish({7, 7}, 2, exact_info(false, true));
+  EXPECT_TRUE(store.lookup({7, 7}, 2).has_value());
+  ASSERT_EQ(store.export_facts().size(), 1u);
+  EXPECT_EQ(store.export_facts()[0].lookahead, 2);
+  // A conflicting valence set (a signature collision, or misuse across
+  // decision rules) must not clobber the original fact.
+  store.publish({7, 7}, 1, exact_info(true, true));
+  const auto hit = store.lookup({7, 7}, 5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->v0);
+  EXPECT_TRUE(hit->v1);
+}
+
+TEST(LemmaStoreTest, ExportIsSortedAndImportRoundTrips) {
+  LemmaStore store;
+  store.publish({3, 1}, 2, exact_info(true, false));
+  store.publish({1, 9}, 1, exact_info(false, true));
+  store.publish({1, 4}, 0, exact_info(true, true));
+  const std::vector<LemmaStore::Fact> facts = store.export_facts();
+  ASSERT_EQ(facts.size(), 3u);
+  for (std::size_t i = 1; i < facts.size(); ++i) {
+    EXPECT_LT(std::make_pair(facts[i - 1].sig_hi, facts[i - 1].sig_lo),
+              std::make_pair(facts[i].sig_hi, facts[i].sig_lo));
+  }
+  LemmaStore warm;
+  warm.import_facts(facts);
+  EXPECT_EQ(warm.size(), 3u);
+  const auto hit = warm.lookup({3, 1}, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->v0);
+  EXPECT_FALSE(hit->v1);
+  EXPECT_EQ(warm.export_facts().size(), facts.size());
+}
+
+// A fresh engine sharing a warm store must (i) actually hit it and (ii)
+// return exactly the verdicts a cold engine computes — the store is a
+// shortcut, never an oracle with different answers.
+TEST(LemmaStoreTest, EngineReusesFactsAcrossHorizonsWithoutChangingVerdicts) {
+  const auto rule = min_after_round(2);
+  IisModel model(3, *rule);
+  std::vector<StateId> all;
+  for (const auto& level : reachable_by_depth(model, 2)) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+
+  LemmaStore store;
+  ValenceEngine warm(model, 3, Exactness::kQuiescence, &store);
+  for (StateId x : all) warm.valence(x);
+  EXPECT_GT(store.size(), 0u);
+
+  auto& hits = runtime::Stats::global().counter("lemmas.hits");
+  const std::uint64_t hits_before = hits.value();
+  ValenceEngine reuse(model, 4, Exactness::kQuiescence, &store);
+  ValenceEngine cold(model, 4, Exactness::kQuiescence);
+  for (StateId x : all) {
+    const ValenceInfo a = reuse.valence(x);
+    const ValenceInfo b = cold.valence(x);
+    EXPECT_TRUE(a.same_set(b)) << "state " << x;
+    EXPECT_EQ(a.exact, b.exact) << "state " << x;
+  }
+  EXPECT_GT(hits.value(), hits_before);
+}
+
+}  // namespace
+}  // namespace lacon

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/sym.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -266,6 +267,56 @@ TEST(HandleLineTest, MetricsSnapshotEmbedsWhenAsked) {
   const Json* snap = find_path(*doc, {"snapshot"});
   ASSERT_TRUE(snap != nullptr);
   EXPECT_TRUE(snap->is_object());
+}
+
+// --- symmetry quotient: quotient-vs-full verdict identity -------------------
+
+// Runs one request in a fresh session under the given LACON_SYMMETRY mode
+// and returns the serialized "result" object. The result carries only
+// id-free, orbit-weighted numbers, so the quotient must reproduce the full
+// space byte for byte; raw arena counts live in "metrics" and are excluded.
+std::string result_of(const std::string& request, bool symmetry) {
+  sym::ScopedSymmetry mode(symmetry);
+  SessionManager sessions;
+  const std::string response = handle_line(sessions, request);
+  const auto doc = Json::parse(response);
+  EXPECT_TRUE(doc.has_value()) << response;
+  if (!doc.has_value()) return {};
+  const Json* status = doc->find("status");
+  EXPECT_TRUE(status != nullptr && status->as_string() == "ok") << response;
+  const Json* result = doc->find("result");
+  EXPECT_NE(result, nullptr) << response;
+  return result != nullptr ? result->dump() : std::string{};
+}
+
+TEST(SymmetryIdentityTest, AllQueriesMatchFullSpaceVerdicts) {
+  // Of the served models only msgpass declares kFull symmetry, so it is the
+  // case where the quotient genuinely folds; the others pin down that the
+  // knob cannot perturb trivially-symmetric sessions.
+  struct Case {
+    const char* model;
+    int n;
+    int t;
+    int depth;
+  };
+  const Case cases[] = {
+      {"mobile", 4, 1, 2},
+      {"sharedmem", 3, 1, 2},
+      {"msgpass", 3, 1, 1},
+      {"sync", 4, 2, 2},
+  };
+  for (const Case& c : cases) {
+    for (const char* query :
+         {"layers", "valence", "diameter", "similarity"}) {
+      const std::string request =
+          std::string("{\"model\":\"") + c.model +
+          "\",\"n\":" + std::to_string(c.n) + ",\"t\":" + std::to_string(c.t) +
+          ",\"depth\":" + std::to_string(c.depth) + ",\"query\":\"" + query +
+          "\"}";
+      EXPECT_EQ(result_of(request, false), result_of(request, true))
+          << c.model << " " << query;
+    }
+  }
 }
 
 // --- Server (socket) -------------------------------------------------------

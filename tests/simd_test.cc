@@ -190,6 +190,88 @@ TEST(SimdKernels, FingerprintLanesMatchesPerLaneFold) {
   }
 }
 
+// The documented definition of the position-keyed content hash sections:
+// acc = Σ_i mix64(w_i ^ (seed + (i+1)*kHashPhi)), then fold seed and length
+// through hash_combine (util/simd.hpp hash_words/hash_lanes).
+std::uint64_t reference_section_hash(const std::vector<std::uint64_t>& words,
+                                     std::uint64_t seed) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    acc += mix64(words[i] ^
+                 (seed + (static_cast<std::uint64_t>(i) + 1) * simd::kHashPhi));
+  }
+  return hash_combine(hash_combine(seed, words.size()), acc);
+}
+
+TEST(SimdKernels, HashWordsMatchesReferenceDefinition) {
+  std::mt19937_64 rng(0x726473120au);
+  for (const Kernels* k : available_tables()) {
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u}) {
+      for (int round = 0; round < 20; ++round) {
+        const auto w = random_words(rng, n);
+        const std::uint64_t seed = rng();
+        const std::uint64_t got = k->hash_words(
+            reinterpret_cast<const std::int64_t*>(w.data()), n, seed);
+        EXPECT_EQ(got, reference_section_hash(w, seed))
+            << k->name << " n=" << n;
+        // Scalar is the definition — every table must agree with it too.
+        EXPECT_EQ(got, simd::scalar_kernels().hash_words(
+                           reinterpret_cast<const std::int64_t*>(w.data()), n,
+                           seed))
+            << k->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, HashLanesSignExtendsLikeScalarCast) {
+  std::mt19937_64 rng(0x726473120bu);
+  for (const Kernels* k : available_tables()) {
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 17u}) {
+      for (int round = 0; round < 30; ++round) {
+        const auto v = random_lanes(rng, n);  // mixes negatives and -1
+        const std::uint64_t seed = rng();
+        std::vector<std::uint64_t> widened(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          widened[i] =
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(v[i]));
+        }
+        EXPECT_EQ(k->hash_lanes(v.data(), n, seed),
+                  reference_section_hash(widened, seed))
+            << k->name << " n=" << n;
+      }
+    }
+  }
+}
+
+// StateArena::content_hash chains the three sections through the active
+// table; every table must therefore produce the same state hash (the intern
+// index depends on it).
+TEST(SimdKernels, ContentHashIdenticalAcrossTables) {
+  std::mt19937_64 rng(0x726473120cu);
+  for (int n = 1; n <= 9; ++n) {
+    GlobalState g;
+    g.env.resize(rng() % 5);
+    for (auto& w : g.env) w = static_cast<std::int64_t>(rng());
+    const auto nn = static_cast<std::size_t>(n);
+    const auto locals = random_lanes(rng, nn);
+    const auto decisions = random_lanes(rng, nn);
+    g.locals.assign(locals.begin(), locals.end());
+    g.decisions.assign(decisions.begin(), decisions.end());
+    std::uint64_t want = 0;
+    bool first = true;
+    for (const Kernels* k : available_tables()) {
+      simd::KernelOverride override_k(*k);
+      const std::uint64_t got = StateArena::content_hash(g);
+      if (first) {
+        want = got;
+        first = false;
+      }
+      EXPECT_EQ(got, want) << k->name << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdKernels, BitsetOpsMatchScalar) {
   std::mt19937_64 rng(0x7264731204u);
   const auto& ref = simd::scalar_kernels();

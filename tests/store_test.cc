@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "analysis/reports.hpp"
+#include "core/sym.hpp"
 #include "engine/explore.hpp"
+#include "engine/lemma_store.hpp"
 #include "engine/valence.hpp"
+#include "models/iis/iis_model.hpp"
 #include "relation/similarity.hpp"
 #include "runtime/stats.hpp"
 #include "store/env.hpp"
@@ -393,7 +396,7 @@ TEST_F(StoreTest, WalAppendReplayRoundTrip) {
   store::Wal wal;
   ASSERT_TRUE(wal.open(*warm.model, file).ok());
   store::WalReplayStats rs;
-  const store::Result r = wal.replay(*warm.model, warm.engine.get(), &rs);
+  const store::Result r = wal.replay(*warm.model, warm.engine.get(), nullptr, &rs);
   ASSERT_TRUE(r.ok()) << r.detail;
   EXPECT_EQ(rs.records_applied, 1u);
   EXPECT_EQ(rs.truncated_bytes, 0u);
@@ -445,7 +448,7 @@ TEST_F(StoreTest, WalReplaysDeltaOverSnapshot) {
   store::Wal wal;
   ASSERT_TRUE(wal.open(*warm.model, file).ok());
   store::WalReplayStats rs;
-  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), &rs).ok());
+  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), nullptr, &rs).ok());
   EXPECT_EQ(rs.records_applied, 1u);
   EXPECT_GT(warm.model->num_states(), from_snapshot);
   ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
@@ -476,7 +479,7 @@ TEST_F(StoreTest, WalSkipsRecordsCoveredBySnapshot) {
   store::Wal wal;
   ASSERT_TRUE(wal.open(*warm.model, file).ok());
   store::WalReplayStats rs;
-  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), &rs).ok());
+  ASSERT_TRUE(wal.replay(*warm.model, warm.engine.get(), nullptr, &rs).ok());
   EXPECT_EQ(rs.records_applied, 0u);
   EXPECT_EQ(rs.records_skipped, 2u);
   EXPECT_EQ(warm.model->num_states(), from_snapshot);
@@ -511,7 +514,7 @@ TEST_F(StoreTest, WalTornTailRecoversAtEveryByteOffset) {
     store::Wal w;
     ASSERT_TRUE(w.open(*target.model, cut).ok()) << "keep=" << keep;
     store::WalReplayStats rs;
-    const store::Result r = w.replay(*target.model, target.engine.get(), &rs);
+    const store::Result r = w.replay(*target.model, target.engine.get(), nullptr, &rs);
     ASSERT_TRUE(r.ok()) << "keep=" << keep << ": " << r.detail;
     EXPECT_EQ(rs.records_applied, 1u) << "keep=" << keep;
     EXPECT_EQ(rs.truncated_bytes, keep - boundary) << "keep=" << keep;
@@ -549,7 +552,7 @@ TEST_F(StoreTest, WalBitFlippedTailIsTruncatedNotFatal) {
   store::Wal w;
   ASSERT_TRUE(w.open(*target.model, file).ok());
   store::WalReplayStats rs;
-  ASSERT_TRUE(w.replay(*target.model, target.engine.get(), &rs).ok());
+  ASSERT_TRUE(w.replay(*target.model, target.engine.get(), nullptr, &rs).ok());
   EXPECT_EQ(rs.records_applied, 1u);
   EXPECT_EQ(rs.truncated_bytes, bytes.size() - boundary);
   EXPECT_EQ(target.model->num_states(), record1_states);
@@ -639,7 +642,7 @@ TEST_F(StoreTest, WalResetToAfterSnapshotLogsOnlyNewWork) {
   store::Wal w;
   ASSERT_TRUE(w.open(*warm.model, file).ok());
   store::WalReplayStats rs;
-  ASSERT_TRUE(w.replay(*warm.model, warm.engine.get(), &rs).ok());
+  ASSERT_TRUE(w.replay(*warm.model, warm.engine.get(), nullptr, &rs).ok());
   EXPECT_EQ(rs.records_applied, 1u);
   ASSERT_EQ(warm.model->num_states(), cold.model->num_states());
   EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
@@ -647,6 +650,155 @@ TEST_F(StoreTest, WalResetToAfterSnapshotLogsOnlyNewWork) {
   // should_compact has a 64 KiB floor: a small log never forces compaction
   // just because the snapshot is tiny.
   EXPECT_FALSE(w.should_compact(/*snapshot_bytes=*/1, /*ratio=*/1));
+}
+
+// --- symmetry mode recording and lemma-fact persistence ---------------------
+
+// A snapshot saved over the full space must never replay into an
+// orbit-quotiented model (or vice versa): the file records the mode and
+// mode-mismatched loads are refused typed, leaving the target untouched.
+// msgpass declares kFull symmetry, so the knob genuinely flips its mode.
+TEST_F(StoreTest, SymmetryMismatchedSnapshotRejected) {
+  const std::string file = path("fullspace.store");
+  {
+    sym::ScopedSymmetry off(false);
+    auto cold = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+    analyze(cold, 1);
+    ASSERT_FALSE(cold.model->sym_quotient_active());
+    ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+    store::SnapshotMeta meta;
+    ASSERT_TRUE(store::probe(file, &meta).ok());
+    EXPECT_FALSE(meta.symmetry);
+  }
+  sym::ScopedSymmetry on(true);
+  auto warm = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+  ASSERT_TRUE(warm.model->sym_quotient_active());
+  const store::Result r = store::load(*warm.model, file, warm.engine.get());
+  EXPECT_EQ(r.status, store::Status::kSymmetryMismatch);
+  EXPECT_EQ(warm.model->num_states(), 0u);
+  EXPECT_EQ(warm.model->num_views(), 0u);
+}
+
+TEST_F(StoreTest, QuotientSnapshotRejectedByFullSpaceModel) {
+  const std::string file = path("quotient.store");
+  {
+    sym::ScopedSymmetry on(true);
+    auto cold = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+    analyze(cold, 1);
+    ASSERT_TRUE(cold.model->sym_quotient_active());
+    ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+    store::SnapshotMeta meta;
+    ASSERT_TRUE(store::probe(file, &meta).ok());
+    EXPECT_TRUE(meta.symmetry);
+    // Same mode loads fine.
+    auto same = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+    ASSERT_TRUE(store::load(*same.model, file, same.engine.get()).ok());
+  }
+  sym::ScopedSymmetry off(false);
+  auto warm = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+  const store::Result r = store::load(*warm.model, file, warm.engine.get());
+  EXPECT_EQ(r.status, store::Status::kSymmetryMismatch);
+  EXPECT_EQ(warm.model->num_states(), 0u);
+}
+
+TEST_F(StoreTest, SymmetryMismatchedWalRefusedOnOpen) {
+  const std::string file = path("fullspace.wal");
+  {
+    sym::ScopedSymmetry off(false);
+    auto cold = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(*cold.model, file).ok());
+    ASSERT_TRUE(wal.replay(*cold.model, cold.engine.get()).ok());
+    analyze(cold, 1);
+    ASSERT_TRUE(wal.append(*cold.model, cold.engine.get()).ok());
+  }
+  sym::ScopedSymmetry on(true);
+  auto warm = make_instance(ModelKind::kMsgPass, 3, 1, 2);
+  store::Wal wal;
+  const store::Result r = wal.open(*warm.model, file);
+  EXPECT_EQ(r.status, store::Status::kSymmetryMismatch);
+  EXPECT_FALSE(wal.is_open());
+}
+
+void expect_same_facts(const std::vector<LemmaStore::Fact>& a,
+                       const std::vector<LemmaStore::Fact>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sig_hi, b[i].sig_hi);
+    EXPECT_EQ(a[i].sig_lo, b[i].sig_lo);
+    EXPECT_EQ(a[i].lookahead, b[i].lookahead);
+    EXPECT_EQ(a[i].v0, b[i].v0);
+    EXPECT_EQ(a[i].v1, b[i].v1);
+  }
+}
+
+// Classify every state reachable within `depth` so the engine publishes a
+// healthy batch of exact facts (the frontier alone can end all-inexact at
+// shallow horizons, which would make these tests vacuous).
+void classify_reachable(IisModel& model, ValenceEngine& eng, int depth) {
+  for (const auto& level : reachable_by_depth(model, depth)) {
+    for (StateId x : level) eng.valence(x);
+  }
+}
+
+TEST_F(StoreTest, LemmaFactsRoundTripThroughSnapshot) {
+  const std::string file = path("lemmas.store");
+  auto rule = min_after_round(2);
+  IisModel model(3, *rule);
+  LemmaStore lemmas;
+  ValenceEngine eng(model, 3, Exactness::kQuiescence, &lemmas);
+  classify_reachable(model, eng, 2);
+  ASSERT_GT(lemmas.size(), 0u);
+  ASSERT_TRUE(store::save(model, file, &eng, &lemmas).ok());
+
+  store::SnapshotMeta meta;
+  ASSERT_TRUE(store::probe(file, &meta).ok());
+  EXPECT_EQ(meta.lemma_entries, lemmas.size());
+
+  auto rule2 = min_after_round(2);
+  IisModel model2(3, *rule2);
+  LemmaStore warm;
+  ValenceEngine eng2(model2, 3, Exactness::kQuiescence, &warm);
+  ASSERT_TRUE(store::load(model2, file, &eng2, &warm).ok());
+  expect_same_facts(warm.export_facts(), lemmas.export_facts());
+
+  // A loader without a store simply skips the section.
+  auto rule3 = min_after_round(2);
+  IisModel model3(3, *rule3);
+  ASSERT_TRUE(store::load(model3, file, nullptr, nullptr).ok());
+}
+
+TEST_F(StoreTest, LemmaFactsSurviveWalReplay) {
+  const std::string file = path("lemmas.wal");
+  std::vector<LemmaStore::Fact> written;
+  {
+    auto rule = min_after_round(2);
+    IisModel model(3, *rule);
+    LemmaStore lemmas;
+    ValenceEngine eng(model, 3, Exactness::kQuiescence, &lemmas);
+    store::Wal wal;
+    ASSERT_TRUE(wal.open(model, file).ok());
+    ASSERT_TRUE(wal.replay(model, &eng, &lemmas).ok());
+    classify_reachable(model, eng, 2);
+    ASSERT_GT(lemmas.size(), 0u);
+    ASSERT_TRUE(wal.append(model, &eng, &lemmas).ok());
+    // Already persisted: a second commit with no new work is a no-op.
+    const std::uint64_t appended = wal.records_appended();
+    ASSERT_TRUE(wal.append(model, &eng, &lemmas).ok());
+    EXPECT_EQ(wal.records_appended(), appended);
+    written = lemmas.export_facts();
+  }
+
+  auto rule = min_after_round(2);
+  IisModel model(3, *rule);
+  LemmaStore warm;
+  ValenceEngine eng(model, 3, Exactness::kQuiescence, &warm);
+  store::Wal wal;
+  ASSERT_TRUE(wal.open(model, file).ok());
+  store::WalReplayStats rs;
+  ASSERT_TRUE(wal.replay(model, &eng, &warm, &rs).ok());
+  EXPECT_GT(rs.records_applied, 0u);
+  expect_same_facts(warm.export_facts(), written);
 }
 
 // --- env knob parsing (the LACON_THREADS warn-once contract) --------------
