@@ -132,6 +132,41 @@ void BM_Warm(benchmark::State& state, const Workload& w) {
   state.counters["warm_state_misses"] = static_cast<double>(new_misses);
 }
 
+// The same warm start with the loader path pinned (store/env.hpp:
+// LACON_MMAP): the "mmap" row maps the snapshot and adopts the flat state
+// payloads in place — zero copy, zero per-state allocation — while the
+// "stream" row forces the byte-for-byte decode the loader always did. The
+// workloads use even n, so adoption covers every state; the row pair is
+// exactly what the mapping buys (acceptance: mmap warm beats streaming
+// warm). "mapped_states" carries the proof that adoption actually ran.
+void BM_WarmPinned(benchmark::State& state, const Workload& w,
+                   const char* mode) {
+  ::setenv("LACON_MMAP", mode, 1);
+  const std::string& path = snapshot_file(w);
+  auto& mapped = runtime::Stats::global().counter("arena.state_mapped");
+  std::uint64_t new_mapped = 0;
+  for (auto _ : state) {
+    Instance inst = make_instance(w);
+    const std::uint64_t before = mapped.value();
+    const store::Result r = store::load(*inst.model, path, inst.engine.get());
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    benchmark::DoNotOptimize(run_analysis(inst, w));
+    new_mapped += mapped.value() - before;
+  }
+  ::unsetenv("LACON_MMAP");
+  state.counters["mapped_states"] = static_cast<double>(
+      new_mapped / static_cast<std::uint64_t>(
+                       state.iterations() > 0 ? state.iterations() : 1));
+}
+
+void BM_WarmMmap(benchmark::State& state, const Workload& w) {
+  BM_WarmPinned(state, w, "on");
+}
+
+void BM_WarmStream(benchmark::State& state, const Workload& w) {
+  BM_WarmPinned(state, w, "off");
+}
+
 void BM_Load(benchmark::State& state, const Workload& w) {
   const std::string& path = snapshot_file(w);
   for (auto _ : state) {
@@ -174,6 +209,73 @@ void BM_WalAppend(benchmark::State& state, const Workload& w) {
     if (!r.ok()) state.SkipWithError(r.detail.c_str());
   }
   state.counters["record_bytes"] = static_cast<double>(wal.log_bytes());
+}
+
+// Group commit vs serialized fsync: the same four-client commit round —
+// one full delta record plus one memo-carrying record per additional
+// engine horizon — lands in the log either as ONE coalesced write+fsync
+// (the batch append laconrd's commit leader performs) or as four
+// sequential fsync'd appends (the old per-request discipline). The
+// acceptance criterion is that the group row costs no more per round than
+// the serial row — in practice it approaches a quarter, since the fsync
+// dominates and the group pays it once.
+constexpr int kCommitClients = 4;
+
+struct CommitFixture {
+  Instance inst;
+  std::vector<std::unique_ptr<ValenceEngine>> extra;
+  std::vector<ValenceEngine*> engines;  // kCommitClients distinct horizons
+};
+
+CommitFixture make_commit_fixture(const Workload& w) {
+  CommitFixture f;
+  f.inst = make_instance(w);
+  const auto levels = reachable_by_depth(*f.inst.model, w.depth);
+  const std::vector<StateId>& frontier = levels.back();
+  f.inst.engine->classify_all(frontier);
+  f.engines.push_back(f.inst.engine.get());
+  for (int i = 1; i < kCommitClients; ++i) {
+    auto eng = std::make_unique<ValenceEngine>(
+        *f.inst.model, w.horizon + i, default_exactness(ModelKind::kMobile));
+    eng->classify_all(frontier);
+    f.engines.push_back(eng.get());
+    f.extra.push_back(std::move(eng));
+  }
+  return f;
+}
+
+void BM_WalGroupCommit(benchmark::State& state, const Workload& w) {
+  CommitFixture f = make_commit_fixture(w);
+  const std::string path = snapshot_file(w) + ".group.wal";
+  store::Wal wal;
+  store::Result r = wal.open(*f.inst.model, path);
+  if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  for (auto _ : state) {
+    r = wal.reset_to(*f.inst.model, 0, 0, nullptr);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    r = wal.append(*f.inst.model, f.engines);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  }
+  state.counters["fsyncs_per_round"] = 1.0;
+  state.counters["round_bytes"] = static_cast<double>(wal.log_bytes());
+}
+
+void BM_WalSerialCommit(benchmark::State& state, const Workload& w) {
+  CommitFixture f = make_commit_fixture(w);
+  const std::string path = snapshot_file(w) + ".serial.wal";
+  store::Wal wal;
+  store::Result r = wal.open(*f.inst.model, path);
+  if (!r.ok()) state.SkipWithError(r.detail.c_str());
+  for (auto _ : state) {
+    r = wal.reset_to(*f.inst.model, 0, 0, nullptr);
+    if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    for (ValenceEngine* eng : f.engines) {
+      r = wal.append(*f.inst.model, eng);
+      if (!r.ok()) state.SkipWithError(r.detail.c_str());
+    }
+  }
+  state.counters["fsyncs_per_round"] = static_cast<double>(kCommitClients);
+  state.counters["round_bytes"] = static_cast<double>(wal.log_bytes());
 }
 
 // Crash recovery itself: replaying that record into an empty model —
@@ -274,9 +376,20 @@ int main(int argc, char** argv) {
   lacon::print_table();
   lacon::register_workloads("BM_Cold", lacon::BM_Cold);
   lacon::register_workloads("BM_Warm", lacon::BM_Warm);
+  lacon::register_workloads("BM_WarmMmap", lacon::BM_WarmMmap);
+  lacon::register_workloads("BM_WarmStream", lacon::BM_WarmStream);
   lacon::register_workloads("BM_Load", lacon::BM_Load);
   lacon::register_workloads("BM_Save", lacon::BM_Save);
   lacon::register_workloads("BM_WalAppend", lacon::BM_WalAppend);
+  // The commit benches need an engine per horizon: analyze-workload only.
+  benchmark::RegisterBenchmark(
+      (std::string("BM_WalGroupCommit/") + lacon::kAnalyze.tag).c_str(),
+      [](benchmark::State& s) { lacon::BM_WalGroupCommit(s, lacon::kAnalyze); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      (std::string("BM_WalSerialCommit/") + lacon::kAnalyze.tag).c_str(),
+      [](benchmark::State& s) { lacon::BM_WalSerialCommit(s, lacon::kAnalyze); })
+      ->Unit(benchmark::kMillisecond);
   lacon::register_workloads("BM_WalReplay", lacon::BM_WalReplay);
   lacon::benchflags::add_json_context();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Docs drift gate: every LACON_* knob the source reads is documented.
+
+Usage:
+    bench/check_docs.py [REPO_ROOT]
+
+Scans src/ for environment reads of LACON_* variables (getenv call sites)
+and asserts each one has a row in README.md's knob table — the `|
+`LACON_X` | ...` rows. The reverse direction is checked too: a knob row
+whose variable no source file reads anymore is stale documentation and
+fails the gate just the same. This keeps the README's operational surface
+exactly in sync with the code; FORMATS.md / PROTOCOL.md cover the on-disk
+and wire surfaces, but the knob table is the one place operators learn
+what the process environment does.
+"""
+
+import os
+import re
+import sys
+
+_GETENV = re.compile(r'getenv\s*\(\s*"(LACON_[A-Z0-9_]+)"')
+_KNOB_ROW = re.compile(r"^\|\s*`(LACON_[A-Z0-9_]+)`\s*\|")
+
+
+def knobs_read_in_src(root):
+    knobs = {}
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in filenames:
+            if not name.endswith((".cc", ".hpp", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                for knob in _GETENV.findall(f.read()):
+                    knobs.setdefault(knob, os.path.relpath(path, root))
+    return knobs
+
+
+def knobs_documented(root):
+    rows = set()
+    with open(os.path.join(root, "README.md"), encoding="utf-8") as f:
+        for line in f:
+            m = _KNOB_ROW.match(line)
+            if m:
+                rows.add(m.group(1))
+    return rows
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    read = knobs_read_in_src(root)
+    documented = knobs_documented(root)
+
+    failures = 0
+    for knob in sorted(set(read) - documented):
+        print(
+            f"check_docs: FAIL {knob} is read ({read[knob]}) but has no "
+            "README.md knob-table row"
+        )
+        failures += 1
+    for knob in sorted(documented - set(read)):
+        print(
+            f"check_docs: FAIL {knob} has a README.md knob-table row but "
+            "no src/ getenv reads it"
+        )
+        failures += 1
+
+    if failures:
+        return 1
+    print(
+        f"check_docs: OK ({len(read)} knobs read in src/, every one "
+        "documented, no stale rows)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

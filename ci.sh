@@ -75,6 +75,12 @@ run_config() {
     for scalar_bin in simd_test core_test relation_test store_test; do
       LACON_SIMD=scalar "$dir/tests/$scalar_bin" --gtest_brief=1
     done
+    # Docs drift gate: every LACON_* knob read anywhere in src/ must have a
+    # README knob-table row, and every row must still be backed by a read
+    # (bench/check_docs.py) — documentation for the operational surface
+    # cannot silently fall behind the code.
+    echo "=== [$name] docs drift gate (LACON_* knobs vs README table)"
+    python3 bench/check_docs.py .
     # Perf trajectory: a small-size bench pass on the unsanitized build,
     # emitting one BENCH_*.json per experiment into bench_results/. Compare
     # against the committed reference under bench/baseline/ (regenerate it
@@ -235,7 +241,8 @@ run_config() {
     # every response) and arena.state_restored covering the replayed space
     # — all asserted by bench/check_recovery.py. The in-process variant of
     # this lane (examples/crash_recover.cc) also runs under TSan/ASan.
-    echo "=== [$name] kill-and-recover lane (LACON_WAL=on + SIGKILL)"
+    echo "=== [$name] kill-and-recover lane (LACON_WAL=on + LACON_MMAP=on" \
+         "+ SIGKILL under 4 concurrent clients)"
     "$dir/examples/crash_recover"
     wal_dir="store_artifacts/wal_recover"
     rm -rf "$wal_dir" && mkdir -p "$wal_dir"
@@ -245,8 +252,12 @@ run_config() {
       '{"id":3,"model":"mobile","n":3,"query":"diameter","depth":2}'
       '{"id":4,"model":"mobile","n":3,"query":"similarity","depth":2}'
     )
+    # LACON_MMAP=on is pinned explicitly (it is also the default): the
+    # recovery daemon below must warm-start through the mmap loader, so
+    # this lane proves the zero-copy path under the durability contract,
+    # not just in unit tests.
     wsock="/tmp/laconrd_wal1_$$.sock"
-    LACON_WAL=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
+    LACON_WAL=on LACON_MMAP=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
       "$dir/examples/laconrd" --socket "$wsock" &
     wal_pid=$!
     for _ in $(seq 50); do [[ -S "$wsock" ]] && break; sleep 0.1; done
@@ -256,19 +267,32 @@ run_config() {
       "$dir/examples/laconrd" --socket "$wsock" --client "$r" \
         >> "$wal_dir/before.jsonl"
     done
-    # A larger request goes in flight, then the SIGKILL lands under it.
-    "$dir/examples/laconrd" --socket "$wsock" --timeout 10000 --client \
-      '{"id":5,"model":"mobile","n":4,"query":"layers","depth":3}' \
-      > /dev/null 2>&1 &
-    inflight_pid=$!
+    # Four clients go in flight concurrently — three hammer the committed
+    # session at distinct horizons (their commits coalesce into group-commit
+    # rounds), one interns a bigger fresh session — then the SIGKILL lands
+    # under all of them.
+    inflight_reqs=(
+      '{"id":5,"model":"mobile","n":3,"query":"valence","depth":2,"horizon":4}'
+      '{"id":6,"model":"mobile","n":3,"query":"valence","depth":2,"horizon":5}'
+      '{"id":7,"model":"mobile","n":3,"query":"layers","depth":3}'
+      '{"id":8,"model":"mobile","n":4,"query":"layers","depth":3}'
+    )
+    inflight_pids=()
+    for r in "${inflight_reqs[@]}"; do
+      "$dir/examples/laconrd" --socket "$wsock" --timeout 10000 --client \
+        "$r" > /dev/null 2>&1 &
+      inflight_pids+=($!)
+    done
     sleep 0.1
     kill -KILL "$wal_pid"
     wait "$wal_pid" && exit 1 || true  # must report the kill, not exit 0
-    wait "$inflight_pid" || true       # may have lost its connection: fine
+    for p in "${inflight_pids[@]}"; do
+      wait "$p" || true                # may have lost its connection: fine
+    done
     # Restart over the same store dir on a fresh socket (the old socket
     # file survived the kill and would defeat the readiness probe).
     wsock2="/tmp/laconrd_wal2_$$.sock"
-    LACON_WAL=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
+    LACON_WAL=on LACON_MMAP=on LACON_STORE=off LACON_STORE_DIR="$wal_dir" \
       "$dir/examples/laconrd" --socket "$wsock2" &
     wal_pid=$!
     for _ in $(seq 50); do [[ -S "$wsock2" ]] && break; sleep 0.1; done

@@ -12,8 +12,11 @@
 //
 //   A  reference daemon, persistence off: run the workload, keep responses.
 //   B  crash daemon, LACON_WAL=on over a fresh store dir: same workload
-//      (responses must already match A), then SIGKILL it while a larger
-//      request is in flight on a second forked client.
+//      (responses must already match A), then SIGKILL it with at least four
+//      forked clients concurrently in flight — same-session requests at
+//      different horizons riding the group-commit path, plus a larger
+//      session mid-interning — so the kill lands inside the coalesced
+//      append+fsync discipline, not a quiet daemon.
 //   C  recovery daemon over the same store dir: the workload again must
 //      yield responses byte-identical to A, with metrics.new_states == 0 and
 //      new_views == 0 on every request (nothing re-interned), and the
@@ -67,10 +70,20 @@ const std::vector<std::string>& workload() {
   return kRequests;
 }
 
-// The request that is in flight when the SIGKILL lands: a different (bigger)
-// session, so the kill interrupts live interning and possibly a WAL append.
-const char* kInflightRequest =
-    R"({"id":5,"model":"mobile","n":4,"query":"layers","depth":3})";
+// The requests in flight when the SIGKILL lands, one forked client each.
+// Three hammer the committed session concurrently at distinct horizons —
+// concurrent commit_wal calls stage into one group-commit round, so the
+// kill can land inside the coalesced append+fsync — and the fourth interns
+// a bigger fresh session so live arena growth is interrupted too.
+const std::vector<std::string>& inflight_requests() {
+  static const std::vector<std::string> kRequests = {
+      R"({"id":5,"model":"mobile","n":3,"query":"valence","depth":2,"horizon":4})",
+      R"({"id":6,"model":"mobile","n":3,"query":"valence","depth":2,"horizon":5})",
+      R"({"id":7,"model":"mobile","n":3,"query":"layers","depth":3})",
+      R"({"id":8,"model":"mobile","n":4,"query":"layers","depth":3})",
+  };
+  return kRequests;
+}
 
 // Forked daemon child: sets the persistence env, serves until SIGTERM.
 // Never returns.
@@ -241,14 +254,20 @@ int main() {
         fail("phase B", "first request interned nothing — workload is vacuous");
       }
     }
-    // Put a request in flight on a forked client, then SIGKILL the daemon
-    // under it. The client's outcome is irrelevant (it may even finish);
-    // what matters is that the kill lands with the daemon mid-work.
-    const pid_t client = ::fork();
-    if (client == 0) {
-      std::string resp, error;
-      Server::request(sock_b, kInflightRequest, &resp, &error, 10'000);
-      _exit(0);
+    // Put the concurrent requests in flight, one forked client each, then
+    // SIGKILL the daemon under them. The clients' outcomes are irrelevant
+    // (some may even finish); what matters is that the kill lands with the
+    // daemon mid-work — including mid group-commit — and that phase C still
+    // recovers every response phase B already delivered.
+    std::vector<pid_t> clients;
+    for (const std::string& req : inflight_requests()) {
+      const pid_t client = ::fork();
+      if (client == 0) {
+        std::string resp, error;
+        Server::request(sock_b, req, &resp, &error, 10'000);
+        _exit(0);
+      }
+      if (client > 0) clients.push_back(client);
     }
     struct timespec ts{0, 100'000'000};
     nanosleep(&ts, nullptr);
@@ -259,7 +278,7 @@ int main() {
       fail("phase B", "daemon was not killed by SIGKILL (status " +
                           std::to_string(status) + ")");
     }
-    if (client > 0) ::waitpid(client, &status, 0);
+    for (const pid_t client : clients) ::waitpid(client, &status, 0);
   }
 
   // Phase C: recovery run over the same store dir.

@@ -56,6 +56,17 @@ StateId LayeredModel::restore_state(GlobalState s) {
   return arena_.restore(std::move(s));
 }
 
+void LayeredModel::adopt_mapped_states(const std::int64_t* base,
+                                       std::shared_ptr<const void> keepalive) {
+  arena_.adopt_mapped_region(base, std::move(keepalive));
+}
+
+StateId LayeredModel::restore_mapped_state(const StateRef& s,
+                                           std::uint64_t word_offset,
+                                           std::uint64_t hash) {
+  return arena_.restore_mapped(s, word_offset, hash);
+}
+
 const std::uint64_t* LayeredModel::fingerprint_row(StateId x) {
   auto& slot = fp_memo_.slot(static_cast<std::size_t>(x));
   if (const std::uint64_t* cached = slot.load(std::memory_order_acquire)) {

@@ -85,8 +85,62 @@ StateArena::StateArena()
       hits_(&runtime::Stats::global().counter("arena.state_hits")),
       misses_(&runtime::Stats::global().counter("arena.state_misses")),
       restored_(&runtime::Stats::global().counter("arena.state_restored")),
+      mapped_(&runtime::Stats::global().counter("arena.state_mapped")),
       shard_waits_(
           &runtime::Stats::global().counter("arena.state_shard_waits")) {}
+
+void StateArena::adopt_mapped_region(const std::int64_t* base,
+                                     std::shared_ptr<const void> keepalive) {
+  assert(size() == 0 && "mapped adoption requires an empty arena");
+  mapped_base_ = base;
+  mapped_keepalive_ = std::move(keepalive);
+}
+
+StateId StateArena::restore_mapped(const StateRef& s,
+                                   std::uint64_t word_offset,
+                                   std::uint64_t hash) {
+  fault::maybe_throw_alloc_fault();
+  assert(mapped_base_ != nullptr && "adopt_mapped_region first");
+  assert(s.decisions.size() == s.locals.size() &&
+         "StateRef carries one decision slot per process");
+  assert(s.locals.size() % 2 == 0 &&
+         "mapped adoption is even-n only (the pool pads odd-count lanes, "
+         "the disk record does not)");
+  assert(hash == content_hash(s) && "hash must be content_hash(s)");
+  Shard& sh = shard_for(hash);
+  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard_waits_->increment();
+    lock.lock();
+  }
+  auto [lo, hi] = sh.index.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (state(it->second) == s) {
+      hits_->increment();
+      return it->second;
+    }
+  }
+  Header hd;
+  hd.offset = word_offset;
+  hd.env_len = static_cast<std::uint32_t>(s.env.size());
+  hd.n = static_cast<std::uint32_t>(s.locals.size());
+  const StateId id =
+      static_cast<StateId>(next_id_.fetch_add(1, std::memory_order_acq_rel));
+  headers_.slot(static_cast<std::size_t>(id)) = hd;
+  // Adoption runs in stored-id order into an empty arena, so the mapped
+  // prefix stays dense: every id below mapped_count_ resolves through the
+  // mapping, everything at or above it through the pool.
+  mapped_count_ = static_cast<std::size_t>(id) + 1;
+  // Identical byte accounting to intern/restore: the guard's memory budget
+  // must read the same total for the same content on every load path, or
+  // truncation depths would differ between mmap and streaming warm starts.
+  approx_bytes_.fetch_add(state_footprint(s.env.size(), s.locals.size()),
+                          std::memory_order_relaxed);
+  sh.index.emplace(hash, id);
+  restored_->increment();
+  mapped_->increment();
+  return id;
+}
 
 StateId StateArena::intern(GlobalState s) {
   return intern_impl(std::move(s), misses_);

@@ -101,10 +101,31 @@ class StateArena {
   // analysis, not the snapshot replay itself.
   StateId restore(GlobalState s);
 
+  // --- mmap zero-copy adoption (store/snapshot.cc, FORMATS.md) -------------
+  //
+  // A snapshot loader may adopt the flat state payloads of an mmap'ed
+  // lacon.store.v1 file in place instead of copying them into the pool:
+  // adopt_mapped_region() pins the mapping (released when the arena dies)
+  // and restore_mapped() interns a state whose payload already lives
+  // `word_offset` words past the mapped base. Only legal on an empty arena
+  // before any analysis, in stored-id order, and only for layouts whose
+  // on-disk record payload is byte-identical to the pool encoding (even n:
+  // no odd-count lane padding). Mapped ids occupy [0, mapped_count_)
+  // densely; state() serves them from the mapping and everything younger
+  // from the pool. `hash` must be content_hash of `s` (callers compute it
+  // once for the digest cross-check anyway). Counts into both
+  // "arena.state_restored" (it is a restore) and "arena.state_mapped".
+  void adopt_mapped_region(const std::int64_t* base,
+                           std::shared_ptr<const void> keepalive);
+  StateId restore_mapped(const StateRef& s, std::uint64_t word_offset,
+                         std::uint64_t hash);
+
   StateRef state(StateId id) const noexcept {
     const Header& h = headers_[static_cast<std::size_t>(id)];
     if (h.total_words() == 0) return {};
-    const std::int64_t* base = pool_.data(h.offset);
+    const std::int64_t* base = static_cast<std::size_t>(id) < mapped_count_
+                                   ? mapped_base_ + h.offset
+                                   : pool_.data(h.offset);
     const auto* locals =
         reinterpret_cast<const ViewId*>(base + h.env_len);
     const auto* decisions = reinterpret_cast<const Value*>(
@@ -173,9 +194,18 @@ class StateArena {
   runtime::ConcurrentSlotVector<Header> headers_;
   std::atomic<std::size_t> next_id_{0};
   std::atomic<std::size_t> approx_bytes_{0};
+  // Mapped-snapshot adoption state. Plain (non-atomic) members by the same
+  // publication discipline as headers_ slot contents: both are written only
+  // during the single-threaded snapshot load, and every id reaches another
+  // thread through a synchronized channel (shard mutexes, the runtime's work
+  // queues) established afterwards.
+  const std::int64_t* mapped_base_ = nullptr;
+  std::size_t mapped_count_ = 0;
+  std::shared_ptr<const void> mapped_keepalive_;
   runtime::Counter* hits_;
   runtime::Counter* misses_;
   runtime::Counter* restored_;
+  runtime::Counter* mapped_;
   runtime::Counter* shard_waits_;
 };
 

@@ -224,6 +224,11 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
                  store::to_string(w.status), w.detail.c_str(), wpath.c_str());
     wal_->close();
     std::rename(wpath.c_str(), (wpath + ".bad").c_str());
+    // Surface the quarantine on the wire too (stderr alone is invisible to
+    // remote operators): the next response for this session carries a
+    // "notice" naming the quarantined file.
+    pending_notice_ = "wal quarantined to " + wpath + ".bad (" +
+                      store::to_string(w.status) + ": " + w.detail + ")";
     const store::Result s = store::save(*model_, path, eng, lemmas_.get());
     if (s.ok()) {
       store::SnapshotMeta meta;
@@ -244,9 +249,52 @@ void Session::ensure_store_loaded(ValenceEngine* eng) {
 }
 
 void Session::commit_wal(ValenceEngine* eng) {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  commit_wal(std::vector<ValenceEngine*>{eng});
+}
+
+void Session::commit_wal(const std::vector<ValenceEngine*>& engines) {
+  // wal_ is written exactly once, inside this thread's earlier
+  // ensure_store_loaded call (under store_mu_), so the unlocked read here
+  // is ordered after that write.
   if (wal_ == nullptr) return;
-  const store::Result r = wal_->append(*model_, eng, lemmas_.get());
+
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_engines_.insert(commit_engines_.end(), engines.begin(),
+                         engines.end());
+  // Wal::append persists everything interned before it runs, so this
+  // caller's work — finished before this call — is covered by any round
+  // that STARTS from here on. A round already in flight may have captured
+  // its horizon before we arrived and cannot be counted on.
+  const std::uint64_t need = commit_started_ + 1;
+  while (commit_done_ < need) {
+    if (!commit_leader_) {
+      // Claim leadership of the next round and commit the whole stage with
+      // one append+fsync. Leader exclusivity (commit_leader_) keeps the
+      // Wal externally serialized; store_mu_ additionally fences loads,
+      // saves and compaction.
+      commit_leader_ = true;
+      const std::uint64_t round = ++commit_started_;
+      std::vector<ValenceEngine*> staged;
+      staged.swap(commit_engines_);
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> store(store_mu_);
+        leader_commit_locked(staged);
+      }
+      lock.lock();
+      commit_leader_ = false;
+      commit_done_ = round;
+      commit_cv_.notify_all();
+    } else {
+      runtime::Stats::global().counter("service.commit_waits").increment();
+      commit_cv_.wait(lock);
+    }
+  }
+}
+
+void Session::leader_commit_locked(
+    const std::vector<ValenceEngine*>& engines) {
+  const store::Result r = wal_->append(*model_, engines, lemmas_.get());
   if (!r.ok()) {
     std::fprintf(stderr, "laconrd: wal append failed (%s): %s\n",
                  store::to_string(r.status), r.detail.c_str());
@@ -259,6 +307,7 @@ void Session::commit_wal(ValenceEngine* eng) {
   // restart the log from it. The watermark counts come from the file just
   // written (probe), not the live model — interning may have raced the
   // save.
+  ValenceEngine* eng = engines.empty() ? nullptr : engines.front();
   const std::string path = store::snapshot_path(*model_);
   const store::Result s = store::save(*model_, path, eng, lemmas_.get());
   if (!s.ok()) {
@@ -275,6 +324,13 @@ void Session::commit_wal(ValenceEngine* eng) {
     std::fprintf(stderr, "laconrd: wal reset failed (%s): %s\n",
                  store::to_string(t.status), t.detail.c_str());
   }
+}
+
+std::string Session::take_notice() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  std::string out;
+  out.swap(pending_notice_);
+  return out;
 }
 
 bool Session::store_save() {
@@ -326,7 +382,19 @@ std::size_t SessionManager::session_count() {
   return sessions_.size();
 }
 
-Json handle_request(SessionManager& sessions, const Request& req) {
+namespace {
+
+// One executed-but-not-yet-committed request: the response document plus
+// the session/engine whose delta still needs a WAL commit. handle_request
+// commits immediately; handle_batch defers and commits each touched
+// session once for the whole batch.
+struct Executed {
+  Json response;
+  Session* session = nullptr;
+  ValenceEngine* engine = nullptr;
+};
+
+Executed execute_request(SessionManager& sessions, const Request& req) {
   const auto start = std::chrono::steady_clock::now();
   auto& stats = runtime::Stats::global();
   stats.counter("service.requests").increment();
@@ -416,12 +484,6 @@ Json handle_request(SessionManager& sessions, const Request& req) {
     reason = guard::TruncationReason::kStateBudget;
   }
 
-  // Durability commit BEFORE the response exists: once the client reads a
-  // response line, every state/view/cache entry it depended on is fsync'd
-  // in the WAL (LACON_WAL=on; no-op otherwise), so kill -9 after a
-  // response never loses that response's work.
-  session.commit_wal(&engine);
-
   resp.set("status", reason == guard::TruncationReason::kNone
                          ? Json("ok")
                          : Json("truncated"));
@@ -450,22 +512,78 @@ Json handle_request(SessionManager& sessions, const Request& req) {
     // The same lacon.metrics.v1 document the bench harnesses emit.
     resp.set("snapshot", Json::raw(trace::metrics_snapshot_json()));
   }
-  return resp;
+  // Operator notice from store recovery (e.g. "wal quarantined to <path>"):
+  // attached to whichever response drains it first, so the quarantined
+  // file's path reaches the wire rather than only stderr.
+  const std::string notice = session.take_notice();
+  if (!notice.empty()) resp.set("notice", Json(notice));
+  return Executed{std::move(resp), &session, &engine};
+}
+
+// Parses one NDJSON line into `req`. On failure fills `error_resp` with the
+// one-line error response (null id unless the id parsed) and returns false.
+bool parse_line(std::string_view line, Request* req, Json* error_resp) {
+  std::string error;
+  std::optional<Json> doc = Json::parse(line, &error);
+  if (doc && parse_request(*doc, req, &error)) return true;
+  runtime::Stats::global().counter("service.requests_rejected").increment();
+  error_resp->set("id", doc ? req->id : Json(nullptr));
+  error_resp->set("status", Json("error"));
+  error_resp->set("error", Json(error.empty() ? "malformed request" : error));
+  return false;
+}
+
+}  // namespace
+
+Json handle_request(SessionManager& sessions, const Request& req) {
+  Executed ex = execute_request(sessions, req);
+  // Durability commit BEFORE the response exists: once the client reads a
+  // response line, every state/view/cache entry it depended on is fsync'd
+  // in the WAL (LACON_WAL=on; no-op otherwise), so kill -9 after a
+  // response never loses that response's work.
+  ex.session->commit_wal(ex.engine);
+  return std::move(ex.response);
 }
 
 std::string handle_line(SessionManager& sessions, std::string_view line) {
-  std::string error;
-  std::optional<Json> doc = Json::parse(line, &error);
   Request req;
-  if (!doc || !parse_request(*doc, &req, &error)) {
-    runtime::Stats::global().counter("service.requests_rejected").increment();
-    Json resp;
-    resp.set("id", doc ? req.id : Json(nullptr));
-    resp.set("status", Json("error"));
-    resp.set("error", Json(error.empty() ? "malformed request" : error));
-    return resp.dump();
-  }
+  Json error_resp;
+  if (!parse_line(line, &req, &error_resp)) return error_resp.dump();
   return handle_request(sessions, req).dump();
+}
+
+std::vector<std::string> handle_batch(SessionManager& sessions,
+                                      const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  // Sessions touched by this batch, in first-touch order, with every engine
+  // the batch ran against them. A connection rarely touches more than a
+  // couple of sessions, so linear scan beats a map here.
+  std::vector<std::pair<Session*, std::vector<ValenceEngine*>>> touched;
+  for (const std::string& line : lines) {
+    Request req;
+    Json error_resp;
+    if (!parse_line(line, &req, &error_resp)) {
+      out.push_back(error_resp.dump());
+      continue;
+    }
+    Executed ex = execute_request(sessions, req);
+    auto it = touched.begin();
+    while (it != touched.end() && it->first != ex.session) ++it;
+    if (it == touched.end()) {
+      touched.push_back({ex.session, {ex.engine}});
+    } else {
+      it->second.push_back(ex.engine);
+    }
+    out.push_back(ex.response.dump());
+  }
+  // One group commit per touched session: the whole batch's work shares one
+  // fsync (Wal's batch append), and the commit still precedes every
+  // response byte on the wire — the caller only sends after we return.
+  for (auto& [session, engines] : touched) {
+    session->commit_wal(engines);
+  }
+  return out;
 }
 
 }  // namespace lacon::service

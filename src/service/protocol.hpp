@@ -32,6 +32,7 @@
 // session run in parallel.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -103,13 +104,27 @@ class Session {
   // to a cold start (one stderr line).
   void ensure_store_loaded(ValenceEngine* eng);
 
-  // Durability commit point (LACON_WAL=on; no-op otherwise): appends
-  // everything interned/cached since the last commit to the WAL and fsyncs
-  // it. handle_request calls this after analysis and BEFORE the response is
+  // Durability commit point (LACON_WAL=on; no-op otherwise): returns only
+  // once everything this request interned/cached is fsync'd in the WAL.
+  // handle_request calls this after analysis and BEFORE the response is
   // serialized, so a response on the wire implies its work survives
-  // kill -9. Compacts the log into a fresh snapshot once it outgrows
-  // LACON_WAL_COMPACT times the snapshot.
+  // kill -9. Commits are GROUP-COMMITTED: concurrent callers stage their
+  // engines and exactly one leader performs a single coalesced
+  // append+fsync for the whole round (Wal::append batch overload); every
+  // caller waits for a round that started no earlier than its own arrival,
+  // which — appends cover everything past the durability watermark — is
+  // what makes its finished work durable. Compacts the log into a fresh
+  // snapshot once it outgrows LACON_WAL_COMPACT times the snapshot. The
+  // vector overload stages several engines in one round (a pipelined batch
+  // of requests shares one fsync).
   void commit_wal(ValenceEngine* eng);
+  void commit_wal(const std::vector<ValenceEngine*>& engines);
+
+  // Drains the pending operator notice (empty if none): set when store
+  // recovery quarantined an unreadable WAL to `<path>.bad`, and attached by
+  // handle_request to the next response as a "notice" field so operators
+  // learn the quarantined file's path from the wire, not just stderr.
+  std::string take_notice();
 
   // Saves the session per LACON_STORE; uses the most recently used engine's
   // memo. Returns false (with a stderr line) if the save failed. With the
@@ -126,10 +141,27 @@ class Session {
   std::mutex engines_mu_;
   std::map<int, std::unique_ptr<ValenceEngine>> engines_;
   ValenceEngine* last_engine_ = nullptr;
+  // The leader's append/compact body; caller holds store_mu_ via the
+  // group-commit protocol in commit_wal.
+  void leader_commit_locked(const std::vector<ValenceEngine*>& engines);
+
   std::mutex store_mu_;
   bool store_attempted_ = false;
   std::unique_ptr<store::Wal> wal_;       // null unless LACON_WAL=on
   std::uint64_t snapshot_bytes_ = 0;      // compaction baseline
+  std::string pending_notice_;            // guarded by store_mu_
+
+  // --- group commit (see commit_wal) ---
+  // commit_started_ counts rounds a leader has claimed, commit_done_ rounds
+  // completed; a caller needs commit_done_ >= (commit_started_ at arrival)
+  // + 1, because only a round that STARTS after its analysis finished is
+  // guaranteed to capture its delta.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::uint64_t commit_started_ = 0;
+  std::uint64_t commit_done_ = 0;
+  bool commit_leader_ = false;
+  std::vector<ValenceEngine*> commit_engines_;  // staged for the next round
 };
 
 // Owns every session; thread-safe. Sessions are created on demand and live
@@ -153,7 +185,17 @@ Json handle_request(SessionManager& sessions, const Request& req);
 
 // Full line-level entry point: parse, validate, execute, serialize. Always
 // returns a one-line JSON response (parse failures become status "error"
-// with a null id), never throws.
+// with a null id), never throws. Equivalent to a pipelined batch of one.
 std::string handle_line(SessionManager& sessions, std::string_view line);
+
+// Pipelined execution of several NDJSON request lines read off one
+// connection: requests execute IN ORDER, every session a batch touched is
+// group-committed ONCE (all the batch's work shares one WAL fsync), and
+// only then are the responses returned — in request order, one response
+// string per line. The durability contract is unchanged: the commit
+// precedes every response byte, so any response on the wire implies the
+// whole batch's work survives kill -9. See PROTOCOL.md "Pipelining".
+std::vector<std::string> handle_batch(SessionManager& sessions,
+                                      const std::vector<std::string>& lines);
 
 }  // namespace lacon::service

@@ -225,21 +225,39 @@ void Server::serve_connection(Connection* conn) {
     buffer.append(chunk, static_cast<std::size_t>(n));
     last_activity = Clock::now();
 
+    // Pipelining: every complete line the chunk delivered is one batch.
+    // handle_batch executes the requests in order and group-commits each
+    // touched session ONCE, so a client that writes k requests back to
+    // back pays one WAL fsync, not k — and the responses (sent below, in
+    // request order) still only hit the wire after that commit.
     std::size_t start = 0;
+    std::vector<std::string> lines;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {
       std::string_view line(buffer.data() + start, nl - start);
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       start = nl + 1;
       if (line.empty()) continue;
-      const std::string response = handle_line(sessions_, line) + "\n";
-      if (!send_all(fd, response.data(), response.size())) {
-        conn->done.store(true, std::memory_order_release);
-        return;
+      lines.emplace_back(line);
+    }
+    buffer.erase(0, start);
+    if (!lines.empty()) {
+      if (lines.size() > 1) {
+        runtime::Stats::global()
+            .counter("service.pipelined_lines")
+            .add(lines.size());
+      }
+      const std::vector<std::string> responses =
+          handle_batch(sessions_, lines);
+      for (const std::string& r : responses) {
+        const std::string framed = r + "\n";
+        if (!send_all(fd, framed.data(), framed.size())) {
+          conn->done.store(true, std::memory_order_release);
+          return;
+        }
       }
       last_activity = Clock::now();
     }
-    buffer.erase(0, start);
 
     if (buffer.size() > options_.max_line_bytes) {
       send_all(fd, kLineTooLongResponse, sizeof kLineTooLongResponse - 1);

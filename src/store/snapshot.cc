@@ -1,6 +1,7 @@
 #include "store/snapshot.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -11,6 +12,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <utility>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "runtime/stats.hpp"
 #include "runtime/trace.hpp"
 #include "store/codec.hpp"
+#include "store/env.hpp"
 
 namespace lacon::store {
 
@@ -195,15 +198,44 @@ Result read_file(const std::string& path, std::vector<std::uint8_t>* out) {
   return {};
 }
 
-Result parse_header(const std::vector<std::uint8_t>& bytes,
-                    const std::string& path, Header* h) {
-  if (bytes.size() < kPreludeBytes) {
+// A read-only private mapping of a whole file, released by the last owner of
+// the returned keepalive (the arena outlives the load when state sections
+// are adopted in place). Returns nullptr — never a typed error — on any
+// failure (missing file, empty file, mmap refusal): the caller falls back to
+// the streaming read, whose error vocabulary existing callers rely on.
+std::shared_ptr<const void> map_file(const std::string& path,
+                                     std::size_t* size) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return nullptr;
+  *size = bytes;
+  return std::shared_ptr<const void>(
+      base, [bytes](const void* p) {
+        ::munmap(const_cast<void*>(p), bytes);
+      });
+}
+
+struct Bytes {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+Result parse_header(const Bytes& bytes, const std::string& path, Header* h) {
+  if (bytes.size < kPreludeBytes) {
     return fail(Status::kTruncated, path + ": shorter than the prelude");
   }
-  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+  if (std::memcmp(bytes.data, kMagic, sizeof kMagic) != 0) {
     return fail(Status::kBadMagic, path + ": not a lacon.store file");
   }
-  Reader pre(bytes.data() + sizeof kMagic, bytes.size() - sizeof kMagic);
+  Reader pre(bytes.data + sizeof kMagic, bytes.size - sizeof kMagic);
   std::uint32_t version = 0, header_bytes = 0;
   std::uint64_t header_checksum = 0;
   pre.u32(&version);
@@ -215,10 +247,10 @@ Result parse_header(const std::vector<std::uint8_t>& bytes,
                     " (this build speaks only v" +
                     std::to_string(kFormatVersion) + ")");
   }
-  if (bytes.size() < kPreludeBytes + header_bytes) {
+  if (bytes.size < kPreludeBytes + header_bytes) {
     return fail(Status::kTruncated, path + ": header extends past EOF");
   }
-  const std::uint8_t* body = bytes.data() + kPreludeBytes;
+  const std::uint8_t* body = bytes.data + kPreludeBytes;
   if (fnv1a(body, header_bytes) != header_checksum) {
     return fail(Status::kCorrupt, path + ": header checksum mismatch");
   }
@@ -253,8 +285,8 @@ Result parse_header(const std::vector<std::uint8_t>& bytes,
     if (!r.raw(&e, sizeof e)) {
       return fail(Status::kCorrupt, path + ": section table too short");
     }
-    if (e.offset % 8 != 0 || e.offset > bytes.size() ||
-        e.bytes > bytes.size() - e.offset) {
+    if (e.offset % 8 != 0 || e.offset > bytes.size ||
+        e.bytes > bytes.size - e.offset) {
       return fail(Status::kTruncated,
                   path + ": section " + std::to_string(e.kind) +
                       " extends past EOF");
@@ -270,9 +302,9 @@ const SectionEntry* find_section(const Header& h, SectionKind kind) {
   return nullptr;
 }
 
-Result checksum_section(const std::vector<std::uint8_t>& bytes,
-                        const std::string& path, const SectionEntry& e) {
-  if (fnv1a(bytes.data() + e.offset, e.bytes) != e.checksum) {
+Result checksum_section(const Bytes& bytes, const std::string& path,
+                        const SectionEntry& e) {
+  if (fnv1a(bytes.data + e.offset, e.bytes) != e.checksum) {
     return fail(Status::kCorrupt, path + ": section " + std::to_string(e.kind) +
                                       " checksum mismatch");
   }
@@ -477,8 +509,9 @@ Result save(LayeredModel& model, const std::string& path,
 }
 
 Result probe(const std::string& path, SnapshotMeta* meta) {
-  std::vector<std::uint8_t> bytes;
-  if (Result r = read_file(path, &bytes); !r.ok()) return r;
+  std::vector<std::uint8_t> file;
+  if (Result r = read_file(path, &file); !r.ok()) return r;
+  const Bytes bytes{file.data(), file.size()};
   Header h;
   if (Result r = parse_header(bytes, path, &h); !r.ok()) return r;
   if (meta != nullptr) {
@@ -488,7 +521,7 @@ Result probe(const std::string& path, SnapshotMeta* meta) {
     meta->max_faulty = static_cast<int>(h.max_faulty);
     meta->num_views = h.num_views;
     meta->num_states = h.num_states;
-    meta->file_bytes = bytes.size();
+    meta->file_bytes = bytes.size;
     if (const auto* e = find_section(h, SectionKind::kLayerCache)) {
       meta->layer_entries = e->count;
     }
@@ -511,8 +544,25 @@ Result load(LayeredModel& model, const std::string& path,
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("store.load_time"));
 
-  std::vector<std::uint8_t> bytes;
-  if (Result r = read_file(path, &bytes); !r.ok()) return r;
+  // Byte source: an mmap'ed view of the file when LACON_MMAP allows it (the
+  // kStates section can then be adopted in place), otherwise a streamed
+  // heap copy. A failed mmap falls back to streaming silently, so the error
+  // vocabulary (missing file => kIoError, short file => kTruncated, ...) is
+  // identical on both paths.
+  std::vector<std::uint8_t> file;
+  std::shared_ptr<const void> mapping;
+  Bytes bytes;
+  if (mmap_enabled()) {
+    std::size_t mapped_size = 0;
+    mapping = map_file(path, &mapped_size);
+    if (mapping != nullptr) {
+      bytes = {static_cast<const std::uint8_t*>(mapping.get()), mapped_size};
+    }
+  }
+  if (mapping == nullptr) {
+    if (Result r = read_file(path, &file); !r.ok()) return r;
+    bytes = {file.data(), file.size()};
+  }
   Header h;
   if (Result r = parse_header(bytes, path, &h); !r.ok()) return r;
   LACON_TRACE_PHASE("store", "load", h.num_states);
@@ -562,7 +612,7 @@ Result load(LayeredModel& model, const std::string& path,
     // --- Views, in stored-id order. ---------------------------------------
     DigestAccumulator view_digests(h.digest_shards);
     {
-      Reader r(bytes.data() + views_sec->offset, views_sec->bytes);
+      Reader r(bytes.data + views_sec->offset, views_sec->bytes);
       for (std::uint64_t id = 0; id < views_sec->count; ++id) {
         ViewNode v;
         if (!codec::decode_view(r, &v)) {
@@ -591,7 +641,7 @@ Result load(LayeredModel& model, const std::string& path,
       }
     }
     {
-      Reader r(bytes.data() + vdig_sec->offset, vdig_sec->bytes);
+      Reader r(bytes.data + vdig_sec->offset, vdig_sec->bytes);
       for (std::uint32_t s = 0; s < h.digest_shards; ++s) {
         std::uint64_t stored = 0;
         if (!r.u64(&stored) || stored != view_digests.sums()[s]) {
@@ -603,11 +653,65 @@ Result load(LayeredModel& model, const std::string& path,
     }
 
     // --- States, in stored-id order. --------------------------------------
+    //
+    // Two replay paths over the same record stream. The zero-copy path
+    // adopts each flat payload straight out of the mapping: for even n the
+    // on-disk record (env words | n packed locals lanes | n packed
+    // decisions lanes) is byte-identical to the pool encoding, and every
+    // record in the 8-aligned section is itself 8-aligned (8 + 8*env_len +
+    // 8n bytes). Odd n pads its lane words in the pool but not on disk, so
+    // it streams; LACON_MMAP=off streams everything. Either way the digest
+    // cross-check below sees the identical content hashes.
     DigestAccumulator state_digests(h.digest_shards);
+    const bool adopt = mapping != nullptr && n % 2 == 0;
+    if (adopt && states_sec->count > 0) {
+      // The mapping's lifetime transfers to the arena with the first
+      // adopted state (kept alive until the model dies).
+      model.adopt_mapped_states(
+          reinterpret_cast<const std::int64_t*>(bytes.data), mapping);
+    }
     {
-      Reader r(bytes.data() + states_sec->offset, states_sec->bytes);
+      Reader r(bytes.data + states_sec->offset, states_sec->bytes);
       const std::uint64_t num_views = views_sec->count;
+      const std::size_t lanes = static_cast<std::size_t>(n) / 2;
       for (std::uint64_t id = 0; id < states_sec->count; ++id) {
+        if (adopt) {
+          const std::size_t rec_off = states_sec->bytes - r.remaining();
+          std::uint64_t env_len = 0;
+          if (!r.u64(&env_len) || env_len > r.remaining() / 8 ||
+              !r.skip(static_cast<std::size_t>(env_len) * 8 +
+                      static_cast<std::size_t>(n) * 8)) {
+            return fail(Status::kTruncated,
+                        path + ": state record " + std::to_string(id) +
+                            " extends past its section");
+          }
+          const auto* payload = reinterpret_cast<const std::int64_t*>(
+              bytes.data + states_sec->offset + rec_off + 8);
+          const StateRef s{
+              {payload, static_cast<std::size_t>(env_len)},
+              {reinterpret_cast<const ViewId*>(payload + env_len),
+               static_cast<std::size_t>(n)},
+              {reinterpret_cast<const Value*>(payload + env_len + lanes),
+               static_cast<std::size_t>(n)}};
+          for (ViewId v : s.locals) {
+            if (v < 0 || static_cast<std::uint64_t>(v) >= num_views) {
+              return fail(Status::kCorrupt,
+                          path + ": state record " + std::to_string(id) +
+                              " references an unknown view");
+            }
+          }
+          const std::uint64_t hash = StateArena::content_hash(s);
+          state_digests.add(hash);
+          const std::uint64_t word_offset =
+              (states_sec->offset + rec_off + 8) / 8;
+          const StateId got = model.restore_mapped_state(s, word_offset, hash);
+          if (static_cast<std::uint64_t>(got) != id) {
+            return fail(Status::kCorrupt,
+                        path + ": state replay diverged at id " +
+                            std::to_string(id));
+          }
+          continue;
+        }
         GlobalState s;
         if (!codec::decode_state(r, n, &s)) {
           return fail(Status::kTruncated,
@@ -635,7 +739,7 @@ Result load(LayeredModel& model, const std::string& path,
       }
     }
     {
-      Reader r(bytes.data() + sdig_sec->offset, sdig_sec->bytes);
+      Reader r(bytes.data + sdig_sec->offset, sdig_sec->bytes);
       for (std::uint32_t s = 0; s < h.digest_shards; ++s) {
         std::uint64_t stored = 0;
         if (!r.u64(&stored) || stored != state_digests.sums()[s]) {
@@ -650,7 +754,7 @@ Result load(LayeredModel& model, const std::string& path,
 
     // --- Layer cache. ------------------------------------------------------
     if (const SectionEntry* e = find_section(h, SectionKind::kLayerCache)) {
-      Reader r(bytes.data() + e->offset, e->bytes);
+      Reader r(bytes.data + e->offset, e->bytes);
       std::vector<std::pair<StateId, std::vector<StateId>>> entries;
       entries.reserve(static_cast<std::size_t>(e->count));
       for (std::uint64_t i = 0; i < e->count; ++i) {
@@ -676,7 +780,7 @@ Result load(LayeredModel& model, const std::string& path,
 
     // --- Valence memo (only into a matching engine). -----------------------
     if (const SectionEntry* e = find_section(h, SectionKind::kValenceMemo)) {
-      Reader r(bytes.data() + e->offset, e->bytes);
+      Reader r(bytes.data + e->offset, e->bytes);
       std::int32_t horizon = 0;
       std::uint32_t mode = 0;
       std::uint64_t count = 0;
@@ -713,7 +817,7 @@ Result load(LayeredModel& model, const std::string& path,
 
     // --- Fingerprint rows. --------------------------------------------------
     if (const SectionEntry* e = find_section(h, SectionKind::kFingerprints)) {
-      Reader r(bytes.data() + e->offset, e->bytes);
+      Reader r(bytes.data + e->offset, e->bytes);
       std::vector<std::uint64_t> row(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < e->count; ++i) {
         StateId x = 0;
@@ -734,7 +838,7 @@ Result load(LayeredModel& model, const std::string& path,
 
     // --- Lemma facts. -------------------------------------------------------
     if (const SectionEntry* e = find_section(h, SectionKind::kLemmas)) {
-      Reader r(bytes.data() + e->offset, e->bytes);
+      Reader r(bytes.data + e->offset, e->bytes);
       if (e->bytes != e->count * codec::kLemmaEntryBytes) {
         return fail(Status::kCorrupt,
                     path + ": lemma section size disagrees with its count");
@@ -766,7 +870,8 @@ Result load(LayeredModel& model, const std::string& path,
     return fail(Status::kIoError, path + ": allocation failure during replay");
   }
 
-  stats.counter("store.bytes_read").add(bytes.size());
+  stats.counter("store.bytes_read").add(bytes.size);
+  if (mapping != nullptr) stats.counter("store.mmap_loads").increment();
   stats.counter("store.snapshots_loaded").increment();
   return {};
 }

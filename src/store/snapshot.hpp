@@ -30,7 +30,12 @@
 // the quotient is off — which is the mode they were saved under.
 //
 // The layout is mmap-friendly — fixed prelude, absolute section offsets,
-// aligned payloads — though the current loader simply reads the file.
+// aligned payloads — and the loader exploits it: under LACON_MMAP=on (the
+// default) load() maps the file and adopts the flat state payloads in
+// place (StateArena::restore_mapped), falling back to the streaming read
+// when the mapping fails, the knob is off, or the record layout differs
+// from the pool encoding (odd n pads its lane words in memory but not on
+// disk). FORMATS.md is the normative byte-level spec.
 // Corrupt, short, or mismatched files are rejected with a typed Status and
 // leave the model untouched up to the failing section (a failed load should
 // be answered by constructing a fresh model). Files with version != 1 are

@@ -509,6 +509,14 @@ Result Wal::replay(LayeredModel& model, ValenceEngine* engine,
 
 Result Wal::append(LayeredModel& model, ValenceEngine* engine,
                    LemmaStore* lemmas) {
+  std::vector<ValenceEngine*> engines;
+  if (engine != nullptr) engines.push_back(engine);
+  return append(model, engines, lemmas);
+}
+
+Result Wal::append(LayeredModel& model,
+                   const std::vector<ValenceEngine*>& engines,
+                   LemmaStore* lemmas) {
   auto& stats = runtime::Stats::global();
   runtime::ScopedTimer timer(stats.timer("wal.append_time"));
   if (fd_ < 0) return fail(Status::kIoError, "wal not open");
@@ -537,13 +545,23 @@ Result Wal::append(LayeredModel& model, ValenceEngine* engine,
     if (in_range) layers.emplace_back(x, std::move(succ));
   }
 
-  std::vector<ValenceEngine::MemoEntry> memo;
-  if (engine != nullptr) {
-    for (const auto& e : engine->export_memo()) {
+  // One new-memo batch per distinct engine; a record carries one memo block
+  // (with its engine's horizon/mode), so a round touching k engines emits k
+  // records — all fsync'd together below.
+  std::vector<std::pair<ValenceEngine*, std::vector<ValenceEngine::MemoEntry>>>
+      memos;
+  for (ValenceEngine* eng : engines) {
+    if (eng == nullptr) continue;
+    bool seen = false;
+    for (const auto& [prev, unused] : memos) seen = seen || prev == eng;
+    if (seen) continue;
+    std::vector<ValenceEngine::MemoEntry> memo;
+    for (const auto& e : eng->export_memo()) {
       if (static_cast<std::uint64_t>(e.x) >= S) continue;
-      if (persisted_memo_.count(memo_key(e)) != 0) continue;
+      if (persisted_memo_.count({eng->horizon(), memo_key(e)}) != 0) continue;
       memo.push_back(e);
     }
+    if (!memo.empty()) memos.emplace_back(eng, std::move(memo));
   }
 
   std::vector<StateId> fp_ids;
@@ -566,69 +584,108 @@ Result Wal::append(LayeredModel& model, ValenceEngine* engine,
 
   const std::uint64_t new_views = V - persisted_views_;
   const std::uint64_t new_states = S - persisted_states_;
-  if (new_views == 0 && new_states == 0 && layers.empty() && memo.empty() &&
+  if (new_views == 0 && new_states == 0 && layers.empty() && memos.empty() &&
       fp_ids.empty() && facts.empty()) {
     return {};  // nothing interned since the last commit
   }
 
-  Writer body;
-  body.u64(seq_);
-  body.u64(persisted_views_);
-  body.u64(new_views);
-  body.u64(persisted_states_);
-  body.u64(new_states);
-  for (std::uint64_t id = persisted_views_; id < V; ++id) {
-    codec::encode_view(body, model.views().node(static_cast<ViewId>(id)));
-  }
-  for (std::uint64_t id = persisted_states_; id < S; ++id) {
-    codec::encode_state(body, model.state(static_cast<StateId>(id)));
-  }
-  body.u64(layers.size());
-  for (const auto& [x, succ] : layers) {
-    codec::encode_layer_entry(body, x, succ);
-  }
-  body.u32(memo.empty() ? 0 : 1);
-  body.u32(0);
-  if (!memo.empty()) {
-    body.i32(engine->horizon());
-    body.u32(engine->mode() == Exactness::kConvergence ? 1 : 0);
-    body.u64(memo.size());
-    for (const auto& e : memo) codec::encode_memo_entry(body, e);
-  }
-  body.u64(fp_ids.size());
+  // The batch: the first record carries the full delta plus the first
+  // engine's memo; each further engine gets a memo-only record whose base
+  // counts are the NEW watermarks (zero new views/states), so sequential
+  // replay applies them with no special casing.
   const int n = model.n();
-  for (StateId x : fp_ids) {
-    codec::encode_fingerprint_row(body, x, model.cached_fingerprint_row(x), n);
+  Writer batch;
+  std::uint64_t records = 0;
+  const auto frame = [&batch, &records](Writer& body) {
+    body.pad_to_8();
+    batch.u32(kWalRecordMagic);
+    batch.u32(0);
+    batch.u64(body.size());
+    batch.u64(fnv1a(body.data(), body.size()));
+    batch.raw(body.data(), body.size());
+    ++records;
+  };
+  const auto memo_block = [](Writer& body, ValenceEngine* eng,
+                             const std::vector<ValenceEngine::MemoEntry>& m) {
+    body.u32(m.empty() ? 0 : 1);
+    body.u32(0);
+    if (m.empty()) return;
+    body.i32(eng->horizon());
+    body.u32(eng->mode() == Exactness::kConvergence ? 1 : 0);
+    body.u64(m.size());
+    for (const auto& e : m) codec::encode_memo_entry(body, e);
+  };
+
+  {
+    Writer body;
+    body.u64(seq_);
+    body.u64(persisted_views_);
+    body.u64(new_views);
+    body.u64(persisted_states_);
+    body.u64(new_states);
+    for (std::uint64_t id = persisted_views_; id < V; ++id) {
+      codec::encode_view(body, model.views().node(static_cast<ViewId>(id)));
+    }
+    for (std::uint64_t id = persisted_states_; id < S; ++id) {
+      codec::encode_state(body, model.state(static_cast<StateId>(id)));
+    }
+    body.u64(layers.size());
+    for (const auto& [x, succ] : layers) {
+      codec::encode_layer_entry(body, x, succ);
+    }
+    if (memos.empty()) {
+      body.u32(0);
+      body.u32(0);
+    } else {
+      memo_block(body, memos.front().first, memos.front().second);
+    }
+    body.u64(fp_ids.size());
+    for (StateId x : fp_ids) {
+      codec::encode_fingerprint_row(body, x, model.cached_fingerprint_row(x),
+                                    n);
+    }
+    body.u64(facts.size());
+    for (const LemmaStore::Fact& f : facts) codec::encode_lemma_entry(body, f);
+    frame(body);
   }
-  body.u64(facts.size());
-  for (const LemmaStore::Fact& f : facts) codec::encode_lemma_entry(body, f);
-  body.pad_to_8();
+  for (std::size_t i = 1; i < memos.size(); ++i) {
+    Writer body;
+    body.u64(seq_ + records);
+    body.u64(V);
+    body.u64(0);
+    body.u64(S);
+    body.u64(0);
+    body.u64(0);  // no layer entries
+    memo_block(body, memos[i].first, memos[i].second);
+    body.u64(0);  // no fingerprint rows
+    body.u64(0);  // no lemma facts
+    frame(body);
+  }
 
-  Writer record;
-  record.u32(kWalRecordMagic);
-  record.u32(0);
-  record.u64(body.size());
-  record.u64(fnv1a(body.data(), body.size()));
-  record.raw(body.data(), body.size());
-
-  if (Result r = write_and_sync(record.data(), record.size(), log_end_);
+  // One write, one fsync, for the whole round.
+  if (Result r = write_and_sync(batch.data(), batch.size(), log_end_);
       !r.ok()) {
     return r;
   }
 
-  log_end_ += record.size();
-  ++seq_;
+  log_end_ += batch.size();
+  seq_ += records;
   persisted_views_ = V;
   persisted_states_ = S;
   for (const auto& [x, succ] : layers) persisted_layers_[x] = true;
-  for (const auto& e : memo) persisted_memo_.insert(memo_key(e));
+  for (const auto& [eng, memo] : memos) {
+    for (const auto& e : memo) {
+      persisted_memo_.insert({eng->horizon(), memo_key(e)});
+    }
+  }
   for (StateId x : fp_ids) persisted_fingerprints_[x] = true;
   for (const LemmaStore::Fact& f : facts) persisted_lemmas_.insert(lemma_key(f));
 
-  stats.counter("wal.records_appended").increment();
-  stats.counter("wal.bytes_appended").add(record.size());
+  stats.counter("wal.records_appended").add(records);
+  stats.counter("wal.bytes_appended").add(batch.size());
   stats.counter("wal.views_appended").add(new_views);
   stats.counter("wal.states_appended").add(new_states);
+  stats.counter("wal.group_commits").increment();
   return {};
 }
 
@@ -689,7 +746,7 @@ void Wal::mark_persisted_from(LayeredModel& model, std::uint64_t num_views,
     memo_mode_ = engine->mode() == Exactness::kConvergence ? 1 : 0;
     for (const auto& e : engine->export_memo()) {
       if (static_cast<std::uint64_t>(e.x) < num_states) {
-        persisted_memo_.insert(memo_key(e));
+        persisted_memo_.insert({engine->horizon(), memo_key(e)});
       }
     }
   }

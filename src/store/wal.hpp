@@ -57,14 +57,18 @@
 // snapshot actually covers.
 //
 // A Wal instance is not internally synchronized: callers serialize open/
-// replay/append/reset_to (laconrd holds a per-session store mutex).
+// replay/append/reset_to. laconrd does this with a per-session store mutex
+// plus a group-commit leader discipline (service/protocol.cc): concurrent
+// requests stage their engines under a commit mutex, exactly one leader at
+// a time calls append() with the staged batch, and every waiter returns
+// only after a round that started at or after its own work completed.
 #pragma once
 
 #include <cstdint>
 #include <set>
 #include <string>
 #include <tuple>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "store/snapshot.hpp"  // Status / Result
@@ -127,6 +131,19 @@ class Wal {
   Result append(LayeredModel& model, ValenceEngine* engine,
                 LemmaStore* lemmas = nullptr);
 
+  // Group-commit append: one delta record carrying everything past the
+  // watermarks plus the first engine's new memo entries, then one
+  // memo-only record (zero new views/states) per additional engine that
+  // memoized anything new — the whole batch written and fsync'd as a
+  // SINGLE write, so N concurrent requests share one durability round.
+  // Every record is an ordinary v1 record; replay applies them in
+  // sequence with no special casing. Nullptr and duplicate engines are
+  // tolerated. This is what laconrd's commit leader calls with the engines
+  // of every request staged in its round.
+  Result append(LayeredModel& model,
+                const std::vector<ValenceEngine*>& engines,
+                LemmaStore* lemmas = nullptr);
+
   // True once the live log payload outweighs `snapshot_bytes` by more than
   // `ratio` (with a 64 KiB floor so tiny snapshots don't force compaction
   // on every record).
@@ -173,9 +190,13 @@ class Wal {
   std::uint64_t persisted_states_ = 0;
   std::vector<bool> persisted_layers_;       // by StateId key
   std::vector<bool> persisted_fingerprints_; // by StateId
-  // Memo entries are keyed (x, lookahead, flags): a later *stronger* entry
-  // for the same state re-appends (import_memo merges strongest-wins).
-  std::unordered_set<std::uint64_t> persisted_memo_;
+  // Memo entries are keyed (horizon, x, lookahead, flags): the horizon
+  // disambiguates equal (x, lookahead) entries memoized by engines at
+  // different lookahead depths (each record carries its engine's horizon,
+  // and replay imports only into a matching engine), and a later
+  // *stronger* entry for the same state re-appends (import_memo merges
+  // strongest-wins).
+  std::set<std::pair<std::int32_t, std::uint64_t>> persisted_memo_;
   // Lemma facts are keyed (sig_hi, sig_lo, lookahead): a fact whose
   // lookahead was min-merged down re-appends under the new key (the
   // store's publish keeps the cheaper proof).

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/sym.hpp"
+#include "runtime/stats.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -600,6 +601,97 @@ TEST(ProtocolWalTest, HandledRequestsAreDurableWithoutSnapshotSave) {
             find_path(*doc1, {"result"})->dump());
   EXPECT_EQ(find_path(*doc2, {"metrics", "new_states"})->as_number(), 0.0);
   EXPECT_EQ(find_path(*doc2, {"metrics", "new_views"})->as_number(), 0.0);
+
+  ::unsetenv("LACON_WAL");
+  ::unsetenv("LACON_STORE_DIR");
+  ::unsetenv("LACON_STORE");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// --- pipelining (handle_batch, PROTOCOL.md "Pipelining") -------------------
+
+// A batch executes in request order and answers in request order, malformed
+// lines included — the error response occupies the bad line's slot instead
+// of shifting later responses.
+TEST(PipelineTest, BatchAnswersInRequestOrder) {
+  SessionManager sessions;
+  const std::vector<std::string> lines = {
+      "{\"id\":1,\"model\":\"mobile\",\"n\":3,\"depth\":1}",
+      "{\"id\":2,\"model\":\"sync\",\"n\":3,\"t\":1,\"depth\":1}",
+      "this is not json",
+      "{\"id\":4,\"model\":\"mobile\",\"n\":3,\"depth\":2,"
+      "\"query\":\"valence\"}",
+  };
+  const std::vector<std::string> responses = handle_batch(sessions, lines);
+  ASSERT_EQ(responses.size(), lines.size());
+
+  const auto r1 = Json::parse(responses[0]);
+  const auto r2 = Json::parse(responses[1]);
+  const auto r3 = Json::parse(responses[2]);
+  const auto r4 = Json::parse(responses[3]);
+  ASSERT_TRUE(r1 && r2 && r3 && r4);
+  EXPECT_EQ(find_path(*r1, {"id"})->as_number(), 1.0);
+  EXPECT_EQ(find_path(*r2, {"id"})->as_number(), 2.0);
+  EXPECT_EQ(find_path(*r3, {"status"})->as_string(), "error");
+  EXPECT_TRUE(find_path(*r3, {"id"})->is_null());
+  EXPECT_EQ(find_path(*r4, {"id"})->as_number(), 4.0);
+  EXPECT_EQ(find_path(*r4, {"status"})->as_string(), "ok");
+
+  // Requests 1 and 4 shared one session: 4 warm-started on 1's exploration.
+  EXPECT_EQ(sessions.session_count(), 2u);
+}
+
+// Group commit across a batch: the whole batch's work reaches the WAL in
+// ONE commit round per touched session (not one fsync per request), and a
+// manager recovered from that WAL — no snapshot was ever saved — re-serves
+// every request without interning anything new. This is the PR-8 contract
+// ("response on the wire => work survives kill -9") carried over to
+// pipelined batches.
+TEST(ProtocolWalTest, PipelinedBatchSharesOneCommitAndIsDurable) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("lacon_service_batch_wal_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  ::setenv("LACON_WAL", "on", 1);
+  ::setenv("LACON_STORE_DIR", dir.c_str(), 1);
+  ::setenv("LACON_STORE", "off", 1);
+
+  const std::vector<std::string> lines = {
+      "{\"id\":1,\"model\":\"mobile\",\"n\":3,\"depth\":1}",
+      "{\"id\":2,\"model\":\"mobile\",\"n\":3,\"depth\":2,"
+      "\"query\":\"valence\"}",
+      "{\"id\":3,\"model\":\"mobile\",\"n\":3,\"depth\":2,"
+      "\"query\":\"valence\",\"horizon\":4}",
+  };
+  auto& commits = runtime::Stats::global().counter("wal.group_commits");
+  const std::uint64_t commits_before = commits.value();
+  std::vector<std::string> first;
+  {
+    SessionManager sessions;
+    first = handle_batch(sessions, lines);
+    // No save_all: the manager dies as a kill -9 would leave it.
+  }
+  // One touched session => one group-committed append for all three
+  // requests (two distinct engine horizons riding the same round).
+  EXPECT_EQ(commits.value(), commits_before + 1);
+
+  SessionManager recovered;
+  const std::vector<std::string> second = handle_batch(recovered, lines);
+  ASSERT_EQ(first.size(), lines.size());
+  ASSERT_EQ(second.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto doc1 = Json::parse(first[i]);
+    const auto doc2 = Json::parse(second[i]);
+    ASSERT_TRUE(doc1.has_value() && doc2.has_value());
+    EXPECT_EQ(find_path(*doc1, {"status"})->as_string(), "ok");
+    EXPECT_EQ(find_path(*doc2, {"result"})->dump(),
+              find_path(*doc1, {"result"})->dump())
+        << "request " << i;
+    EXPECT_EQ(find_path(*doc2, {"metrics", "new_states"})->as_number(), 0.0);
+    EXPECT_EQ(find_path(*doc2, {"metrics", "new_views"})->as_number(), 0.0);
+  }
 
   ::unsetenv("LACON_WAL");
   ::unsetenv("LACON_STORE_DIR");

@@ -183,6 +183,125 @@ TEST_F(StoreTest, WarmAnalysisInternsNothingNew) {
   }
 }
 
+// --- mmap zero-copy loading (LACON_MMAP, FORMATS.md "Alignment") ---
+//
+// The contract under test: a mapped load and a streaming load of the same
+// snapshot are INDISTINGUISHABLE to every consumer — same ids, same content
+// hashes, same analysis output, zero re-interns — the only difference being
+// where the flat state words live (the mapping vs the arena pool). Even n
+// adopts in place ("arena.state_mapped" counts the adoptions); odd n, a
+// failed map and LACON_MMAP=off all fall back to the streaming decode with
+// no behavior change.
+
+TEST_F(StoreTest, MmapAndStreamingLoadsAreEquivalent) {
+  constexpr int kN = 4;  // even: disk records match the pool layout
+  auto cold = make_instance(ModelKind::kMobile, kN, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("mmap.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  auto& stats = runtime::Stats::global();
+  const std::uint64_t mapped_before =
+      stats.counter("arena.state_mapped").value();
+  const std::uint64_t mmap_loads_before =
+      stats.counter("store.mmap_loads").value();
+
+  ::setenv("LACON_MMAP", "on", 1);
+  auto warm_map = make_instance(ModelKind::kMobile, kN, 1, 3);
+  const store::Result rm = store::load(*warm_map.model, file,
+                                       warm_map.engine.get());
+  ASSERT_TRUE(rm.ok()) << rm.detail;
+  // The load went through the mapping and adopted every state in place.
+  EXPECT_EQ(stats.counter("store.mmap_loads").value(), mmap_loads_before + 1);
+  EXPECT_EQ(stats.counter("arena.state_mapped").value(),
+            mapped_before + cold.model->num_states());
+
+  ::setenv("LACON_MMAP", "off", 1);
+  auto warm_stream = make_instance(ModelKind::kMobile, kN, 1, 3);
+  ASSERT_TRUE(store::load(*warm_stream.model, file,
+                          warm_stream.engine.get()).ok());
+  ::unsetenv("LACON_MMAP");
+
+  // Same population, position by position, on both paths.
+  EXPECT_EQ(state_hashes(*warm_map.model), state_hashes(*cold.model));
+  EXPECT_EQ(state_hashes(*warm_stream.model), state_hashes(*cold.model));
+  EXPECT_EQ(view_hashes(*warm_map.model), view_hashes(*cold.model));
+
+  // Re-running the analysis over the mapped arena interns nothing new and
+  // produces output identical to the streaming-loaded model's.
+  const std::uint64_t misses_before =
+      stats.counter("arena.state_misses").value();
+  const auto frontier_map = analyze(warm_map, 2);
+  const auto frontier_stream = analyze(warm_stream, 2);
+  EXPECT_EQ(stats.counter("arena.state_misses").value(), misses_before);
+  EXPECT_EQ(frontier_map, frontier_stream);
+  EXPECT_EQ(warm_map.model->num_states(), warm_stream.model->num_states());
+  EXPECT_EQ(state_hashes(*warm_map.model), state_hashes(*warm_stream.model));
+  for (std::size_t i = 0; i < frontier_map.size(); ++i) {
+    const ValenceInfo a = warm_map.engine->valence(frontier_map[i]);
+    const ValenceInfo b = warm_stream.engine->valence(frontier_stream[i]);
+    EXPECT_EQ(a.v0, b.v0);
+    EXPECT_EQ(a.v1, b.v1);
+    EXPECT_EQ(a.exact, b.exact);
+  }
+}
+
+TEST_F(StoreTest, OddNFallsBackToStreamingUnderMmap) {
+  // Odd n pads its lane words in the pool but not on disk, so the record
+  // layout differs from the pool encoding and adoption must not happen —
+  // the "misaligned file" of the mmap contract. The load still succeeds,
+  // through the streaming decode.
+  auto cold = make_instance(ModelKind::kMobile, 3, 1, 3);
+  analyze(cold, 2);
+  const std::string file = path("odd_mmap.store");
+  ASSERT_TRUE(store::save(*cold.model, file, cold.engine.get()).ok());
+
+  auto& stats = runtime::Stats::global();
+  const std::uint64_t mapped_before =
+      stats.counter("arena.state_mapped").value();
+
+  ::setenv("LACON_MMAP", "on", 1);
+  auto warm = make_instance(ModelKind::kMobile, 3, 1, 3);
+  const store::Result r = store::load(*warm.model, file, warm.engine.get());
+  ::unsetenv("LACON_MMAP");
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(stats.counter("arena.state_mapped").value(), mapped_before);
+  EXPECT_EQ(state_hashes(*warm.model), state_hashes(*cold.model));
+}
+
+TEST_F(StoreTest, MmapLoadRejectsTruncationAtEveryPrefix) {
+  // Every proper prefix of a snapshot must be rejected on the mmap path
+  // exactly as on the streaming path — mapping a file does not skip any
+  // length or checksum validation.
+  constexpr int kN = 4;
+  auto cold = make_instance(ModelKind::kMobile, kN, 1, 2);
+  analyze(cold, 1);
+  const std::string file = path("mmap_trunc.store");
+  ASSERT_TRUE(store::save(*cold.model, file, nullptr).ok());
+
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 0u);
+
+  ::setenv("LACON_MMAP", "on", 1);
+  // Every prefix for small files; a deterministic stride (still covering
+  // every 8-byte boundary and both ends) once the quadratic checksum work
+  // would dominate the suite.
+  const std::size_t stride = bytes.size() > 8192 ? 7 : 1;
+  for (std::size_t keep = 0; keep < bytes.size(); keep += stride) {
+    const std::string cut = path("mmap_cut.store");
+    std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+
+    auto target = make_instance(ModelKind::kMobile, kN, 1, 2);
+    const store::Result r = store::load(*target.model, cut, nullptr);
+    EXPECT_FALSE(r.ok()) << "prefix of " << keep << " bytes was accepted";
+  }
+  ::unsetenv("LACON_MMAP");
+}
+
 TEST_F(StoreTest, OddNPadsLanesAndRoundTrips) {
   // n = 3 and n = 5 exercise the odd lane-padding path in the flat arena;
   // round-trip each and re-intern a frontier state to prove id stability.
@@ -861,6 +980,17 @@ TEST(StoreEnvTest, ParseWalKeywords) {
   EXPECT_FALSE(store::parse_wal("ON", false));
   EXPECT_FALSE(store::parse_wal("1", false));
   EXPECT_FALSE(store::parse_wal("yes", false));
+}
+
+TEST(StoreEnvTest, ParseMmapKeywords) {
+  EXPECT_FALSE(store::parse_mmap("off", true));
+  EXPECT_TRUE(store::parse_mmap("on", false));
+  // Null/empty fall back silently; malformed values fall back with a warn.
+  EXPECT_TRUE(store::parse_mmap(nullptr, true));
+  EXPECT_FALSE(store::parse_mmap("", false));
+  EXPECT_FALSE(store::parse_mmap("ON", false));
+  EXPECT_FALSE(store::parse_mmap("1", false));
+  EXPECT_FALSE(store::parse_mmap("mmap", false));
 }
 
 TEST(StoreEnvTest, ParseWalCompactRange) {
